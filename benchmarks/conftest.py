@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark targets.
+
+Every benchmark regenerates one figure, claim or ablation from the paper (see
+DESIGN.md for the experiment index).  The benchmarks share:
+
+* the experiment configuration, selected by the ``REPRO_BENCH_SCALE``
+  environment variable (``smoke`` by default, ``paper`` for the full sweep),
+* a session-wide cache of experiment results so that derived experiments
+  (e.g. the speedup summary) can reuse the sweeps that earlier benchmarks
+  already ran instead of repeating minutes of work,
+* a helper that writes each experiment's rows and formatted table to
+  ``results/<name>.txt`` so the figures survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.bench.config import ExperimentConfig, config_from_environment
+from repro.bench.experiments import ExperimentResult
+from repro.bench.reporting import format_grouped_times, format_rows
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Session-wide cache of already-computed experiment results, keyed by name.
+_RESULT_CACHE: Dict[str, ExperimentResult] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark in this session."""
+    return config_from_environment()
+
+
+@pytest.fixture(scope="session")
+def result_cache() -> Dict[str, ExperimentResult]:
+    """Mutable cache shared by all benchmarks of the session."""
+    return _RESULT_CACHE
+
+
+def persist_result(result: ExperimentResult, grouped: bool = False) -> Path:
+    """Write an experiment's rows (and grouped table, if applicable) to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.name}.txt"
+    sections = [f"# {result.name}", result.description, ""]
+    if grouped:
+        sections.append(format_grouped_times(result, "avg_invocation_seconds"))
+        sections.append("")
+        sections.append(format_grouped_times(result, "max_invocation_seconds"))
+        sections.append("")
+    sections.append(format_rows(result))
+    path.write_text("\n".join(sections) + "\n")
+    return path

@@ -1,0 +1,32 @@
+"""A-abl-2: ablation of the Δ-set / IsFresh freshness machinery.
+
+Function ``Fresh`` avoids recombining sub-plan pairs across invocations via
+two mechanisms: the ``IsFresh`` hash table (correctness: no duplicate plan is
+ever built) and the Δ-set restriction (performance: whole blocks of
+already-combined pairs are skipped without even consulting the hash table).
+This ablation switches the Δ-set restriction off and measures how much extra
+pair-enumeration work the optimizer performs; the number of *constructed*
+plans must stay identical, because IsFresh still deduplicates.
+"""
+
+from benchmarks.conftest import persist_result
+from repro.bench.experiments import ablation_freshness
+from repro.bench.reporting import format_rows
+
+
+def test_ablation_delta_set_freshness(benchmark, bench_config, result_cache):
+    result = benchmark.pedantic(
+        ablation_freshness, args=(bench_config,), kwargs={"levels": 5}, rounds=1, iterations=1
+    )
+    result_cache["ablation_freshness"] = result
+    path = persist_result(result)
+    print(format_rows(result))
+    print(f"[ablation_freshness] rows written to {path}")
+
+    by_flag = {row["delta_sets"]: row for row in result.rows}
+    assert set(by_flag) == {True, False}
+    # Correctness: identical plan construction with and without Δ-sets.
+    assert by_flag[True]["plans_generated"] == by_flag[False]["plans_generated"]
+    assert by_flag[True]["frontier_size"] == by_flag[False]["frontier_size"]
+    # Performance: the Δ-sets can only reduce the number of enumerated pairs.
+    assert by_flag[True]["pairs_enumerated"] <= by_flag[False]["pairs_enumerated"]

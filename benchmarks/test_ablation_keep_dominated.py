@@ -1,0 +1,35 @@
+"""A-abl-1: ablation of the keep-dominated-result-plans design decision.
+
+Section 4.2 argues that IAMA must not discard result plans that become
+dominated, because they may already serve as sub-plans of previously combined
+plans; the price is larger result plan sets.  This ablation quantifies that
+price by comparing the number of plans IAMA stores (result + candidate sets
+accumulated over a full resolution sweep) against the minimal plan sets of a
+one-shot DP that evicts dominated plans, on the same query and at the same
+target precision.
+"""
+
+from benchmarks.conftest import persist_result
+from repro.bench.experiments import ablation_result_set_growth
+from repro.bench.reporting import format_rows
+
+
+def test_ablation_keep_dominated_result_plans(benchmark, bench_config, result_cache):
+    result = benchmark.pedantic(
+        ablation_result_set_growth,
+        args=(bench_config,),
+        kwargs={"levels": 5},
+        rounds=1,
+        iterations=1,
+    )
+    result_cache["ablation_keep_dominated"] = result
+    path = persist_result(result)
+    print(format_rows(result))
+    print(f"[ablation_keep_dominated] rows written to {path}")
+
+    row = result.rows[0]
+    # Keeping dominated plans can only enlarge the stored plan sets.
+    assert row["iama_result_plans"] >= row["minimal_result_plans"]
+    assert row["result_plan_inflation"] >= 1.0
+    # Candidate plans are the other component of the space bound (Theorem 3).
+    assert row["iama_candidate_plans"] >= 0

@@ -1,0 +1,36 @@
+"""A-abl-3: ablation over the number of cost metrics.
+
+The paper fixes three cost metrics for its evaluation (the largest number that
+can still be visualized as a surface) but the algorithm supports more; the
+result plan sets -- and with them optimization time -- grow with the number of
+objectives (the ``rpt`` bound of Lemma 1 is exponential in ``l``).  This
+ablation runs IAMA with 2, 3 and 4 metrics on the same query and records the
+average invocation time and the final frontier size.
+"""
+
+from benchmarks.conftest import persist_result
+from repro.bench.experiments import ablation_metric_count
+from repro.bench.reporting import format_rows
+
+
+def test_ablation_number_of_cost_metrics(benchmark, bench_config, result_cache):
+    result = benchmark.pedantic(
+        ablation_metric_count,
+        args=(bench_config,),
+        kwargs={"metric_counts": (2, 3, 4), "levels": 5},
+        rounds=1,
+        iterations=1,
+    )
+    result_cache["ablation_metric_count"] = result
+    path = persist_result(result)
+    print(format_rows(result))
+    print(f"[ablation_metric_count] rows written to {path}")
+
+    assert [row["metric_count"] for row in result.rows] == [2, 3, 4]
+    for row in result.rows:
+        assert row["frontier_size"] > 0
+        assert row["avg_invocation_seconds"] > 0
+    # More objectives lead to at least as many stored tradeoffs: compare the
+    # two-metric and four-metric runs.
+    by_count = {row["metric_count"]: row for row in result.rows}
+    assert by_count[4]["frontier_size"] >= by_count[2]["frontier_size"]

@@ -1,0 +1,42 @@
+"""E-fig1: Figure 1 illustration -- interactive frontier refinement.
+
+Figure 1 is a conceptual illustration of the interactive interface: the
+optimizer first shows a coarse approximation of the Pareto-optimal cost
+tradeoffs, refines it continuously, and the user can drag cost bounds which
+re-focus the optimization.  This benchmark regenerates that behaviour with a
+scripted user on a two-metric (execution time vs monetary fees) TPC-H block
+and records, per iteration, the visualized frontier size, the active time
+bound and the invocation time.
+"""
+
+from benchmarks.conftest import persist_result
+from repro.bench.experiments import interactive_refinement_experiment
+from repro.bench.reporting import format_rows
+
+
+def test_figure1_interactive_refinement(benchmark, bench_config, result_cache):
+    result = benchmark.pedantic(
+        interactive_refinement_experiment,
+        args=(bench_config,),
+        kwargs={"levels": 5, "iterations": 6},
+        rounds=1,
+        iterations=1,
+    )
+    result_cache["figure1"] = result
+    path = persist_result(result)
+    print(format_rows(result))
+    print(f"[figure1] rows written to {path}")
+
+    assert len(result.rows) == 6
+    # The first iteration must already visualize a (coarse) frontier.
+    assert result.rows[0]["frontier_size"] > 0
+    # At least one bound change happened during the session, and afterwards
+    # the resolution was reset to zero (Algorithm 1, lines 18-20).
+    change_iterations = [
+        row["iteration"] for row in result.rows if row["action"] == "ChangeBounds"
+    ]
+    assert change_iterations
+    first_change = change_iterations[0]
+    following = [row for row in result.rows if row["iteration"] == first_change + 1]
+    if following:
+        assert following[0]["resolution"] == 0

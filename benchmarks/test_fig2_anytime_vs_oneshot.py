@@ -1,0 +1,62 @@
+"""E-fig2: Figure 2 illustration -- anytime vs one-shot, incremental vs memoryless.
+
+Figure 2 sketches the two properties the paper's algorithm combines:
+
+* *anytime* (Figure 2a): result quality improves in many small steps instead
+  of arriving all at once at the end -- here measured as the number of
+  visualized cost tradeoffs available after each invocation, against the
+  cumulative optimization time;
+* *incremental* (Figure 2b): the run time per invocation stays low across a
+  series of invocations, while a memoryless algorithm pays the full
+  (and growing) cost every time.
+"""
+
+from benchmarks.conftest import persist_result
+from repro.bench.experiments import anytime_quality_experiment
+from repro.bench.reporting import format_rows
+from repro.bench.runner import AlgorithmName
+
+
+def test_figure2_anytime_and_incremental_behaviour(benchmark, bench_config, result_cache):
+    result = benchmark.pedantic(
+        anytime_quality_experiment, args=(bench_config,), rounds=1, iterations=1
+    )
+    result_cache["figure2"] = result
+    path = persist_result(result)
+    print(format_rows(result))
+    print(f"[figure2] rows written to {path}")
+
+    iama = AlgorithmName.INCREMENTAL_ANYTIME.label
+    quality_rows = [
+        row for row in result.rows if row["kind"] == "quality" and row["algorithm"] == iama
+    ]
+    # Anytime: several intermediate results with non-decreasing quality.
+    assert len(quality_rows) >= 2
+    sizes = [row["frontier_size"] for row in quality_rows]
+    assert all(later >= earlier for earlier, later in zip(sizes, sizes[1:]))
+
+    one_shot_rows = [
+        row
+        for row in result.rows
+        if row["kind"] == "quality" and row["algorithm"] == AlgorithmName.ONE_SHOT.label
+    ]
+    # One-shot: exactly one result, and the anytime algorithm shows its first
+    # frontier earlier than the one-shot algorithm shows anything.
+    assert len(one_shot_rows) == 1
+    assert quality_rows[0]["elapsed_seconds"] < one_shot_rows[0]["elapsed_seconds"]
+
+    # Incremental: after the first invocation, IAMA's per-invocation time stays
+    # below the memoryless baseline's for most invocations.
+    per_invocation = [row for row in result.rows if row["kind"] == "per_invocation"]
+    iama_times = {
+        row["invocation"]: row["seconds"] for row in per_invocation if row["algorithm"] == iama
+    }
+    memo_times = {
+        row["invocation"]: row["seconds"]
+        for row in per_invocation
+        if row["algorithm"] == AlgorithmName.MEMORYLESS.label
+    }
+    later_invocations = [i for i in iama_times if i > 1]
+    if later_invocations:
+        wins = sum(1 for i in later_invocations if iama_times[i] < memo_times[i])
+        assert wins >= len(later_invocations) / 2

@@ -1,0 +1,83 @@
+"""E-tab-claims: the headline speedup claims of Section 6.2.
+
+The paper summarizes Figures 3-5 with a handful of headline numbers:
+
+* with one resolution level IAMA is at most ~37% slower than the baselines,
+* with 5 resolution levels it is up to 3x faster than the memoryless and 4x
+  faster than the one-shot baseline (alpha_T = 1.01), growing to an order of
+  magnitude with 20 levels,
+* at alpha_T = 1.005 the advantage reaches 14x (memoryless) and 37x (one-shot),
+* on maximal invocation time IAMA is up to ~8x faster.
+
+This benchmark derives the same ratios from the sweeps of Figures 3-5 (reusing
+the results cached by the earlier benchmarks when available) and records them.
+Absolute ratios depend on the machine and on the CPython constant factors --
+what must hold is the direction: overhead bounded at one level, growing
+speedups with more levels and finer precision.
+"""
+
+import pytest
+
+from benchmarks.conftest import persist_result
+from repro.bench.experiments import (
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    speedup_summary,
+)
+from repro.bench.reporting import format_speedups
+
+
+def test_headline_speedup_claims(benchmark, bench_config, result_cache):
+    def compute():
+        figure3 = result_cache.get("figure3") or figure3_experiment(bench_config)
+        figure4 = result_cache.get("figure4") or figure4_experiment(bench_config)
+        figure5 = result_cache.get("figure5") or figure5_experiment(bench_config)
+        return speedup_summary(figure3, figure4, figure5)
+
+    summary = benchmark.pedantic(compute, rounds=1, iterations=1)
+    result_cache["speedup_summary"] = summary
+    path = persist_result(summary)
+    print(format_speedups(summary))
+    print(f"[claims] rows written to {path}")
+
+    assert summary.rows
+    max_levels = max(bench_config.resolution_level_settings)
+
+    # Claim 1: bounded overhead with a single resolution level.  The paper
+    # reports <= 37% in C; the pure-Python constant factors (and the very small
+    # two-table blocks, where fixed per-invocation overhead dominates) widen
+    # that envelope, so we only assert that the overhead stays within ~3x.
+    one_level = [row for row in summary.rows if row["resolution_levels"] == 1]
+    for row in one_level:
+        assert row["min_speedup"] >= 0.33, (
+            f"IAMA should not be more than ~3x slower than {row['baseline']} "
+            "with a single resolution level"
+        )
+
+    # Claim 2: with the largest level setting IAMA wins on average invocation
+    # time against both baselines for at least one table-count group.
+    if max_levels > 1:
+        best = {
+            row["baseline"]: row["max_speedup"]
+            for row in summary.rows
+            if row["resolution_levels"] == max_levels
+            and row["experiment"] in ("figure3", "figure4")
+        }
+        assert all(value > 1.0 for value in best.values())
+
+    # Claim 3: the speedup grows (or at least does not shrink dramatically)
+    # when moving from the moderate to the fine target precision.
+    if max_levels > 1:
+        moderate = [
+            row["max_speedup"]
+            for row in summary.rows
+            if row["experiment"] == "figure3" and row["resolution_levels"] == max_levels
+        ]
+        fine = [
+            row["max_speedup"]
+            for row in summary.rows
+            if row["experiment"] == "figure4" and row["resolution_levels"] == max_levels
+        ]
+        if moderate and fine:
+            assert max(fine) >= 0.5 * max(moderate)

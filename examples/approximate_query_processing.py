@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Approximate query processing: trading result precision for execution time.
+
+Example 2 of the paper: "In approximate query processing, there is a tradeoff
+between execution time and result precision since sampling can be used to
+reduce execution time."  This script optimizes a lineitem-heavy TPC-H block
+under the paper's three-metric cost model and then answers questions a user
+hand-tuning a recurring analytical query would ask:
+
+* What is the fastest exact plan (no sampling, precision loss 0)?
+* How much faster can the query get if 5% / 25% precision loss is acceptable?
+* How do those answers change when only a single core may be reserved?
+
+It also contrasts IAMA's frontier against classical single-objective
+optimization, which can only produce one point of the tradeoff space.
+
+Run with:  python examples/approximate_query_processing.py
+"""
+
+from repro import (
+    AnytimeMOQO,
+    CardinalityEstimator,
+    MultiObjectiveCostModel,
+    PlanFactory,
+    ResolutionSchedule,
+    SingleObjectiveOptimizer,
+    default_operator_registry,
+    paper_metric_set,
+)
+from repro.costs.pareto import pareto_filter
+from repro.workloads import tpch_queries, tpch_statistics
+
+
+def build_factory(query, metric_set):
+    return PlanFactory(
+        estimator=CardinalityEstimator(tpch_statistics(), query.join_graph),
+        cost_model=MultiObjectiveCostModel(metric_set),
+        operators=default_operator_registry(),
+    )
+
+
+def fastest_within(frontier, metric_set, max_precision_loss, max_cores=None):
+    """Cheapest execution time among plans meeting the precision/core limits."""
+    time_index = metric_set.index_of("execution_time")
+    loss_index = metric_set.index_of("precision_loss")
+    cores_index = metric_set.index_of("reserved_cores")
+    admissible = [
+        point
+        for point in frontier
+        if point.cost[loss_index] <= max_precision_loss + 1e-12
+        and (max_cores is None or point.cost[cores_index] <= max_cores)
+    ]
+    if not admissible:
+        return None
+    return min(admissible, key=lambda point: point.cost[time_index])
+
+
+def main() -> None:
+    query = next(q for q in tpch_queries() if q.name == "tpch_q14")
+    metric_set = paper_metric_set()
+    print(f"Approximate query processing on {query.name}: {sorted(query.tables)}\n")
+
+    # Multi-objective anytime optimization.
+    factory = build_factory(query, metric_set)
+    schedule = ResolutionSchedule(levels=8, target_precision=1.005, precision_step=0.1)
+    loop = AnytimeMOQO(query, factory, schedule)
+    results = loop.run_resolution_sweep()
+    frontier = results[-1].frontier
+    non_dominated = pareto_filter([p.cost for p in frontier])
+    print(
+        f"IAMA explored {factory.counters.total_plans_built} plans and kept "
+        f"{len(frontier)} tradeoffs ({len(non_dominated)} non-dominated).\n"
+    )
+
+    time_index = metric_set.index_of("execution_time")
+    scenarios = [
+        ("exact result", 0.0, None),
+        ("5% precision loss allowed", 0.05, None),
+        ("25% precision loss allowed", 0.25, None),
+        ("25% loss, single core only", 0.25, 1),
+    ]
+    exact = fastest_within(frontier, metric_set, 0.0)
+    print("What sampling buys, according to the Pareto frontier:")
+    for label, loss, cores in scenarios:
+        best = fastest_within(frontier, metric_set, loss, cores)
+        if best is None:
+            print(f"  {label:32s}: no qualifying plan")
+            continue
+        speedup = exact.cost[time_index] / best.cost[time_index] if exact else 1.0
+        described = ", ".join(
+            f"{name}={value:.3g}" for name, value in metric_set.describe(best.cost).items()
+        )
+        print(f"  {label:32s}: {described}  ({speedup:.1f}x vs exact)")
+        print(f"    {best.plan.render()}")
+
+    # Classical single-objective optimization sees only one point.
+    single = SingleObjectiveOptimizer(query, build_factory(query, metric_set), "execution_time")
+    fastest = single.optimize()
+    print(
+        "\nSingle-objective optimizer (execution time only) returns a single plan:\n"
+        f"  {fastest.render()}\n"
+        f"  cost: "
+        + ", ".join(
+            f"{name}={value:.3g}"
+            for name, value in metric_set.describe(fastest.cost).items()
+        )
+    )
+    print(
+        "\nIt cannot answer 'how much precision do I give up for that speed?' --\n"
+        "the Pareto frontier above is exactly that answer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Cloud scenario: interactively trading execution time against monetary fees.
+
+Example 1 of the paper: "In cloud computing, there is a tradeoff between
+execution time and fees as buying more resources can speed up execution."
+This script simulates the interactive session of Figure 1 on a TPC-H block
+with the two-metric cloud cost model:
+
+* the optimizer quickly shows a coarse frontier,
+* a scripted user keeps tightening the execution-time bound (dragging the
+  bound line to the left),
+* the resolution resets after every bound change and then refines again,
+* finally the user selects the cheapest plan that meets the deadline.
+
+The frontier is rendered as an ASCII scatter plot after every iteration.
+
+Run with:  python examples/cloud_tradeoff_exploration.py
+"""
+
+from repro import (
+    CardinalityEstimator,
+    MultiObjectiveCostModel,
+    PlanFactory,
+    ResolutionSchedule,
+    default_operator_registry,
+)
+from repro.costs.metrics import cloud_metric_set
+from repro.interactive import (
+    BoundTighteningUser,
+    InteractiveSession,
+    PlanSelectingUser,
+    ascii_scatter,
+    weighted_sum_chooser,
+)
+from repro.interactive.user_models import UserModel
+from repro.core.control import Continue, InvocationResult, SelectPlan, UserAction
+from repro.workloads import tpch_queries, tpch_statistics
+
+
+class CloudUser(UserModel):
+    """Tightens the time bound twice, then picks the cheapest qualifying plan."""
+
+    def __init__(self, metric_set):
+        self._tightener = BoundTighteningUser(
+            metric_set, "execution_time", tighten_every=2, factor=0.6
+        )
+        self._metric_set = metric_set
+        self._changes = 0
+
+    def react(self, result: InvocationResult) -> UserAction:
+        if self._changes < 2:
+            action = self._tightener.react(result)
+            if not isinstance(action, Continue):
+                self._changes += 1
+            return action
+        if result.frontier:
+            chooser = weighted_sum_chooser(self._metric_set, {"monetary_fees": 1.0})
+            return SelectPlan(chooser=chooser)
+        return Continue()
+
+
+def main() -> None:
+    query = next(q for q in tpch_queries() if q.name == "tpch_q10")
+    metric_set = cloud_metric_set()
+    print(f"Interactive cloud optimization of {query.name}: {sorted(query.tables)}")
+    print(f"Metrics: {metric_set.names}\n")
+
+    factory = PlanFactory(
+        estimator=CardinalityEstimator(tpch_statistics(), query.join_graph),
+        cost_model=MultiObjectiveCostModel(metric_set),
+        operators=default_operator_registry(),
+    )
+    schedule = ResolutionSchedule(levels=6, target_precision=1.01, precision_step=0.05)
+    session = InteractiveSession(
+        query, factory, schedule, user=CloudUser(metric_set)
+    )
+    selected = session.run(max_iterations=12)
+
+    for entry in session.timeline:
+        print(
+            f"iteration {entry.iteration}: resolution {entry.resolution}, "
+            f"{entry.invocation_seconds * 1000:6.1f} ms, "
+            f"{entry.snapshot.size:4d} tradeoffs shown, "
+            f"user action: {type(entry.action).__name__}"
+        )
+    final = session.timeline[-1].snapshot
+    print("\nFinal visualized frontier (time vs fees):")
+    print(
+        ascii_scatter(
+            list(final.costs),
+            x_label="execution time",
+            y_label="monetary fees",
+            bounds=final.bounds,
+        )
+    )
+    if selected is not None:
+        described = ", ".join(
+            f"{name}={value:.3g}"
+            for name, value in metric_set.describe(selected.cost).items()
+        )
+        print(f"\nUser selected: {selected.render()}")
+        print(f"  cost: {described}")
+    else:
+        print("\nNo plan selected within the iteration budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""repro: reproduction of "An Incremental Anytime Algorithm for Multi-Objective
+Query Optimization" (Trummer & Koch, SIGMOD 2015).
+
+The package implements the paper's incremental anytime MOQO algorithm (IAMA)
+together with every substrate it needs -- a multi-objective cost model, a
+catalog and cardinality estimator, a plan representation, the TPC-H workload at
+the join-graph level, the baseline algorithms used in the evaluation, an
+interactive session layer, and an experiment harness that regenerates the
+paper's figures.
+
+Quickstart
+----------
+
+>>> from repro import (
+...     AnytimeMOQO, ResolutionSchedule, PlanFactory, MultiObjectiveCostModel,
+...     CardinalityEstimator, default_operator_registry, paper_metric_set,
+... )
+>>> from repro.workloads import tpch_queries, tpch_statistics
+>>> query = tpch_queries()[2]                      # a TPC-H join block
+>>> statistics = tpch_statistics()
+>>> metric_set = paper_metric_set()
+>>> factory = PlanFactory(
+...     CardinalityEstimator(statistics, query.join_graph),
+...     MultiObjectiveCostModel(metric_set),
+...     default_operator_registry(),
+... )
+>>> loop = AnytimeMOQO(query, factory, ResolutionSchedule(levels=5))
+>>> results = loop.run_resolution_sweep()          # anytime refinement
+>>> len(results[-1].frontier) >= len(results[0].frontier)
+True
+"""
+
+from repro.costs import (
+    CostVector,
+    MetricSet,
+    MultiObjectiveCostModel,
+    CostModelConfig,
+    ParetoSet,
+    approximation_error,
+    default_metric_set,
+    paper_metric_set,
+    dominates,
+    strictly_dominates,
+    approximately_dominates,
+)
+from repro.catalog import (
+    CardinalityEstimator,
+    JoinGraph,
+    JoinPredicate,
+    Schema,
+    StatisticsCatalog,
+    Table,
+    Column,
+    ForeignKey,
+)
+from repro.plans import (
+    Query,
+    Plan,
+    ScanPlan,
+    JoinPlan,
+    PlanFactory,
+    ScanOperator,
+    JoinOperator,
+    OperatorRegistry,
+    default_operator_registry,
+)
+from repro.core import (
+    AnytimeMOQO,
+    IncrementalOptimizer,
+    InvocationReport,
+    InvocationResult,
+    PlanIndex,
+    ResolutionSchedule,
+    ChangeBounds,
+    Continue,
+    SelectPlan,
+)
+from repro.baselines import (
+    ExhaustiveParetoOptimizer,
+    MemorylessAnytimeOptimizer,
+    OneShotOptimizer,
+    SingleObjectiveOptimizer,
+)
+from repro.interactive import (
+    InteractiveSession,
+    PassiveUser,
+    BoundTighteningUser,
+    BoundRelaxingUser,
+    PlanSelectingUser,
+    weighted_sum_chooser,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # costs
+    "CostVector",
+    "MetricSet",
+    "MultiObjectiveCostModel",
+    "CostModelConfig",
+    "ParetoSet",
+    "approximation_error",
+    "default_metric_set",
+    "paper_metric_set",
+    "dominates",
+    "strictly_dominates",
+    "approximately_dominates",
+    # catalog
+    "CardinalityEstimator",
+    "JoinGraph",
+    "JoinPredicate",
+    "Schema",
+    "StatisticsCatalog",
+    "Table",
+    "Column",
+    "ForeignKey",
+    # plans
+    "Query",
+    "Plan",
+    "ScanPlan",
+    "JoinPlan",
+    "PlanFactory",
+    "ScanOperator",
+    "JoinOperator",
+    "OperatorRegistry",
+    "default_operator_registry",
+    # core (IAMA)
+    "AnytimeMOQO",
+    "IncrementalOptimizer",
+    "InvocationReport",
+    "InvocationResult",
+    "PlanIndex",
+    "ResolutionSchedule",
+    "ChangeBounds",
+    "Continue",
+    "SelectPlan",
+    # baselines
+    "ExhaustiveParetoOptimizer",
+    "MemorylessAnytimeOptimizer",
+    "OneShotOptimizer",
+    "SingleObjectiveOptimizer",
+    # interactive
+    "InteractiveSession",
+    "PassiveUser",
+    "BoundTighteningUser",
+    "BoundRelaxingUser",
+    "PlanSelectingUser",
+    "weighted_sum_chooser",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Exhaustive Pareto dynamic programming (exact, no approximation).
+
+Ganguly et al. described a dynamic program that produces the full set of
+Pareto-optimal cost tradeoffs; the paper notes that "its execution time can be
+excessive in practice", which is exactly why the approximation schemes and
+IAMA exist.  We ship the exact algorithm because
+
+* it provides ground truth for the approximation-guarantee tests
+  (Theorem 2) on small queries, and
+* the quickstart example uses it to show how quickly the exact frontier
+  becomes intractable compared to the anytime approximation.
+
+Technically this is the approximate DP with precision factor exactly 1 (the
+definition of an alpha-approximate Pareto set with ``alpha = 1`` coincides
+with the exact Pareto set definition).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.common import ApproximateParetoDP, DPInvocationReport
+from repro.costs.vector import CostVector
+from repro.plans.factory import PlanFactory
+from repro.plans.plan import Plan
+from repro.plans.query import Query
+
+
+class ExhaustiveParetoOptimizer:
+    """Exact Pareto-set optimizer (precision factor 1)."""
+
+    def __init__(
+        self,
+        query: Query,
+        factory: PlanFactory,
+        allow_cross_products: bool = False,
+        respect_orders: bool = True,
+    ):
+        self._dp = ApproximateParetoDP(
+            query,
+            factory,
+            allow_cross_products=allow_cross_products,
+            respect_orders=respect_orders,
+            keep_dominated=False,
+        )
+        self._reports: List[DPInvocationReport] = []
+
+    @property
+    def query(self) -> Query:
+        return self._dp.query
+
+    @property
+    def reports(self) -> List[DPInvocationReport]:
+        return list(self._reports)
+
+    def optimize(self, bounds: Optional[CostVector] = None) -> DPInvocationReport:
+        """Compute the exact (bounded) Pareto plan set."""
+        if bounds is None:
+            bounds = self._dp.factory.metric_set.unbounded_vector()
+        report = self._dp.run(bounds, alpha=1.0)
+        self._reports.append(report)
+        return report
+
+    def frontier(self) -> List[Plan]:
+        """The exact Pareto frontier of completed query plans."""
+        return self._dp.frontier()

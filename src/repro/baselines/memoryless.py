@@ -1,0 +1,93 @@
+"""The memoryless anytime baseline.
+
+"The memoryless algorithm produces the same sequence of result plan sets as
+the incremental anytime algorithm; it is however non-incremental and produces
+each plan set from scratch" (Section 6.1).
+
+Each invocation runs a full from-scratch DP at the precision factor of the
+current resolution level; nothing is carried over between invocations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.common import ApproximateParetoDP, DPInvocationReport
+from repro.costs.vector import CostVector
+from repro.core.resolution import ResolutionSchedule
+from repro.plans.factory import PlanFactory
+from repro.plans.plan import Plan
+from repro.plans.query import Query
+
+
+class MemorylessAnytimeOptimizer:
+    """Anytime MOQO that restarts from scratch at every resolution level."""
+
+    def __init__(
+        self,
+        query: Query,
+        factory: PlanFactory,
+        schedule: ResolutionSchedule,
+        allow_cross_products: bool = False,
+        respect_orders: bool = True,
+        keep_dominated: bool = True,
+    ):
+        self._schedule = schedule
+        self._factory = factory
+        self._dp = ApproximateParetoDP(
+            query,
+            factory,
+            allow_cross_products=allow_cross_products,
+            respect_orders=respect_orders,
+            keep_dominated=keep_dominated,
+        )
+        self._resolution = 0
+        self._reports: List[DPInvocationReport] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def query(self) -> Query:
+        return self._dp.query
+
+    @property
+    def schedule(self) -> ResolutionSchedule:
+        return self._schedule
+
+    @property
+    def resolution(self) -> int:
+        """The resolution level the next invocation will use."""
+        return self._resolution
+
+    @property
+    def reports(self) -> List[DPInvocationReport]:
+        return list(self._reports)
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        bounds: Optional[CostVector] = None,
+        resolution: Optional[int] = None,
+    ) -> DPInvocationReport:
+        """Run one from-scratch invocation at the given (or next) resolution."""
+        if bounds is None:
+            bounds = self._factory.metric_set.unbounded_vector()
+        if resolution is None:
+            resolution = self._resolution
+        alpha = self._schedule.alpha(resolution)
+        report = self._dp.run(bounds, alpha)
+        self._reports.append(report)
+        self._resolution = self._schedule.next_resolution(resolution)
+        return report
+
+    def run_resolution_sweep(
+        self, bounds: Optional[CostVector] = None
+    ) -> List[DPInvocationReport]:
+        """Run one from-scratch invocation per resolution level (0 .. r_M)."""
+        reports = []
+        for resolution in self._schedule.resolutions():
+            reports.append(self.step(bounds, resolution))
+        return reports
+
+    def frontier(self) -> List[Plan]:
+        """Completed query plans of the most recent invocation."""
+        return self._dp.frontier()

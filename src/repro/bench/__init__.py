@@ -1,0 +1,53 @@
+"""Experiment harness.
+
+This package reproduces the paper's evaluation (Section 6).  It is organized
+in three layers:
+
+* :mod:`repro.bench.config` -- experiment configurations (metric set, operator
+  registry, workload scale, resolution schedules); presets ``smoke`` and
+  ``paper`` trade fidelity against CPython run time,
+* :mod:`repro.bench.runner` -- drives one algorithm through one invocation
+  series for one query and measures per-invocation times,
+* :mod:`repro.bench.experiments` -- the per-figure experiment definitions
+  (Figures 3, 4 and 5, the Figure 1/2 illustrations, the headline speedup
+  claims, and the ablations listed in DESIGN.md),
+* :mod:`repro.bench.reporting` -- plain-text tables in the shape of the
+  paper's figures.
+"""
+
+from repro.bench.config import ExperimentConfig, smoke_config, paper_config
+from repro.bench.runner import (
+    AlgorithmName,
+    InvocationSeries,
+    build_factory,
+    run_series,
+)
+from repro.bench.experiments import (
+    ExperimentResult,
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    anytime_quality_experiment,
+    interactive_refinement_experiment,
+    speedup_summary,
+)
+from repro.bench.reporting import format_grouped_times, format_speedups
+
+__all__ = [
+    "ExperimentConfig",
+    "smoke_config",
+    "paper_config",
+    "AlgorithmName",
+    "InvocationSeries",
+    "build_factory",
+    "run_series",
+    "ExperimentResult",
+    "figure3_experiment",
+    "figure4_experiment",
+    "figure5_experiment",
+    "anytime_quality_experiment",
+    "interactive_refinement_experiment",
+    "speedup_summary",
+    "format_grouped_times",
+    "format_speedups",
+]

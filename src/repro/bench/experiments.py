@@ -1,0 +1,470 @@
+"""Experiment definitions: one function per figure, claim and ablation.
+
+Every function returns an :class:`ExperimentResult` holding plain-dict rows so
+that benchmark targets, tests and the EXPERIMENTS.md generator can consume the
+same data.  See DESIGN.md for the experiment index (which paper artifact each
+function reproduces).
+"""
+
+from __future__ import annotations
+
+import statistics as stats
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.config import (
+    ExperimentConfig,
+    FINE_PRECISION,
+    MODERATE_PRECISION,
+    PrecisionSetting,
+)
+from repro.bench.runner import (
+    AlgorithmName,
+    InvocationSeries,
+    build_factory,
+    build_schedule,
+    run_all_algorithms,
+    run_series,
+)
+from repro.baselines.memoryless import MemorylessAnytimeOptimizer
+from repro.baselines.oneshot import OneShotOptimizer
+from repro.core.control import AnytimeMOQO
+from repro.costs.metrics import cloud_metric_set, extended_metric_set
+from repro.interactive.session import InteractiveSession
+from repro.interactive.user_models import BoundTighteningUser
+from repro.plans.query import Query
+from repro.workloads.tpch import tpch_blocks_by_table_count
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of measurements plus metadata describing one experiment."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def filtered(self, **criteria) -> List[Dict[str, object]]:
+        """Rows matching all the given column values."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    def column(self, name: str, **criteria) -> List[object]:
+        """Values of one column across the (optionally filtered) rows."""
+        return [row[name] for row in self.filtered(**criteria)]
+
+
+# ----------------------------------------------------------------------
+# Shared sweep over TPC-H blocks
+# ----------------------------------------------------------------------
+def _workload(config: ExperimentConfig) -> Dict[int, List[Query]]:
+    grouped = tpch_blocks_by_table_count(max_tables=config.max_tables)
+    limit = config.max_queries_per_group
+    if limit is not None:
+        grouped = {count: queries[:limit] for count, queries in grouped.items()}
+    return grouped
+
+
+def _invocation_time_sweep(
+    config: ExperimentConfig,
+    precision: PrecisionSetting,
+    level_settings: Sequence[int],
+    algorithms: Sequence[AlgorithmName],
+) -> List[Dict[str, object]]:
+    """Average/max invocation time per (levels, table count, algorithm)."""
+    rows: List[Dict[str, object]] = []
+    workload = _workload(config)
+    for levels in level_settings:
+        for table_count, queries in workload.items():
+            per_algorithm: Dict[AlgorithmName, List[InvocationSeries]] = {
+                algorithm: [] for algorithm in algorithms
+            }
+            for query in queries:
+                series_by_algorithm = run_all_algorithms(
+                    query, config, levels, precision, algorithms=algorithms
+                )
+                for algorithm, series in series_by_algorithm.items():
+                    per_algorithm[algorithm].append(series)
+            for algorithm, series_list in per_algorithm.items():
+                avg = stats.mean(s.average_seconds for s in series_list)
+                worst = max(s.maximum_seconds for s in series_list)
+                rows.append(
+                    {
+                        "precision": precision.name,
+                        "resolution_levels": levels,
+                        "table_count": table_count,
+                        "algorithm": algorithm.label,
+                        "queries": len(series_list),
+                        "avg_invocation_seconds": avg,
+                        "max_invocation_seconds": worst,
+                        "total_plans_generated": sum(
+                            s.plans_generated for s in series_list
+                        ),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 3, 4 and 5
+# ----------------------------------------------------------------------
+def figure3_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 3: average invocation time, target precision alpha_T = 1.01."""
+    rows = _invocation_time_sweep(
+        config,
+        MODERATE_PRECISION,
+        config.resolution_level_settings,
+        list(AlgorithmName),
+    )
+    return ExperimentResult(
+        name="figure3",
+        description=(
+            "Average time per optimizer invocation for TPC-H sub-queries, "
+            "target precision alpha_T=1.01, alpha_S=0.05, grouped by number "
+            "of query tables and resolution-level setting."
+        ),
+        rows=rows,
+    )
+
+
+def figure4_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 4: average invocation time, finer target precision alpha_T = 1.005."""
+    rows = _invocation_time_sweep(
+        config,
+        FINE_PRECISION,
+        config.resolution_level_settings,
+        list(AlgorithmName),
+    )
+    return ExperimentResult(
+        name="figure4",
+        description=(
+            "Average time per optimizer invocation for TPC-H sub-queries, "
+            "target precision alpha_T=1.005, alpha_S=0.5."
+        ),
+        rows=rows,
+    )
+
+
+def figure5_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 5: maximal invocation time, alpha_T = 1.005, most resolution levels."""
+    levels = max(config.resolution_level_settings)
+    rows = _invocation_time_sweep(
+        config, FINE_PRECISION, [levels], list(AlgorithmName)
+    )
+    return ExperimentResult(
+        name="figure5",
+        description=(
+            "Maximal time per optimizer invocation for TPC-H sub-queries, "
+            f"target precision alpha_T=1.005, {levels} resolution levels."
+        ),
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 style: anytime quality over time / per-invocation behaviour
+# ----------------------------------------------------------------------
+def _representative_query(config: ExperimentConfig, table_count: int = 5) -> Query:
+    """A medium-sized TPC-H block (falls back to the largest available)."""
+    workload = _workload(config)
+    for count in sorted(workload, reverse=True):
+        if count <= table_count:
+            return workload[count][0]
+    smallest = min(workload)
+    return workload[smallest][0]
+
+
+def anytime_quality_experiment(
+    config: ExperimentConfig, levels: Optional[int] = None
+) -> ExperimentResult:
+    """Figure 2 illustration: anytime vs one-shot, incremental vs memoryless.
+
+    Produces two row families:
+
+    * ``kind="quality"``: cumulative optimization time against the size of the
+      visualized frontier (the anytime algorithm reports intermediate results,
+      the one-shot algorithm only reports at the end),
+    * ``kind="per_invocation"``: run time of every invocation for IAMA and the
+      memoryless baseline (the memoryless cost grows with the resolution, the
+      incremental cost stays low).
+    """
+    if levels is None:
+        levels = max(config.resolution_level_settings)
+    query = _representative_query(config)
+    precision = MODERATE_PRECISION
+    rows: List[Dict[str, object]] = []
+
+    # Anytime (IAMA): one frontier per resolution level.
+    factory = build_factory(query, config)
+    schedule = build_schedule(levels, precision)
+    loop = AnytimeMOQO(query, factory, schedule)
+    elapsed = 0.0
+    for result in loop.run_resolution_sweep():
+        elapsed += result.duration_seconds
+        rows.append(
+            {
+                "kind": "quality",
+                "algorithm": AlgorithmName.INCREMENTAL_ANYTIME.label,
+                "elapsed_seconds": elapsed,
+                "frontier_size": len(result.frontier),
+                "resolution": result.resolution,
+            }
+        )
+        rows.append(
+            {
+                "kind": "per_invocation",
+                "algorithm": AlgorithmName.INCREMENTAL_ANYTIME.label,
+                "invocation": result.iteration,
+                "seconds": result.duration_seconds,
+            }
+        )
+
+    # Memoryless: same frontiers, regenerated from scratch each time.
+    factory = build_factory(query, config)
+    memoryless = MemorylessAnytimeOptimizer(query, factory, schedule)
+    for index, report in enumerate(memoryless.run_resolution_sweep(), start=1):
+        rows.append(
+            {
+                "kind": "per_invocation",
+                "algorithm": AlgorithmName.MEMORYLESS.label,
+                "invocation": index,
+                "seconds": report.duration_seconds,
+            }
+        )
+
+    # One-shot: a single result at the end.
+    factory = build_factory(query, config)
+    oneshot = OneShotOptimizer(query, factory, schedule)
+    report = oneshot.optimize()
+    rows.append(
+        {
+            "kind": "quality",
+            "algorithm": AlgorithmName.ONE_SHOT.label,
+            "elapsed_seconds": report.duration_seconds,
+            "frontier_size": report.frontier_size,
+            "resolution": levels - 1,
+        }
+    )
+    return ExperimentResult(
+        name="figure2",
+        description=(
+            f"Anytime behaviour on {query.name}: result availability over time "
+            "and per-invocation run times (illustration of Figure 2)."
+        ),
+        rows=rows,
+    )
+
+
+def interactive_refinement_experiment(
+    config: ExperimentConfig, levels: int = 5, iterations: int = 6
+) -> ExperimentResult:
+    """Figure 1 illustration: frontier refinement under interactive bound changes.
+
+    Runs a two-metric (time vs monetary fees) interactive session on a TPC-H
+    block with a user that keeps tightening the execution-time bound, and
+    records how the visualized frontier evolves.
+    """
+    cloud_config = config.with_overrides(metric_set=cloud_metric_set())
+    query = _representative_query(cloud_config, table_count=4)
+    factory = build_factory(query, cloud_config)
+    schedule = build_schedule(levels, MODERATE_PRECISION)
+    user = BoundTighteningUser(cloud_config.metric_set, "execution_time", tighten_every=2)
+    session = InteractiveSession(query, factory, schedule, user=user)
+    session.run(max_iterations=iterations)
+    rows: List[Dict[str, object]] = []
+    for entry in session.timeline:
+        bound_value = entry.snapshot.bounds[0]
+        rows.append(
+            {
+                "iteration": entry.iteration,
+                "resolution": entry.resolution,
+                "frontier_size": entry.snapshot.size,
+                "time_bound": bound_value,
+                "invocation_seconds": entry.invocation_seconds,
+                "action": type(entry.action).__name__,
+            }
+        )
+    return ExperimentResult(
+        name="figure1",
+        description=(
+            f"Interactive refinement on {query.name} (time vs fees): frontier "
+            "size and bounds per iteration while the user tightens the time "
+            "bound (illustration of Figure 1)."
+        ),
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Headline speedup claims (Section 6.2)
+# ----------------------------------------------------------------------
+def speedup_summary(
+    figure3: ExperimentResult, figure4: ExperimentResult, figure5: ExperimentResult
+) -> ExperimentResult:
+    """Derive the Section 6.2 headline comparisons from the figure sweeps.
+
+    Paper claims (for the full-scale setting):
+
+    * with one resolution level IAMA is at most ~37% slower than the baselines,
+    * with more resolution levels IAMA is several times faster on average
+      (up to 3-4x at alpha_T=1.01 with 5 levels, >=10x with 20 levels;
+      up to 14x vs memoryless and 37x vs one-shot at alpha_T=1.005),
+    * on maximal invocation time IAMA is several times faster (up to ~8x).
+    """
+    rows: List[Dict[str, object]] = []
+
+    def add_ratio_rows(result: ExperimentResult, measure: str) -> None:
+        level_settings = sorted(
+            {row["resolution_levels"] for row in result.rows}
+        )
+        for levels in level_settings:
+            iama_rows = result.filtered(
+                resolution_levels=levels,
+                algorithm=AlgorithmName.INCREMENTAL_ANYTIME.label,
+            )
+            for baseline in (AlgorithmName.MEMORYLESS, AlgorithmName.ONE_SHOT):
+                base_rows = result.filtered(
+                    resolution_levels=levels, algorithm=baseline.label
+                )
+                ratios = []
+                for iama_row, base_row in zip(iama_rows, base_rows):
+                    if iama_row[measure] > 0:
+                        ratios.append(base_row[measure] / iama_row[measure])
+                if not ratios:
+                    continue
+                rows.append(
+                    {
+                        "experiment": result.name,
+                        "measure": measure,
+                        "resolution_levels": levels,
+                        "baseline": baseline.label,
+                        "max_speedup": max(ratios),
+                        "min_speedup": min(ratios),
+                    }
+                )
+
+    add_ratio_rows(figure3, "avg_invocation_seconds")
+    add_ratio_rows(figure4, "avg_invocation_seconds")
+    add_ratio_rows(figure5, "max_invocation_seconds")
+    return ExperimentResult(
+        name="speedup_summary",
+        description="IAMA speedups over the baselines, derived from Figures 3-5.",
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def ablation_freshness(
+    config: ExperimentConfig, levels: int = 5
+) -> ExperimentResult:
+    """A-abl-2: effect of the Δ-set optimization on pair enumeration and time."""
+    query = _representative_query(config)
+    precision = MODERATE_PRECISION
+    rows: List[Dict[str, object]] = []
+    for use_delta in (True, False):
+        factory = build_factory(query, config)
+        schedule = build_schedule(levels, precision)
+        loop = AnytimeMOQO(query, factory, schedule, use_delta_sets=use_delta)
+        results = loop.run_resolution_sweep()
+        rows.append(
+            {
+                "delta_sets": use_delta,
+                "query": query.name,
+                "total_seconds": sum(r.duration_seconds for r in results),
+                "pairs_enumerated": loop.optimizer.state.counters.pairs_enumerated,
+                "plans_generated": factory.counters.total_plans_built,
+                "frontier_size": results[-1].report.frontier_size,
+            }
+        )
+    return ExperimentResult(
+        name="ablation_freshness",
+        description=(
+            "Δ-set optimization on versus off: identical plan generation "
+            "(IsFresh deduplicates) but different pair-enumeration effort."
+        ),
+        rows=rows,
+    )
+
+
+def ablation_result_set_growth(
+    config: ExperimentConfig, levels: int = 5
+) -> ExperimentResult:
+    """A-abl-1: cost of never discarding dominated result plans.
+
+    IAMA keeps dominated result plans (Section 4.2); the prior approximation
+    schemes keep minimal plan sets.  Comparing IAMA's stored plans against a
+    one-shot DP with dominance eviction quantifies the space overhead bought
+    for the incremental time guarantees.
+    """
+    query = _representative_query(config)
+    precision = MODERATE_PRECISION
+    schedule = build_schedule(levels, precision)
+
+    factory = build_factory(query, config)
+    loop = AnytimeMOQO(query, factory, schedule)
+    loop.run_resolution_sweep()
+    iama_results = loop.optimizer.state.total_result_plans()
+    iama_candidates = loop.optimizer.state.total_candidate_plans()
+
+    factory = build_factory(query, config)
+    minimal_oneshot = OneShotOptimizer(
+        query, factory, schedule, keep_dominated=False
+    )
+    minimal_kept = minimal_oneshot.optimize().plans_kept
+
+    rows = [
+        {
+            "query": query.name,
+            "iama_result_plans": iama_results,
+            "iama_candidate_plans": iama_candidates,
+            "minimal_result_plans": minimal_kept,
+            "result_plan_inflation": (
+                iama_results / minimal_kept if minimal_kept else float("inf")
+            ),
+        }
+    ]
+    return ExperimentResult(
+        name="ablation_keep_dominated",
+        description=(
+            "Stored-plan counts of IAMA (which never discards result plans) "
+            "versus the minimal plan sets of the memoryless baseline."
+        ),
+        rows=rows,
+    )
+
+
+def ablation_metric_count(
+    config: ExperimentConfig, metric_counts: Sequence[int] = (2, 3, 4), levels: int = 5
+) -> ExperimentResult:
+    """A-abl-3: how the number of cost metrics affects invocation time."""
+    rows: List[Dict[str, object]] = []
+    for count in metric_counts:
+        metric_config = config.with_overrides(metric_set=extended_metric_set(count))
+        query = _representative_query(metric_config, table_count=4)
+        series = run_series(
+            AlgorithmName.INCREMENTAL_ANYTIME,
+            query,
+            metric_config,
+            levels,
+            MODERATE_PRECISION,
+        )
+        rows.append(
+            {
+                "metric_count": count,
+                "query": query.name,
+                "avg_invocation_seconds": series.average_seconds,
+                "max_invocation_seconds": series.maximum_seconds,
+                "frontier_size": series.frontier_size,
+                "plans_generated": series.plans_generated,
+            }
+        )
+    return ExperimentResult(
+        name="ablation_metric_count",
+        description="IAMA invocation time and frontier size versus the number of cost metrics.",
+        rows=rows,
+    )

@@ -1,0 +1,102 @@
+"""Plain-text reporting of experiment results.
+
+The paper's figures are grouped bar charts (time per invocation on a log
+scale, grouped by number of query tables, one bar per algorithm).  We print the
+same information as text tables: one block per resolution-level setting, one
+row per table count, one column per algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.runner import AlgorithmName
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:8.1f}"
+    if value >= 1:
+        return f"{value:8.3f}"
+    return f"{value:8.4f}"
+
+
+def format_grouped_times(
+    result: ExperimentResult, measure: str = "avg_invocation_seconds"
+) -> str:
+    """Render a figure-3/4/5 style sweep as text tables.
+
+    One block per resolution-level setting; rows are table counts, columns are
+    algorithms, cells are seconds.
+    """
+    algorithms = [algorithm.label for algorithm in AlgorithmName]
+    level_settings = sorted({row["resolution_levels"] for row in result.rows})
+    lines: List[str] = [f"== {result.name}: {measure} =="]
+    for levels in level_settings:
+        lines.append(f"-- {levels} resolution level(s) --")
+        header = f"{'tables':>8} " + " ".join(f"{name:>20}" for name in algorithms)
+        lines.append(header)
+        table_counts = sorted(
+            {
+                row["table_count"]
+                for row in result.filtered(resolution_levels=levels)
+            }
+        )
+        for count in table_counts:
+            cells = []
+            for algorithm in algorithms:
+                rows = result.filtered(
+                    resolution_levels=levels,
+                    table_count=count,
+                    algorithm=algorithm,
+                )
+                if rows:
+                    cells.append(f"{_format_seconds(rows[0][measure]):>20}")
+                else:
+                    cells.append(f"{'-':>20}")
+            lines.append(f"{count:>8} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_speedups(summary: ExperimentResult) -> str:
+    """Render the speedup-summary experiment as a text table."""
+    lines = [f"== {summary.name} =="]
+    header = (
+        f"{'experiment':>10} {'measure':>26} {'levels':>7} "
+        f"{'baseline':>22} {'max speedup':>12} {'min speedup':>12}"
+    )
+    lines.append(header)
+    for row in summary.rows:
+        lines.append(
+            f"{row['experiment']:>10} {row['measure']:>26} "
+            f"{row['resolution_levels']:>7} {row['baseline']:>22} "
+            f"{row['max_speedup']:>12.2f} {row['min_speedup']:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_rows(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> str:
+    """Generic row dump for experiments without a dedicated layout."""
+    if not result.rows:
+        return f"== {result.name} == (no rows)"
+    if columns is None:
+        # Use the union of all row keys (ordered by first appearance) so that
+        # experiments with heterogeneous row families render every column.
+        columns = []
+        for row in result.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    lines = [f"== {result.name} =="]
+    lines.append(" | ".join(f"{name}" for name in columns))
+    for row in result.rows:
+        cells = []
+        for name in columns:
+            value = row.get(name, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

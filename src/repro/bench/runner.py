@@ -1,0 +1,169 @@
+"""Per-query, per-algorithm invocation series.
+
+The paper's experiments compare the three algorithms "according to average and
+maximal time of a single optimizer invocation within a series of invocations
+for the same query" in a scenario without user interaction where "the cost
+bounds are initially fixed to infinity" (Section 6.1).  :func:`run_series`
+reproduces exactly that protocol for one query:
+
+* **IAMA** performs one incremental invocation per resolution level,
+* **memoryless** performs one from-scratch invocation per resolution level,
+* **one-shot** performs a single from-scratch invocation at the target
+  precision.
+
+Every algorithm gets its own :class:`~repro.plans.factory.PlanFactory` instance
+(same estimator construction, same operators, same cost model) so that plan
+generation counters do not leak between algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.memoryless import MemorylessAnytimeOptimizer
+from repro.baselines.oneshot import OneShotOptimizer
+from repro.bench.config import ExperimentConfig, PrecisionSetting
+from repro.catalog.cardinality import CardinalityEstimator
+from repro.core.control import AnytimeMOQO
+from repro.core.resolution import ResolutionSchedule
+from repro.costs.model import MultiObjectiveCostModel
+from repro.plans.factory import PlanFactory
+from repro.plans.query import Query
+from repro.workloads.tpch import tpch_statistics
+
+
+class AlgorithmName(enum.Enum):
+    """The algorithms compared in the paper's evaluation."""
+
+    INCREMENTAL_ANYTIME = "incremental_anytime"
+    MEMORYLESS = "memoryless"
+    ONE_SHOT = "one_shot"
+
+    @property
+    def label(self) -> str:
+        return {
+            AlgorithmName.INCREMENTAL_ANYTIME: "Incremental anytime",
+            AlgorithmName.MEMORYLESS: "Memoryless",
+            AlgorithmName.ONE_SHOT: "One-shot",
+        }[self]
+
+
+@dataclass(frozen=True)
+class InvocationSeries:
+    """Per-invocation times of one algorithm on one query."""
+
+    algorithm: AlgorithmName
+    query_name: str
+    table_count: int
+    resolution_levels: int
+    durations_seconds: List[float]
+    plans_generated: int
+    frontier_size: int
+
+    @property
+    def average_seconds(self) -> float:
+        return sum(self.durations_seconds) / len(self.durations_seconds)
+
+    @property
+    def maximum_seconds(self) -> float:
+        return max(self.durations_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.durations_seconds)
+
+
+# ----------------------------------------------------------------------
+# Factory construction
+# ----------------------------------------------------------------------
+def build_factory(
+    query: Query,
+    config: ExperimentConfig,
+    statistics=None,
+) -> PlanFactory:
+    """Build a fresh plan factory for one algorithm run on one query.
+
+    ``statistics`` defaults to the TPC-H statistics catalog at the configured
+    scale factor; synthetic workloads pass their own catalog.
+    """
+    if statistics is None:
+        statistics = tpch_statistics(config.tpch_scale_factor)
+    estimator = CardinalityEstimator(statistics, query.join_graph)
+    cost_model = MultiObjectiveCostModel(config.metric_set, config.cost_model)
+    return PlanFactory(estimator, cost_model, config.operator_registry())
+
+
+def build_schedule(
+    levels: int, precision: PrecisionSetting
+) -> ResolutionSchedule:
+    """Resolution schedule for one (levels, precision) combination."""
+    return ResolutionSchedule(
+        levels=levels,
+        target_precision=precision.target_precision,
+        precision_step=precision.precision_step,
+    )
+
+
+# ----------------------------------------------------------------------
+# Series execution
+# ----------------------------------------------------------------------
+def run_series(
+    algorithm: AlgorithmName,
+    query: Query,
+    config: ExperimentConfig,
+    levels: int,
+    precision: PrecisionSetting,
+    statistics=None,
+) -> InvocationSeries:
+    """Run one algorithm's full invocation series on one query and time it."""
+    factory = build_factory(query, config, statistics=statistics)
+    schedule = build_schedule(levels, precision)
+
+    if algorithm is AlgorithmName.INCREMENTAL_ANYTIME:
+        loop = AnytimeMOQO(query, factory, schedule)
+        results = loop.run_resolution_sweep()
+        durations = [result.duration_seconds for result in results]
+        frontier_size = results[-1].report.frontier_size if results else 0
+    elif algorithm is AlgorithmName.MEMORYLESS:
+        optimizer = MemorylessAnytimeOptimizer(query, factory, schedule)
+        reports = optimizer.run_resolution_sweep()
+        durations = [report.duration_seconds for report in reports]
+        frontier_size = reports[-1].frontier_size if reports else 0
+    elif algorithm is AlgorithmName.ONE_SHOT:
+        optimizer = OneShotOptimizer(query, factory, schedule)
+        reports = optimizer.run_resolution_sweep()
+        durations = [report.duration_seconds for report in reports]
+        frontier_size = reports[-1].frontier_size if reports else 0
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    return InvocationSeries(
+        algorithm=algorithm,
+        query_name=query.name,
+        table_count=query.table_count,
+        resolution_levels=levels,
+        durations_seconds=durations,
+        plans_generated=factory.counters.total_plans_built,
+        frontier_size=frontier_size,
+    )
+
+
+def run_all_algorithms(
+    query: Query,
+    config: ExperimentConfig,
+    levels: int,
+    precision: PrecisionSetting,
+    algorithms: Optional[Sequence[AlgorithmName]] = None,
+    statistics=None,
+) -> Dict[AlgorithmName, InvocationSeries]:
+    """Run every algorithm on the same query and collect their series."""
+    if algorithms is None:
+        algorithms = list(AlgorithmName)
+    return {
+        algorithm: run_series(
+            algorithm, query, config, levels, precision, statistics=statistics
+        )
+        for algorithm in algorithms
+    }

@@ -1,0 +1,33 @@
+"""Database catalog substrate.
+
+The paper's implementation sits inside Postgres and therefore has the Postgres
+catalog (table and column statistics) and the Postgres cardinality estimator at
+its disposal.  This package provides the equivalent functionality in Python:
+
+* :mod:`repro.catalog.schema` -- tables, columns, foreign keys, schemas,
+* :mod:`repro.catalog.statistics` -- per-table and per-column statistics,
+* :mod:`repro.catalog.cardinality` -- a System-R style selectivity and join
+  cardinality estimator.
+
+The optimizer itself only consumes cardinality estimates through the
+:class:`~repro.catalog.cardinality.CardinalityEstimator` interface, so the
+estimator could be swapped for a more sophisticated one without touching the
+optimization algorithms.
+"""
+
+from repro.catalog.schema import Column, ForeignKey, Table, Schema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics, StatisticsCatalog
+from repro.catalog.cardinality import CardinalityEstimator, JoinGraph, JoinPredicate
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Table",
+    "Schema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "StatisticsCatalog",
+    "CardinalityEstimator",
+    "JoinGraph",
+    "JoinPredicate",
+]

@@ -1,0 +1,232 @@
+"""System-R style selectivity and join cardinality estimation.
+
+The optimizer needs, for every subset of query tables, an estimate of the
+number of rows produced when joining exactly those tables (after applying the
+query's base-table filter predicates).  We follow the textbook System-R
+approach that Postgres also uses:
+
+* a base table contributes ``row_count * filter_selectivity`` rows,
+* an equi-join predicate ``R.a = S.b`` has selectivity
+  ``1 / max(ndv(R.a), ndv(S.b))``,
+* the cardinality of a join of a table set is the product of the base
+  cardinalities times the selectivities of all join predicates whose two sides
+  are both inside the set,
+* table subsets with no connecting predicate form a cross product (the
+  enumerator may or may not allow those; the estimator handles them either
+  way).
+
+Estimates for table subsets are cached because the dynamic programs ask for
+them many times (once per subset per optimizer invocation at least).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.statistics import StatisticsCatalog
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left_table.left_column = right_table.right_column``.
+
+    ``selectivity`` may be given explicitly (the TPC-H workload does this where
+    the standard 1/max(ndv) rule is too crude); when ``None`` the estimator
+    computes it from column statistics.
+    """
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    selectivity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.left_table == self.right_table:
+            raise ValueError("join predicates must connect two different tables")
+        if self.selectivity is not None and not 0.0 < self.selectivity <= 1.0:
+            raise ValueError("explicit selectivity must be in (0, 1]")
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return frozenset({self.left_table, self.right_table})
+
+    def connects(self, left: Iterable[str], right: Iterable[str]) -> bool:
+        """True when the predicate joins the two (disjoint) table sets."""
+        left_set = set(left)
+        right_set = set(right)
+        return (
+            (self.left_table in left_set and self.right_table in right_set)
+            or (self.left_table in right_set and self.right_table in left_set)
+        )
+
+
+class JoinGraph:
+    """The join structure of a query: tables, join predicates, base selectivities.
+
+    ``base_selectivities`` captures per-table filter predicates (e.g. the
+    date-range filters of TPC-H queries) as a single selectivity factor per
+    table; missing tables default to selectivity 1.0.
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[str],
+        predicates: Sequence[JoinPredicate] = (),
+        base_selectivities: Optional[Mapping[str, float]] = None,
+    ):
+        if not tables:
+            raise ValueError("a join graph needs at least one table")
+        if len(set(tables)) != len(tables):
+            raise ValueError("duplicate tables in join graph")
+        self._tables: Tuple[str, ...] = tuple(tables)
+        table_set = set(tables)
+        for predicate in predicates:
+            if not predicate.tables <= table_set:
+                raise ValueError(
+                    f"predicate {predicate} references tables outside the join graph"
+                )
+        self._predicates: Tuple[JoinPredicate, ...] = tuple(predicates)
+        self._base_selectivities: Dict[str, float] = {}
+        for table, selectivity in (base_selectivities or {}).items():
+            if table not in table_set:
+                raise ValueError(f"selectivity given for unknown table {table!r}")
+            if not 0.0 < selectivity <= 1.0:
+                raise ValueError("base selectivities must be in (0, 1]")
+            self._base_selectivities[table] = selectivity
+
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        return self._tables
+
+    @property
+    def predicates(self) -> Tuple[JoinPredicate, ...]:
+        return self._predicates
+
+    def base_selectivity(self, table: str) -> float:
+        return self._base_selectivities.get(table, 1.0)
+
+    def predicates_within(self, tables: Iterable[str]) -> List[JoinPredicate]:
+        """Join predicates whose both sides lie inside the given table set."""
+        table_set = set(tables)
+        return [p for p in self._predicates if p.tables <= table_set]
+
+    def predicates_between(
+        self, left: Iterable[str], right: Iterable[str]
+    ) -> List[JoinPredicate]:
+        """Join predicates connecting the two table sets."""
+        return [p for p in self._predicates if p.connects(left, right)]
+
+    def is_connected(self, tables: Iterable[str]) -> bool:
+        """True when the given tables form a connected subgraph.
+
+        Single tables are trivially connected.  Used by enumerators that skip
+        cross products.
+        """
+        table_list = list(tables)
+        if not table_list:
+            return False
+        if len(table_list) == 1:
+            return True
+        remaining = set(table_list)
+        frontier = {table_list[0]}
+        remaining.discard(table_list[0])
+        while frontier:
+            nxt = set()
+            for predicate in self._predicates:
+                a, b = predicate.left_table, predicate.right_table
+                if a in frontier and b in remaining:
+                    nxt.add(b)
+                if b in frontier and a in remaining:
+                    nxt.add(a)
+            remaining -= nxt
+            frontier = nxt
+        return not remaining
+
+    def neighbors(self, table: str) -> List[str]:
+        """Tables directly joined with the given table."""
+        result = set()
+        for predicate in self._predicates:
+            if predicate.left_table == table:
+                result.add(predicate.right_table)
+            elif predicate.right_table == table:
+                result.add(predicate.left_table)
+        return sorted(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"JoinGraph(tables={list(self._tables)}, predicates={len(self._predicates)})"
+
+
+class CardinalityEstimator:
+    """Cached cardinality estimates for table subsets of a join graph."""
+
+    def __init__(self, statistics: StatisticsCatalog, join_graph: JoinGraph):
+        self._statistics = statistics
+        self._join_graph = join_graph
+        self._cache: Dict[FrozenSet[str], float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def join_graph(self) -> JoinGraph:
+        return self._join_graph
+
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        return self._statistics
+
+    def base_cardinality(self, table: str) -> float:
+        """Estimated rows of a base table after its filter predicates."""
+        rows = self._statistics.row_count(table)
+        return max(1.0, rows * self._join_graph.base_selectivity(table))
+
+    def predicate_selectivity(self, predicate: JoinPredicate) -> float:
+        """Selectivity of a single equi-join predicate."""
+        if predicate.selectivity is not None:
+            return predicate.selectivity
+        left_ndv = self._statistics.distinct_values(
+            predicate.left_table, predicate.left_column
+        )
+        right_ndv = self._statistics.distinct_values(
+            predicate.right_table, predicate.right_column
+        )
+        return 1.0 / max(left_ndv, right_ndv, 1)
+
+    def cardinality(self, tables: Iterable[str]) -> float:
+        """Estimated output rows when joining exactly the given tables."""
+        key = frozenset(tables)
+        if not key:
+            raise ValueError("cannot estimate cardinality of an empty table set")
+        unknown = [t for t in key if t not in self._join_graph.tables]
+        if unknown:
+            raise KeyError(f"tables not in join graph: {sorted(unknown)}")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        cardinality = 1.0
+        for table in key:
+            cardinality *= self.base_cardinality(table)
+        for predicate in self._join_graph.predicates_within(key):
+            cardinality *= self.predicate_selectivity(predicate)
+        cardinality = max(1.0, cardinality)
+        self._cache[key] = cardinality
+        return cardinality
+
+    def join_cardinality(
+        self, left: Iterable[str], right: Iterable[str]
+    ) -> float:
+        """Estimated output rows of joining two disjoint table sets."""
+        left_set = frozenset(left)
+        right_set = frozenset(right)
+        if left_set & right_set:
+            raise ValueError("join operands must be disjoint table sets")
+        return self.cardinality(left_set | right_set)
+
+    def page_count(self, table: str) -> int:
+        """Pages of a base table (used by the scan cost formulas)."""
+        return self._statistics.page_count(table)
+
+    def clear_cache(self) -> None:
+        """Drop memoized estimates (after statistics overrides change)."""
+        self._cache.clear()

@@ -1,0 +1,204 @@
+"""Relational schema objects: columns, tables, foreign keys, schemas.
+
+These are deliberately lightweight value objects -- just enough structure to
+describe the TPC-H schema, to let the cardinality estimator find join columns,
+and to let the workload layer express join graphs.  They are not tied to any
+storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a relational table.
+
+    Attributes
+    ----------
+    name:
+        Column name, unique within its table.
+    data_type:
+        Informal type tag (``"int"``, ``"decimal"``, ``"text"``, ``"date"``).
+    distinct_values:
+        Estimated number of distinct values; ``None`` means "unknown", in which
+        case the statistics layer falls back to a default.
+    """
+
+    name: str
+    data_type: str = "int"
+    distinct_values: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.distinct_values is not None and self.distinct_values <= 0:
+            raise ValueError("distinct_values must be positive when given")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key reference from one table/column to another."""
+
+    from_table: str
+    from_column: str
+    to_table: str
+    to_column: str
+
+    def reversed(self) -> "ForeignKey":
+        """The same edge seen from the referenced side."""
+        return ForeignKey(self.to_table, self.to_column, self.from_table, self.from_column)
+
+
+class Table:
+    """A relational table: a name, columns, and an expected row count.
+
+    The row count stored here is the *base* cardinality before any filter
+    predicates; per-query filters are modelled as base-table selectivities in
+    the workload layer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        row_count: int,
+        page_size_rows: int = 100,
+    ):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        if row_count <= 0:
+            raise ValueError("row_count must be positive")
+        if page_size_rows <= 0:
+            raise ValueError("page_size_rows must be positive")
+        self.name = name
+        self._columns: Dict[str, Column] = {}
+        for column in columns:
+            if column.name in self._columns:
+                raise ValueError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self._columns[column.name] = column
+        if not self._columns:
+            raise ValueError(f"table {name!r} needs at least one column")
+        self.row_count = int(row_count)
+        self.page_size_rows = int(page_size_rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> List[Column]:
+        """Columns in declaration order."""
+        return list(self._columns.values())
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns.keys())
+
+    @property
+    def page_count(self) -> int:
+        """Number of storage pages occupied by the table."""
+        return max(1, -(-self.row_count // self.page_size_rows))
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Table({self.name!r}, rows={self.row_count})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Schema:
+    """A collection of tables plus foreign-key relationships."""
+
+    def __init__(
+        self,
+        name: str,
+        tables: Iterable[Table],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        for table in tables:
+            if table.name in self._tables:
+                raise ValueError(f"duplicate table {table.name!r}")
+            self._tables[table.name] = table
+        self._foreign_keys: List[ForeignKey] = []
+        for fk in foreign_keys:
+            self.add_foreign_key(fk)
+
+    # ------------------------------------------------------------------
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        """Register a foreign key; both end points must exist in the schema."""
+        for table_name, column_name in (
+            (fk.from_table, fk.from_column),
+            (fk.to_table, fk.to_column),
+        ):
+            table = self.table(table_name)
+            if not table.has_column(column_name):
+                raise ValueError(
+                    f"foreign key references unknown column "
+                    f"{table_name}.{column_name}"
+                )
+        self._foreign_keys.append(fk)
+
+    @property
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables.keys())
+
+    @property
+    def foreign_keys(self) -> List[ForeignKey]:
+        return list(self._foreign_keys)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name!r} has no table {name!r}; "
+                f"available: {self.table_names}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def foreign_keys_between(self, left: str, right: str) -> List[ForeignKey]:
+        """Foreign keys connecting the two named tables, in either direction."""
+        result = []
+        for fk in self._foreign_keys:
+            if {fk.from_table, fk.to_table} == {left, right}:
+                result.append(fk)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Schema({self.name!r}, tables={self.table_names})"

@@ -1,0 +1,109 @@
+"""Table and column statistics.
+
+The cardinality estimator consumes statistics through the
+:class:`StatisticsCatalog`, which by default derives statistics directly from
+the schema (row counts, distinct values).  Statistics can be overridden per
+table or per column, which the synthetic-workload generator uses to create
+skewed scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.catalog.schema import Schema, Table
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics for a single column."""
+
+    distinct_values: int
+    null_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distinct_values <= 0:
+            raise ValueError("distinct_values must be positive")
+        if not 0.0 <= self.null_fraction < 1.0:
+            raise ValueError("null_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for a single table."""
+
+    row_count: int
+    page_count: int
+
+    def __post_init__(self) -> None:
+        if self.row_count <= 0:
+            raise ValueError("row_count must be positive")
+        if self.page_count <= 0:
+            raise ValueError("page_count must be positive")
+
+
+class StatisticsCatalog:
+    """Statistics lookups over a schema with optional overrides.
+
+    By default the row count and page count come from the schema's table
+    definitions, and a column's distinct-value count comes from the column
+    definition (falling back to ``default_distinct_fraction * row_count`` when
+    the column does not declare one).
+    """
+
+    def __init__(self, schema: Schema, default_distinct_fraction: float = 0.1):
+        if not 0.0 < default_distinct_fraction <= 1.0:
+            raise ValueError("default_distinct_fraction must be in (0, 1]")
+        self._schema = schema
+        self._default_distinct_fraction = default_distinct_fraction
+        self._table_overrides: Dict[str, TableStatistics] = {}
+        self._column_overrides: Dict[Tuple[str, str], ColumnStatistics] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def override_table(self, table_name: str, statistics: TableStatistics) -> None:
+        """Replace the derived statistics of a table."""
+        self._schema.table(table_name)  # raises for unknown tables
+        self._table_overrides[table_name] = statistics
+
+    def override_column(
+        self, table_name: str, column_name: str, statistics: ColumnStatistics
+    ) -> None:
+        """Replace the derived statistics of a column."""
+        table = self._schema.table(table_name)
+        table.column(column_name)  # raises for unknown columns
+        self._column_overrides[(table_name, column_name)] = statistics
+
+    # ------------------------------------------------------------------
+    def table_statistics(self, table_name: str) -> TableStatistics:
+        """Statistics for the named table (override or schema-derived)."""
+        if table_name in self._table_overrides:
+            return self._table_overrides[table_name]
+        table = self._schema.table(table_name)
+        return TableStatistics(row_count=table.row_count, page_count=table.page_count)
+
+    def row_count(self, table_name: str) -> int:
+        return self.table_statistics(table_name).row_count
+
+    def page_count(self, table_name: str) -> int:
+        return self.table_statistics(table_name).page_count
+
+    def column_statistics(self, table_name: str, column_name: str) -> ColumnStatistics:
+        """Statistics for the named column (override or schema-derived)."""
+        key = (table_name, column_name)
+        if key in self._column_overrides:
+            return self._column_overrides[key]
+        table = self._schema.table(table_name)
+        column = table.column(column_name)
+        if column.distinct_values is not None:
+            distinct = column.distinct_values
+        else:
+            distinct = max(1, int(table.row_count * self._default_distinct_fraction))
+        return ColumnStatistics(distinct_values=distinct)
+
+    def distinct_values(self, table_name: str, column_name: str) -> int:
+        return self.column_statistics(table_name, column_name).distinct_values

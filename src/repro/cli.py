@@ -1,0 +1,216 @@
+"""Command-line interface for the reproduction.
+
+The CLI exposes the most common workflows without writing Python:
+
+* ``python -m repro.cli workload``            -- list the TPC-H join blocks,
+* ``python -m repro.cli optimize tpch_q03``   -- run an anytime sweep on one block
+  and print the frontier,
+* ``python -m repro.cli experiment figure3``  -- run one of the paper experiments
+  and print/export its rows,
+* ``python -m repro.cli compare tpch_q05``    -- compare IAMA against the two
+  baselines on one block.
+
+All commands accept ``--scale smoke|paper`` (default: the ``REPRO_BENCH_SCALE``
+environment variable, falling back to ``smoke``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.config import (
+    ExperimentConfig,
+    FINE_PRECISION,
+    MODERATE_PRECISION,
+    config_from_environment,
+    paper_config,
+    smoke_config,
+)
+from repro.bench.experiments import (
+    ExperimentResult,
+    ablation_freshness,
+    ablation_metric_count,
+    ablation_result_set_growth,
+    anytime_quality_experiment,
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    interactive_refinement_experiment,
+)
+from repro.bench.export import write_csv, write_json
+from repro.bench.reporting import format_grouped_times, format_rows
+from repro.bench.runner import AlgorithmName, build_factory, build_schedule, run_all_algorithms
+from repro.core.control import AnytimeMOQO
+from repro.costs.pareto import pareto_filter
+from repro.workloads.tpch import tpch_blocks_by_table_count, tpch_queries
+
+#: Experiment name -> callable(config) -> ExperimentResult
+EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    "figure1": interactive_refinement_experiment,
+    "figure2": anytime_quality_experiment,
+    "figure3": figure3_experiment,
+    "figure4": figure4_experiment,
+    "figure5": figure5_experiment,
+    "ablation-freshness": ablation_freshness,
+    "ablation-keep-dominated": ablation_result_set_growth,
+    "ablation-metric-count": ablation_metric_count,
+}
+
+GROUPED_EXPERIMENTS = {"figure3", "figure4", "figure5"}
+
+
+def _resolve_config(scale: Optional[str]) -> ExperimentConfig:
+    if scale is None:
+        return config_from_environment()
+    if scale == "smoke":
+        return smoke_config()
+    if scale == "paper":
+        return paper_config()
+    raise SystemExit(f"unknown scale {scale!r}; expected 'smoke' or 'paper'")
+
+
+def _find_query(name: str):
+    for query in tpch_queries():
+        if query.name == name or query.name == f"tpch_{name}":
+            return query
+    known = ", ".join(q.name for q in tpch_queries())
+    raise SystemExit(f"unknown query {name!r}; known blocks: {known}")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_workload(args: argparse.Namespace) -> int:
+    """List the TPC-H join blocks grouped by table count."""
+    grouped = tpch_blocks_by_table_count()
+    print(f"{'tables':>7}  blocks")
+    for count, queries in grouped.items():
+        names = ", ".join(query.name for query in queries)
+        print(f"{count:>7}  {names}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Run an anytime resolution sweep on one block and print the frontier."""
+    config = _resolve_config(args.scale)
+    query = _find_query(args.query)
+    factory = build_factory(query, config)
+    schedule = build_schedule(args.levels, MODERATE_PRECISION if args.precision == "moderate" else FINE_PRECISION)
+    loop = AnytimeMOQO(query, factory, schedule)
+    print(f"optimizing {query.name} ({query.table_count} tables), {args.levels} levels")
+    for result in loop.run_resolution_sweep():
+        print(
+            f"  resolution {result.resolution}: {result.duration_seconds * 1000:8.1f} ms, "
+            f"{len(result.frontier)} tradeoffs"
+        )
+    metric_set = factory.metric_set
+    frontier = loop.history[-1].frontier
+    non_dominated = pareto_filter([point.cost for point in frontier])
+    print(f"final frontier: {len(frontier)} stored, {len(non_dominated)} non-dominated")
+    for cost in sorted(non_dominated, key=lambda c: c[0])[: args.show]:
+        described = ", ".join(
+            f"{name}={value:.4g}" for name, value in metric_set.describe(cost).items()
+        )
+        print(f"    {described}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare IAMA against the baselines on one block."""
+    config = _resolve_config(args.scale)
+    query = _find_query(args.query)
+    precision = MODERATE_PRECISION if args.precision == "moderate" else FINE_PRECISION
+    series = run_all_algorithms(query, config, args.levels, precision)
+    print(
+        f"{query.name}: {args.levels} resolution levels, "
+        f"target precision {precision.target_precision}"
+    )
+    print(f"{'algorithm':>22} {'avg (s)':>10} {'max (s)':>10} {'plans':>8} {'frontier':>9}")
+    for algorithm in AlgorithmName:
+        entry = series[algorithm]
+        print(
+            f"{algorithm.label:>22} {entry.average_seconds:>10.4f} "
+            f"{entry.maximum_seconds:>10.4f} {entry.plans_generated:>8d} "
+            f"{entry.frontier_size:>9d}"
+        )
+    iama = series[AlgorithmName.INCREMENTAL_ANYTIME]
+    memo = series[AlgorithmName.MEMORYLESS]
+    if iama.average_seconds > 0:
+        print(f"\nIAMA is {memo.average_seconds / iama.average_seconds:.2f}x faster than "
+              "the memoryless baseline on average invocation time.")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper experiments and print/export its rows."""
+    config = _resolve_config(args.scale)
+    runner = EXPERIMENTS.get(args.name)
+    if runner is None:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    result = runner(config)
+    if args.name in GROUPED_EXPERIMENTS:
+        print(format_grouped_times(result))
+        print()
+        print(format_grouped_times(result, "max_invocation_seconds"))
+    else:
+        print(format_rows(result))
+    if args.csv:
+        print(f"wrote {write_csv(result, args.csv)}")
+    if args.json:
+        print(f"wrote {write_json(result, args.json)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An Incremental Anytime Algorithm for "
+        "Multi-Objective Query Optimization' (SIGMOD 2015).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    workload = subparsers.add_parser("workload", help="list the TPC-H join blocks")
+    workload.set_defaults(handler=cmd_workload)
+
+    optimize = subparsers.add_parser("optimize", help="anytime sweep on one block")
+    optimize.add_argument("query", help="block name, e.g. tpch_q03 or q03")
+    optimize.add_argument("--levels", type=int, default=5)
+    optimize.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
+    optimize.add_argument("--scale", choices=("smoke", "paper"), default=None)
+    optimize.add_argument("--show", type=int, default=10, help="frontier points to print")
+    optimize.set_defaults(handler=cmd_optimize)
+
+    compare = subparsers.add_parser("compare", help="IAMA vs baselines on one block")
+    compare.add_argument("query")
+    compare.add_argument("--levels", type=int, default=5)
+    compare.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
+    compare.add_argument("--scale", choices=("smoke", "paper"), default=None)
+    compare.set_defaults(handler=cmd_compare)
+
+    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    experiment.add_argument("--scale", choices=("smoke", "paper"), default=None)
+    experiment.add_argument("--csv", type=Path, default=None, help="export rows as CSV")
+    experiment.add_argument("--json", type=Path, default=None, help="export rows as JSON")
+    experiment.set_defaults(handler=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro.cli`` and the tests."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

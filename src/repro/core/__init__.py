@@ -1,0 +1,54 @@
+"""IAMA: the Incremental Anytime Multi-objective query optimization Algorithm.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.core.resolution` -- resolution levels and the precision factors
+  ``alpha_r`` (Section 4.1 / 6.1: ``alpha_r = alpha_T + alpha_S * (r_M - r) / r_M``),
+* :mod:`repro.core.index` -- the plan index supporting range queries over
+  (cost vector, resolution level), the paper's "cell data structure" role,
+* :mod:`repro.core.pruning` -- procedure ``Prune`` (Algorithm 3),
+* :mod:`repro.core.fresh` -- the ``IsFresh`` registry and the Δ-set pair
+  generation of function ``Fresh`` (Algorithm 3),
+* :mod:`repro.core.state` -- the per-query result/candidate plan sets and
+  bookkeeping counters that persist across optimizer invocations,
+* :mod:`repro.core.optimizer` -- procedure ``Optimize`` (Algorithm 2),
+* :mod:`repro.core.control` -- the main control loop (Algorithm 1) and its
+  interactive, anytime driver.
+"""
+
+from repro.core.resolution import ResolutionSchedule
+from repro.core.index import PlanIndex, IndexedPlan
+from repro.core.pruning import PruneOutcome, prune
+from repro.core.fresh import FreshnessRegistry, fresh_pairs
+from repro.core.state import OptimizerState, OptimizerCounters
+from repro.core.optimizer import IncrementalOptimizer, InvocationReport
+from repro.core.control import (
+    AnytimeMOQO,
+    InvocationResult,
+    FrontierPoint,
+    UserAction,
+    ChangeBounds,
+    SelectPlan,
+    Continue,
+)
+
+__all__ = [
+    "ResolutionSchedule",
+    "PlanIndex",
+    "IndexedPlan",
+    "PruneOutcome",
+    "prune",
+    "FreshnessRegistry",
+    "fresh_pairs",
+    "OptimizerState",
+    "OptimizerCounters",
+    "IncrementalOptimizer",
+    "InvocationReport",
+    "AnytimeMOQO",
+    "InvocationResult",
+    "FrontierPoint",
+    "UserAction",
+    "ChangeBounds",
+    "SelectPlan",
+    "Continue",
+]

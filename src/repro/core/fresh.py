@@ -1,0 +1,119 @@
+"""Freshness bookkeeping: ``IsFresh`` and the Δ-set pair enumeration.
+
+Function ``Fresh`` (Algorithm 3) combines result plans of two table subsets but
+must only produce *fresh* plans -- combinations of sub-plans that were never
+generated in any prior optimizer invocation.  Two mechanisms cooperate:
+
+* the **Δ-sets**: when the invocation series only tightens bounds while the
+  resolution is refined, all previously existing result plans respecting the
+  current bounds have already been combined with each other, so only pairs
+  involving at least one plan *inserted during the current invocation* need to
+  be enumerated:  ``ΔP1 × (P2 \\ ΔP2)  ∪  (P1 \\ ΔP1) × ΔP2  ∪  ΔP1 × ΔP2``.
+  Otherwise ``ΔS = S`` and all pairs are enumerated.
+* the **IsFresh predicate**, backed by a hash table of already-combined
+  sub-plan signatures, which guarantees that no pair/operator combination is
+  ever materialized twice even when the Δ-sets degenerate to full sets.
+
+The registry counts its hits and misses; Lemma 6 ("each sub-plan pair is
+generated at most once") is checked against those counters by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.plans.operators import JoinOperator
+from repro.plans.plan import Plan, plan_signature
+
+
+@dataclass
+class FreshnessCounters:
+    """Statistics of the freshness registry."""
+
+    #: Pair/operator combinations seen for the first time.
+    fresh_combinations: int = 0
+    #: Pair/operator combinations rejected because they were seen before.
+    repeated_combinations: int = 0
+
+    @property
+    def total_checks(self) -> int:
+        return self.fresh_combinations + self.repeated_combinations
+
+
+class FreshnessRegistry:
+    """Hash-table implementation of the ``IsFresh`` predicate."""
+
+    def __init__(self) -> None:
+        self._seen: Set[Tuple[int, int, str, int]] = set()
+        self.counters = FreshnessCounters()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def is_fresh(self, left: Plan, right: Plan, operator: JoinOperator) -> bool:
+        """Whether the combination has not been registered yet (no side effect)."""
+        return plan_signature(left, right, operator) not in self._seen
+
+    def register(self, left: Plan, right: Plan, operator: JoinOperator) -> bool:
+        """Register the combination; return whether it was fresh.
+
+        This is the operation used by the optimizer: check and mark in one
+        step, so a combination can never be reported fresh twice.
+        """
+        signature = plan_signature(left, right, operator)
+        if signature in self._seen:
+            self.counters.repeated_combinations += 1
+            return False
+        self._seen.add(signature)
+        self.counters.fresh_combinations += 1
+        return True
+
+    def clear(self) -> None:
+        """Forget all registered combinations (used only by tests)."""
+        self._seen.clear()
+        self.counters = FreshnessCounters()
+
+
+def fresh_pairs(
+    left_plans: Sequence[Plan],
+    right_plans: Sequence[Plan],
+    left_delta: Optional[Sequence[Plan]] = None,
+    right_delta: Optional[Sequence[Plan]] = None,
+) -> Iterator[Tuple[Plan, Plan]]:
+    """Enumerate the sub-plan pairs that may yield fresh combinations.
+
+    ``left_plans`` / ``right_plans`` are the bound- and resolution-filtered
+    result plans ``P1`` and ``P2``; ``left_delta`` / ``right_delta`` are the
+    subsets ``ΔP1`` / ``ΔP2`` of plans inserted during the current invocation.
+    Passing ``None`` for a delta means "Δ-set unknown, use the full set"
+    (the conservative choice described in Section 4.2).
+
+    The enumeration short-circuits when either operand set is empty, matching
+    the paper's remark that each cross product first checks operand emptiness.
+    """
+    if not left_plans or not right_plans:
+        return
+    if left_delta is None or right_delta is None:
+        for left in left_plans:
+            for right in right_plans:
+                yield left, right
+        return
+    left_delta_ids = {plan.plan_id for plan in left_delta}
+    right_delta_ids = {plan.plan_id for plan in right_delta}
+    left_old = [plan for plan in left_plans if plan.plan_id not in left_delta_ids]
+    right_old = [plan for plan in right_plans if plan.plan_id not in right_delta_ids]
+    left_new = [plan for plan in left_plans if plan.plan_id in left_delta_ids]
+    right_new = [plan for plan in right_plans if plan.plan_id in right_delta_ids]
+    # ΔP1 × (P2 \ ΔP2)
+    for left in left_new:
+        for right in right_old:
+            yield left, right
+    # (P1 \ ΔP1) × ΔP2
+    for left in left_old:
+        for right in right_new:
+            yield left, right
+    # ΔP1 × ΔP2
+    for left in left_new:
+        for right in right_new:
+            yield left, right

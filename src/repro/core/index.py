@@ -1,0 +1,264 @@
+"""Plan index supporting (cost, resolution) range queries.
+
+Both the result plan set and the candidate plan set are "indexed by plan cost
+and by resolution level.  Using a data structure supporting multi-dimensional
+range queries allows to efficiently retrieve plans whose cost is within a
+certain range and which are registered for a certain range of resolution
+levels" (Section 4).  The paper points to the cell data structure of Bentley &
+Friedman and assumes retrieval of ``F`` plans in ``O(F)`` and insertion in
+``O(1)`` (Section 5.3), noting that logarithmic partitioning of the cost space
+is a natural fit because approximate dominance regions are defined by constant
+factors.
+
+:class:`PlanIndex` implements exactly that: plans are grouped per resolution
+level, and within a level they are bucketed by the logarithm of their first
+cost component (a one-dimensional cell partition -- sufficient because the
+range queries issued by the optimizer are always of the form "cost dominated by
+``b``, resolution at most ``r``", i.e. a lower-left box, so pruning whole
+buckets by their first-dimension lower bound is safe and effective).  Retrieval
+filters the surviving buckets with exact dominance checks.
+
+The index never stores duplicate plan objects and supports removal, which the
+candidate set needs (every retrieved candidate is deleted and re-pruned,
+Algorithm 2 lines 8-11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.costs.dominance import dominates
+from repro.costs.vector import CostVector
+from repro.plans.plan import Plan
+
+
+@dataclass(frozen=True)
+class IndexedPlan:
+    """A plan together with the resolution level it is registered for."""
+
+    plan: Plan
+    resolution: int
+
+
+class PlanIndex:
+    """Plans indexed by cost vector and resolution level.
+
+    Parameters
+    ----------
+    cell_base:
+        Base of the logarithmic partitioning of the first cost dimension.
+        Cost values ``c`` land in bucket ``floor(log_base(c + 1))``.  A larger
+        base means fewer, coarser buckets.
+    """
+
+    def __init__(self, cell_base: float = 2.0):
+        if cell_base <= 1.0:
+            raise ValueError("cell_base must be greater than 1")
+        self._cell_base = cell_base
+        self._log_base = math.log(cell_base)
+        # resolution level -> bucket id -> {plan id: plan} (insertion-ordered)
+        self._levels: Dict[int, Dict[int, Dict[int, Plan]]] = {}
+        # plan id -> (resolution, bucket) for O(1) removal bookkeeping
+        self._locations: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+    def _bucket_of(self, cost: CostVector) -> int:
+        first = cost[0]
+        if math.isinf(first):
+            return -1  # sentinel bucket for unbounded costs (never expected)
+        return int(math.log(first + 1.0) / self._log_base)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, plan: Plan, resolution: int) -> None:
+        """Register ``plan`` for the given resolution level."""
+        if resolution < 0:
+            raise ValueError("resolution must be non-negative")
+        if plan.plan_id in self._locations:
+            raise ValueError(
+                f"plan {plan.plan_id} is already registered in this index"
+            )
+        bucket = self._bucket_of(plan.cost)
+        level = self._levels.setdefault(resolution, {})
+        level.setdefault(bucket, {})[plan.plan_id] = plan
+        self._locations[plan.plan_id] = (resolution, bucket)
+
+    def remove(self, plan: Plan) -> None:
+        """Remove a previously registered plan."""
+        location = self._locations.pop(plan.plan_id, None)
+        if location is None:
+            raise KeyError(f"plan {plan.plan_id} is not registered in this index")
+        resolution, bucket = location
+        plans = self._levels[resolution][bucket]
+        del plans[plan.plan_id]
+        if not plans:
+            del self._levels[resolution][bucket]
+            if not self._levels[resolution]:
+                del self._levels[resolution]
+
+    def discard(self, plan: Plan) -> bool:
+        """Remove the plan if present; return whether it was present."""
+        if plan.plan_id not in self._locations:
+            return False
+        self.remove(plan)
+        return True
+
+    def clear(self) -> None:
+        """Remove all plans."""
+        self._levels.clear()
+        self._locations.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, plan: Plan) -> bool:
+        return plan.plan_id in self._locations
+
+    def resolution_of(self, plan: Plan) -> int:
+        """The resolution level the plan is registered for."""
+        try:
+            return self._locations[plan.plan_id][0]
+        except KeyError:
+            raise KeyError(
+                f"plan {plan.plan_id} is not registered in this index"
+            ) from None
+
+    def all_plans(self) -> List[Plan]:
+        """Every registered plan, in no particular order."""
+        result: List[Plan] = []
+        for buckets in self._levels.values():
+            for plans in buckets.values():
+                result.extend(plans.values())
+        return result
+
+    def all_entries(self) -> List[IndexedPlan]:
+        """Every registered plan with its resolution level."""
+        result: List[IndexedPlan] = []
+        for resolution, buckets in self._levels.items():
+            for plans in buckets.values():
+                result.extend(IndexedPlan(plan, resolution) for plan in plans.values())
+        return result
+
+    def count_at_resolution(self, resolution: int) -> int:
+        """Number of plans registered exactly at the given resolution."""
+        buckets = self._levels.get(resolution, {})
+        return sum(len(plans) for plans in buckets.values())
+
+    def retrieve(
+        self,
+        bounds: CostVector,
+        max_resolution: int,
+        min_resolution: int = 0,
+    ) -> List[Plan]:
+        """Plans with cost dominated by ``bounds`` and resolution in range.
+
+        This is the range query written ``S^q[0..b, 0..r]`` in the paper
+        (optionally with a non-zero lower resolution limit, which the
+        re-indexing of candidate plans uses).
+        """
+        if max_resolution < min_resolution:
+            return []
+        bound_bucket = None
+        if not math.isinf(bounds[0]):
+            bound_bucket = self._bucket_of(bounds)
+        result: List[Plan] = []
+        for resolution in range(min_resolution, max_resolution + 1):
+            buckets = self._levels.get(resolution)
+            if not buckets:
+                continue
+            for bucket_id, plans in buckets.items():
+                if bound_bucket is not None and bucket_id > bound_bucket:
+                    continue
+                for plan in plans.values():
+                    if dominates(plan.cost, bounds):
+                        result.append(plan)
+        return result
+
+    def retrieve_entries(
+        self,
+        bounds: CostVector,
+        max_resolution: int,
+        min_resolution: int = 0,
+    ) -> List[IndexedPlan]:
+        """Like :meth:`retrieve` but also returns each plan's resolution."""
+        if max_resolution < min_resolution:
+            return []
+        bound_bucket = None
+        if not math.isinf(bounds[0]):
+            bound_bucket = self._bucket_of(bounds)
+        result: List[IndexedPlan] = []
+        for resolution in range(min_resolution, max_resolution + 1):
+            buckets = self._levels.get(resolution)
+            if not buckets:
+                continue
+            for bucket_id, plans in buckets.items():
+                if bound_bucket is not None and bucket_id > bound_bucket:
+                    continue
+                for plan in plans.values():
+                    if dominates(plan.cost, bounds):
+                        result.append(IndexedPlan(plan, resolution))
+        return result
+
+    def find_dominating(
+        self,
+        target: CostVector,
+        bounds: CostVector,
+        max_resolution: int,
+        order_filter: Optional[Callable[[Plan], bool]] = None,
+    ) -> Optional[Plan]:
+        """Return some in-range plan whose cost dominates ``target``, if any.
+
+        This is the existence check of Algorithm 3 line 7
+        (``∃ p_A ∈ Res^q[0..b, 0..r] : c(p_A) ⪯ alpha_r · c(p)``); the caller
+        passes the already-scaled ``target`` vector.  ``order_filter`` lets the
+        pruning procedure restrict the comparison to plans with a compatible
+        interesting order (Section 4.3).
+
+        The returned plan is a *witness* of the approximation; the pruning
+        layer caches it so that re-checking a deferred candidate at the next
+        resolution level is usually a single dominance test.  Buckets are
+        scanned in ascending first-metric order because dominating plans are
+        cheap plans, which makes the short-circuit trigger early.
+        """
+        bound_bucket = None
+        if not math.isinf(bounds[0]):
+            bound_bucket = self._bucket_of(bounds)
+        target_bucket = self._bucket_of(target) if not math.isinf(target[0]) else None
+        for resolution in range(0, max_resolution + 1):
+            buckets = self._levels.get(resolution)
+            if not buckets:
+                continue
+            for bucket_id in sorted(buckets):
+                if bound_bucket is not None and bucket_id > bound_bucket:
+                    break
+                if target_bucket is not None and bucket_id > target_bucket:
+                    # Every plan in this bucket has a first-metric cost above
+                    # the target's, so none of them can dominate it.
+                    break
+                for plan in buckets[bucket_id].values():
+                    if order_filter is not None and not order_filter(plan):
+                        continue
+                    if dominates(plan.cost, bounds) and dominates(plan.cost, target):
+                        return plan
+        return None
+
+    def any_dominating(
+        self,
+        target: CostVector,
+        bounds: CostVector,
+        max_resolution: int,
+        order_filter: Optional[Callable[[Plan], bool]] = None,
+    ) -> bool:
+        """Whether some in-range plan's cost dominates ``target``."""
+        return (
+            self.find_dominating(target, bounds, max_resolution, order_filter)
+            is not None
+        )

@@ -1,0 +1,168 @@
+"""Procedure ``Prune`` (Algorithm 3).
+
+Given a new plan ``p`` for table set ``q``, the current cost bounds ``b``, the
+current resolution ``r`` and its precision factor ``alpha_r``, pruning decides
+which of three things happens:
+
+1. some result plan registered at resolution ``<= r`` and within the bounds
+   already *approximates* ``p`` (its cost dominates ``alpha_r * c(p)``): ``p``
+   is kept as a **candidate for resolution r + 1** -- it might become relevant
+   once the resolution is refined -- or discarded if the maximal resolution is
+   already reached;
+2. otherwise, if ``p``'s cost exceeds the bounds, ``p`` is kept as a
+   **candidate for the current resolution** -- it might become relevant once
+   the user relaxes the bounds;
+3. otherwise ``p`` is **inserted into the result set**, registered at the
+   current resolution.
+
+Two deliberate design decisions from Section 4.2 are preserved:
+
+* the new plan is only compared against result plans registered at the current
+  resolution *or lower* (never higher), keeping the number of comparisons
+  proportional to the result set size at the current resolution;
+* result plans that are dominated by the new plan are **not** discarded,
+  because they may already serve as sub-plans of previously combined plans.
+
+Following Section 4.3, the cost comparison is restricted to plans producing a
+compatible interesting tuple order: a result plan can only approximate the new
+plan when it provides at least the same ordering guarantee.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.costs.dominance import dominates, within_bounds
+from repro.costs.vector import CostVector
+from repro.core.index import PlanIndex
+from repro.plans.plan import Plan
+
+
+class PruneOutcome(enum.Enum):
+    """What happened to a plan handed to :func:`prune`."""
+
+    #: The plan was inserted into the result plan set.
+    INSERTED = "inserted"
+    #: An existing result plan approximates it; kept as candidate for ``r + 1``.
+    DEFERRED_TO_HIGHER_RESOLUTION = "deferred"
+    #: Its cost exceeds the bounds; kept as candidate for the current resolution.
+    OUT_OF_BOUNDS = "out_of_bounds"
+    #: Approximated at the maximal resolution; the plan is dropped for good.
+    DISCARDED = "discarded"
+
+    @property
+    def became_result(self) -> bool:
+        return self is PruneOutcome.INSERTED
+
+    @property
+    def became_candidate(self) -> bool:
+        return self in (
+            PruneOutcome.DEFERRED_TO_HIGHER_RESOLUTION,
+            PruneOutcome.OUT_OF_BOUNDS,
+        )
+
+
+def order_covers(provider: Plan, consumer: Plan) -> bool:
+    """Whether ``provider`` offers at least the ordering guarantee of ``consumer``.
+
+    A plan without an interesting order is covered by any plan; a plan with an
+    interesting order is only covered by plans producing the same order.  The
+    pruning comparison uses this predicate so that plans producing a useful
+    tuple order are never pruned by cheaper unordered plans (the multi-objective
+    generalization of Selinger's interesting-order rule, Section 4.3).
+    """
+    if consumer.interesting_order is None:
+        return True
+    return provider.interesting_order == consumer.interesting_order
+
+
+def prune(
+    result_index: PlanIndex,
+    candidate_index: PlanIndex,
+    bounds: CostVector,
+    resolution: int,
+    alpha: float,
+    max_resolution: int,
+    plan: Plan,
+    respect_orders: bool = True,
+    witnesses: Optional[Dict[int, Plan]] = None,
+) -> PruneOutcome:
+    """Apply procedure ``Prune`` to a single plan.
+
+    Parameters
+    ----------
+    result_index, candidate_index:
+        The result plan set ``Res^q`` and candidate plan set ``Cand^q`` of the
+        plan's table set.
+    bounds:
+        Current cost bounds ``b``.
+    resolution:
+        Current resolution level ``r``.
+    alpha:
+        The precision factor ``alpha_r`` for the current resolution.
+    max_resolution:
+        ``r_M``; plans approximated at the maximal resolution are discarded.
+    plan:
+        The new plan ``p`` to be pruned.
+    respect_orders:
+        When true (default), only result plans with a compatible interesting
+        order may approximate the new plan.
+    witnesses:
+        Optional cache mapping a plan id to the result plan that approximated
+        it in an earlier pruning (its *witness*).  When a deferred candidate is
+        re-pruned at the next resolution level, the witness usually still
+        approximates it, so the full existence check is skipped.  The cache is
+        purely an optimization: its hits satisfy exactly the condition of
+        Algorithm 3 line 7.
+
+    Returns
+    -------
+    PruneOutcome
+        What happened to the plan.
+    """
+    if alpha < 1.0:
+        raise ValueError("the precision factor alpha_r must be >= 1")
+    scaled_cost = plan.cost.scaled(alpha)
+
+    witness: Optional[Plan] = None
+    if witnesses is not None:
+        cached = witnesses.get(plan.plan_id)
+        if (
+            cached is not None
+            and cached in result_index
+            and result_index.resolution_of(cached) <= resolution
+            and (not respect_orders or order_covers(cached, plan))
+            and dominates(cached.cost, bounds)
+            and dominates(cached.cost, scaled_cost)
+        ):
+            witness = cached
+    if witness is None:
+        if respect_orders and plan.interesting_order is not None:
+            # Only plans producing the same tuple order may approximate this one.
+            order_filter = lambda other: order_covers(other, plan)
+        else:
+            # A plan without ordering requirements is coverable by any plan.
+            order_filter = None
+        witness = result_index.find_dominating(
+            target=scaled_cost,
+            bounds=bounds,
+            max_resolution=resolution,
+            order_filter=order_filter,
+        )
+    if witness is not None:
+        if witnesses is not None:
+            witnesses[plan.plan_id] = witness
+        if resolution < max_resolution:
+            candidate_index.insert(plan, resolution + 1)
+            return PruneOutcome.DEFERRED_TO_HIGHER_RESOLUTION
+        if witnesses is not None:
+            witnesses.pop(plan.plan_id, None)
+        return PruneOutcome.DISCARDED
+    if not within_bounds(plan.cost, bounds):
+        candidate_index.insert(plan, resolution)
+        return PruneOutcome.OUT_OF_BOUNDS
+    result_index.insert(plan, resolution)
+    if witnesses is not None:
+        witnesses.pop(plan.plan_id, None)
+    return PruneOutcome.INSERTED

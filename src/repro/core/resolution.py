@@ -1,0 +1,159 @@
+"""Resolution levels and precision factors.
+
+The anytime behaviour of IAMA comes from a fixed, finite set of *resolution
+levels* ``{0, ..., r_M}`` (Section 4.1).  Each level ``r`` maps to a precision
+factor ``alpha_r`` used by the pruning procedure; the factors must satisfy
+``alpha_r > 1`` and ``alpha_r > alpha_{r+1}`` -- higher resolution means finer
+approximation.  The experimental section fixes the factors with the formula
+
+    ``alpha_r = alpha_T + alpha_S * (r_M - r) / r_M``
+
+where ``alpha_T`` is the target precision (the factor used at the maximal
+resolution) and ``alpha_S`` is the precision step (Section 6.1, e.g.
+``alpha_T = 1.01`` and ``alpha_S = 0.05``).  For a single resolution level
+(``r_M = 0``) the formula degenerates to ``alpha_0 = alpha_T``.
+
+Theorem 2 shows that optimizing an ``n``-table query at resolution ``r`` yields
+an ``alpha_r ** n``-approximate Pareto plan set, so
+:meth:`ResolutionSchedule.guaranteed_precision` exposes that bound (e.g.
+``1.01 ** 8 ≈ 1.08`` for TPC-H as quoted in Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+
+class ResolutionSchedule:
+    """The mapping from resolution levels to precision factors ``alpha_r``.
+
+    Parameters
+    ----------
+    levels:
+        Number of resolution levels (``r_M + 1``); must be at least 1.
+    target_precision:
+        ``alpha_T``, the factor used at the maximal resolution; must be > 1.
+    precision_step:
+        ``alpha_S``; must be >= 0.  With ``alpha_S = 0`` all levels share the
+        target precision, which effectively disables the anytime refinement.
+    """
+
+    def __init__(
+        self,
+        levels: int,
+        target_precision: float = 1.01,
+        precision_step: float = 0.05,
+    ):
+        if levels < 1:
+            raise ValueError("there must be at least one resolution level")
+        if target_precision <= 1.0:
+            raise ValueError("target_precision (alpha_T) must be greater than 1")
+        if precision_step < 0.0:
+            raise ValueError("precision_step (alpha_S) must be non-negative")
+        self._levels = int(levels)
+        self._alpha_target = float(target_precision)
+        self._alpha_step = float(precision_step)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_factors(cls, factors: Sequence[float]) -> "ResolutionSchedule":
+        """Build a schedule from an explicit, strictly decreasing factor list.
+
+        Provided for experiments with hand-tuned precision sequences (the paper
+        conjectures that "a more optimized sequence of precision factors" could
+        further improve the maximal invocation time).
+        """
+        if not factors:
+            raise ValueError("factor list must be non-empty")
+        if any(f <= 1.0 for f in factors):
+            raise ValueError("all precision factors must be greater than 1")
+        for earlier, later in zip(factors, factors[1:]):
+            if later >= earlier:
+                raise ValueError(
+                    "precision factors must be strictly decreasing with resolution"
+                )
+        schedule = cls(
+            levels=len(factors),
+            target_precision=factors[-1],
+            precision_step=(factors[0] - factors[-1]),
+        )
+        schedule._explicit_factors = list(factors)  # type: ignore[attr-defined]
+        return schedule
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of resolution levels (``r_M + 1``)."""
+        return self._levels
+
+    @property
+    def max_resolution(self) -> int:
+        """The maximal resolution level ``r_M``."""
+        return self._levels - 1
+
+    @property
+    def target_precision(self) -> float:
+        """``alpha_T`` -- the precision factor at the maximal resolution."""
+        return self._alpha_target
+
+    @property
+    def precision_step(self) -> float:
+        """``alpha_S`` -- the spread between coarsest and finest factor."""
+        return self._alpha_step
+
+    # ------------------------------------------------------------------
+    def alpha(self, resolution: int) -> float:
+        """The precision factor ``alpha_r`` for the given resolution level."""
+        self._check_resolution(resolution)
+        explicit = getattr(self, "_explicit_factors", None)
+        if explicit is not None:
+            return explicit[resolution]
+        if self.max_resolution == 0:
+            return self._alpha_target
+        remaining = (self.max_resolution - resolution) / self.max_resolution
+        return self._alpha_target + self._alpha_step * remaining
+
+    def factors(self) -> List[float]:
+        """All precision factors, from resolution 0 to ``r_M``."""
+        return [self.alpha(r) for r in range(self._levels)]
+
+    def resolutions(self) -> Iterator[int]:
+        """Iterate over all resolution levels in increasing order."""
+        return iter(range(self._levels))
+
+    def next_resolution(self, resolution: int) -> int:
+        """The resolution used by the next main-loop iteration.
+
+        Mirrors line 23 of Algorithm 1: ``r <- min(r_M, r + 1)``.
+        """
+        self._check_resolution(resolution)
+        return min(self.max_resolution, resolution + 1)
+
+    def guaranteed_precision(self, table_count: int, resolution: int = None) -> float:
+        """Worst-case approximation factor of the result plan set.
+
+        By Theorem 2, optimizing an ``n``-table query at resolution ``r``
+        guarantees an ``alpha_r ** n``-approximate (bounded) Pareto plan set.
+        With the default ``resolution=None`` the maximal resolution is used,
+        giving the final guarantee quoted in Section 6.2.
+        """
+        if table_count < 1:
+            raise ValueError("table_count must be at least 1")
+        if resolution is None:
+            resolution = self.max_resolution
+        return self.alpha(resolution) ** table_count
+
+    # ------------------------------------------------------------------
+    def _check_resolution(self, resolution: int) -> None:
+        if not 0 <= resolution <= self.max_resolution:
+            raise ValueError(
+                f"resolution {resolution} outside the valid range "
+                f"0..{self.max_resolution}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ResolutionSchedule(levels={self._levels}, "
+            f"target_precision={self._alpha_target}, "
+            f"precision_step={self._alpha_step})"
+        )

@@ -1,0 +1,82 @@
+"""Multi-objective cost substrate.
+
+This package contains the cost-vector algebra from Section 3 of the paper
+(dominance, strict dominance, approximate dominance, Pareto plan sets) and the
+multi-objective cost model used to cost query plans (Section 6.1 uses execution
+time, number of reserved cores, and result precision; the algorithm itself
+supports any metric whose aggregation function is built from sum, max, min and
+multiplication by constants -- the "PONO class" of Section 5.1).
+"""
+
+from repro.costs.vector import CostVector
+from repro.costs.dominance import (
+    dominates,
+    strictly_dominates,
+    approximately_dominates,
+    within_bounds,
+    exceeds_bounds,
+)
+from repro.costs.pareto import (
+    ParetoSet,
+    pareto_filter,
+    is_pareto_optimal,
+    approximation_error,
+    is_alpha_cover,
+)
+from repro.costs.aggregation import (
+    AggregationFunction,
+    SumAggregation,
+    MaxAggregation,
+    MinAggregation,
+    ScaledSumAggregation,
+    PrecisionLossAggregation,
+    PipelineMaxAggregation,
+)
+from repro.costs.metrics import (
+    Metric,
+    MetricSet,
+    EXECUTION_TIME,
+    MONETARY_FEES,
+    ENERGY,
+    RESERVED_CORES,
+    IO_LOAD,
+    BUFFER_SPACE,
+    RESULT_PRECISION_LOSS,
+    default_metric_set,
+    paper_metric_set,
+)
+from repro.costs.model import MultiObjectiveCostModel, CostModelConfig
+
+__all__ = [
+    "CostVector",
+    "dominates",
+    "strictly_dominates",
+    "approximately_dominates",
+    "within_bounds",
+    "exceeds_bounds",
+    "ParetoSet",
+    "pareto_filter",
+    "is_pareto_optimal",
+    "approximation_error",
+    "is_alpha_cover",
+    "AggregationFunction",
+    "SumAggregation",
+    "MaxAggregation",
+    "MinAggregation",
+    "ScaledSumAggregation",
+    "PrecisionLossAggregation",
+    "PipelineMaxAggregation",
+    "Metric",
+    "MetricSet",
+    "EXECUTION_TIME",
+    "MONETARY_FEES",
+    "ENERGY",
+    "RESERVED_CORES",
+    "IO_LOAD",
+    "BUFFER_SPACE",
+    "RESULT_PRECISION_LOSS",
+    "default_metric_set",
+    "paper_metric_set",
+    "MultiObjectiveCostModel",
+    "CostModelConfig",
+]

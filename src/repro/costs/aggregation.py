@@ -1,0 +1,190 @@
+"""Cost aggregation functions (the PONO class).
+
+Section 5.1 of the paper bases its result-precision guarantees on the
+*Principle of Near-Optimality* (PONO): replacing optimal sub-plans with
+near-optimal sub-plans yields a near-optimal plan.  The PONO holds for every
+cost metric whose *aggregation function* -- the recursive formula that computes
+the cost of a plan from the costs of its two sub-plans -- is built from the
+operators
+
+* sum,
+* maximum,
+* minimum, and
+* multiplication by a constant.
+
+This module models aggregation functions as small objects with a uniform
+``combine(left, right, local)`` interface, where ``left`` and ``right`` are the
+metric values of the two sub-plans and ``local`` is the cost that the combining
+operator itself adds.  The formal analysis also requires *monotone cost
+aggregation* (a plan costs at least as much as each of its sub-plans); every
+aggregation class documents and tests that property.
+
+These objects are used by :class:`repro.costs.metrics.Metric` and by the
+property-based test suite, which verifies PONO and monotonicity for all shipped
+metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+
+class AggregationFunction(abc.ABC):
+    """Recursive cost formula for a single metric at a join node."""
+
+    #: Human-readable name used in reports and error messages.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def combine(self, left: float, right: float, local: float) -> float:
+        """Combine sub-plan metric values with the operator's local cost."""
+
+    def is_monotone(self) -> bool:
+        """Whether the aggregation guarantees monotone cost aggregation.
+
+        Monotone aggregation means ``combine(l, r, local) >= max(l, r)`` for
+        all non-negative inputs.  All shipped aggregations except
+        :class:`MinAggregation` (which is provided for completeness and used
+        only for metrics where "min" is meaningful, e.g. availability-style
+        metrics) are monotone; Theorem 2 assumes monotone aggregation.
+        """
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class SumAggregation(AggregationFunction):
+    """``cost = left + right + local``.
+
+    The aggregation of sequential execution time, energy consumption, monetary
+    fees, IO volume and most resource-consumption metrics.
+    """
+
+    name = "sum"
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        return left + right + local
+
+
+class MaxAggregation(AggregationFunction):
+    """``cost = max(left, right, local)``.
+
+    Used for metrics such as the number of reserved cores or peak buffer space
+    when sub-plans execute one after the other and resources are reused.
+    """
+
+    name = "max"
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        return max(left, right, local)
+
+
+class PipelineMaxAggregation(AggregationFunction):
+    """``cost = max(left, right) + local``.
+
+    The execution-time aggregation for parallel (pipelined) execution of the
+    two sub-plans followed by the join itself, as discussed in the paper's
+    footnote 2: "The plan execution time is the maximum of the execution times
+    of the sub-plans for parallel execution, and the sum for sequential
+    execution."
+    """
+
+    name = "pipeline-max"
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        return max(left, right) + local
+
+
+class MinAggregation(AggregationFunction):
+    """``cost = min(left, right) + local``.
+
+    Provided because "min" is in the PONO operator set.  Not monotone in the
+    sense of Theorem 2 and therefore not used by the default metric sets; it is
+    exercised by unit tests that document this restriction.
+    """
+
+    name = "min"
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        return min(left, right) + local
+
+    def is_monotone(self) -> bool:
+        return False
+
+
+class ScaledSumAggregation(AggregationFunction):
+    """``cost = scale_left * left + scale_right * right + local``.
+
+    Multiplication by constants composed with a sum -- still inside the PONO
+    class.  Monotonicity in the Theorem-2 sense requires the combined cost to
+    be at least each sub-plan cost, which only holds for scale factors >= 1;
+    factors below 1 make the aggregation non-monotone and metric sets using
+    such factors are rejected by
+    :meth:`repro.costs.metrics.MetricSet.validate_for_guarantees`.
+    """
+
+    name = "scaled-sum"
+
+    def __init__(self, scale_left: float = 1.0, scale_right: float = 1.0):
+        if scale_left <= 0 or scale_right <= 0:
+            raise ValueError("scale factors must be positive")
+        self.scale_left = scale_left
+        self.scale_right = scale_right
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        return self.scale_left * left + self.scale_right * right + local
+
+    def is_monotone(self) -> bool:
+        return self.scale_left >= 1.0 and self.scale_right >= 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ScaledSumAggregation(scale_left={self.scale_left}, "
+            f"scale_right={self.scale_right})"
+        )
+
+
+class PrecisionLossAggregation(AggregationFunction):
+    """Aggregation for the *result precision loss* metric.
+
+    Sampling at any scan reduces the precision of the whole query result;
+    the precision loss of a join combines the losses of its two sub-plans via
+    the multiplicative-survival formula ``1 - (1 - left) * (1 - right)``
+    (clamped to [0, 1]).  That formula is not literally in the
+    sum/max/min/scale grammar, but the paper notes that the PONO "has also been
+    shown to apply for several other metrics ... such as failure resilience or
+    result precision"; the property-based tests verify PONO for this formula
+    directly.
+    """
+
+    name = "precision-loss"
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        l = min(left, 1.0)
+        r = min(right, 1.0)
+        x = min(local, 1.0)
+        # Inclusion-exclusion expansion of 1 - (1-l)(1-r)(1-x).  The expanded
+        # form avoids the catastrophic cancellation of the factored form for
+        # tiny loss values, which matters because the pruning comparisons work
+        # with relative (alpha) factors.
+        loss = l + r + x - l * r - l * x - r * x + l * r * x
+        return min(1.0, max(0.0, loss))
+
+
+def combine_many(
+    aggregation: AggregationFunction, values: Sequence[float], local: float = 0.0
+) -> float:
+    """Fold an aggregation function over more than two inputs.
+
+    Helper for operators with more than two children (not used by the core
+    optimizer, which builds binary join trees, but handy for the workload
+    generators and for tests).
+    """
+    if not values:
+        return local
+    acc = values[0]
+    for v in values[1:]:
+        acc = aggregation.combine(acc, v, 0.0)
+    return aggregation.combine(acc, 0.0, local)

@@ -1,0 +1,87 @@
+"""Dominance relations between cost vectors.
+
+Section 3 of the paper defines:
+
+* ``c(p1) <= c(p2)`` (*dominates*): plan ``p1`` is at least as good as ``p2``
+  when its cost is lower than or equal to the cost of ``p2`` according to
+  *each* cost metric.
+* ``c(p1) < c(p2)`` (*strictly dominates*): ``p1`` dominates ``p2`` and has
+  strictly lower cost on at least one metric.
+* *approximate dominance with factor alpha*: the pruning rule of Algorithm 3
+  compares ``c(p_A)`` against ``alpha_r * c(p)``; we expose this as
+  ``approximately_dominates(a, b, alpha)`` meaning ``a <= alpha * b``
+  component-wise.
+* *cost bounds*: a plan *respects* bounds ``b`` when ``c(p) <= b`` and
+  *exceeds* them otherwise.
+
+All functions operate on :class:`~repro.costs.vector.CostVector` instances and
+are tolerant of ``+inf`` components (infinite bounds dominate everything).
+"""
+
+from __future__ import annotations
+
+from repro.costs.vector import CostVector
+
+
+def dominates(a: CostVector, b: CostVector) -> bool:
+    """Return ``True`` when ``a`` dominates ``b`` (``a <= b`` component-wise)."""
+    if len(a) != len(b):
+        raise ValueError("cannot compare cost vectors of different dimensionality")
+    return all(x <= y for x, y in zip(a, b))
+
+
+def strictly_dominates(a: CostVector, b: CostVector) -> bool:
+    """Return ``True`` when ``a`` dominates ``b`` and is strictly better somewhere."""
+    if len(a) != len(b):
+        raise ValueError("cannot compare cost vectors of different dimensionality")
+    not_worse = True
+    strictly_better = False
+    for x, y in zip(a, b):
+        if x > y:
+            not_worse = False
+            break
+        if x < y:
+            strictly_better = True
+    return not_worse and strictly_better
+
+
+def approximately_dominates(a: CostVector, b: CostVector, alpha: float) -> bool:
+    """Return ``True`` when ``a <= alpha * b`` component-wise.
+
+    This is the comparison used during pruning (Algorithm 3, line 7): an
+    existing result plan ``p_A`` *approximates* a new plan ``p`` at resolution
+    ``r`` when ``c(p_A)`` dominates ``alpha_r * c(p)``.
+
+    Parameters
+    ----------
+    a:
+        Cost vector of the (potentially approximating) plan.
+    b:
+        Cost vector of the new plan.
+    alpha:
+        Approximation factor, must be ``>= 1``.
+    """
+    if alpha < 1.0:
+        raise ValueError(f"approximation factor must be >= 1, got {alpha}")
+    if len(a) != len(b):
+        raise ValueError("cannot compare cost vectors of different dimensionality")
+    return all(x <= alpha * y for x, y in zip(a, b))
+
+
+def within_bounds(cost: CostVector, bounds: CostVector) -> bool:
+    """True when ``cost`` respects the cost bounds (``cost <= bounds``)."""
+    return dominates(cost, bounds)
+
+
+def exceeds_bounds(cost: CostVector, bounds: CostVector) -> bool:
+    """True when ``cost`` exceeds the bounds on at least one metric."""
+    return not within_bounds(cost, bounds)
+
+
+def incomparable(a: CostVector, b: CostVector) -> bool:
+    """True when neither vector dominates the other.
+
+    Incomparable cost vectors represent genuinely different tradeoffs; a
+    Pareto frontier consists of mutually incomparable (or equal) vectors.
+    """
+    return not dominates(a, b) and not dominates(b, a)

@@ -1,0 +1,292 @@
+"""Cost metric definitions and metric sets.
+
+The paper's evaluation (Section 6.1) uses three plan cost metrics -- execution
+time, consumed system resources (number of reserved cores), and result
+precision -- because three metrics is the largest number whose Pareto frontier
+can still be visualized directly.  The algorithm itself supports any metric in
+the PONO class (Section 5.1); to exercise that generality this module ships
+several additional metrics (monetary fees, energy, IO load, buffer space) that
+the ablation benchmarks use to vary the number of objectives.
+
+A :class:`Metric` bundles:
+
+* a stable name and unit (for reports),
+* the aggregation function applied at join nodes
+  (:mod:`repro.costs.aggregation`),
+* a flag stating whether lower values are better (always true here -- "result
+  precision" is represented as *precision loss* so that every metric is
+  minimized, matching the paper's convention that cost values are
+  non-negative and lower is better).
+
+A :class:`MetricSet` is an ordered collection of metrics; it fixes the
+dimensionality and component order of every :class:`~repro.costs.vector.CostVector`
+produced by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.costs.aggregation import (
+    AggregationFunction,
+    MaxAggregation,
+    PipelineMaxAggregation,
+    PrecisionLossAggregation,
+    SumAggregation,
+)
+from repro.costs.vector import CostVector
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A single plan cost metric.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"execution_time"``.
+    unit:
+        Unit used in reports, e.g. ``"ms"``.
+    aggregation:
+        How the metric value of a join plan is computed from the values of its
+        sub-plans and the join operator's local contribution.
+    description:
+        One-line human readable description.
+    """
+
+    name: str
+    unit: str
+    aggregation: AggregationFunction
+    description: str = ""
+
+    def combine(self, left: float, right: float, local: float) -> float:
+        """Aggregate sub-plan values with the operator's local contribution."""
+        return self.aggregation.combine(left, right, local)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Metric({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# The shipped metrics
+# ----------------------------------------------------------------------
+EXECUTION_TIME = Metric(
+    name="execution_time",
+    unit="ms",
+    aggregation=PipelineMaxAggregation(),
+    description="Estimated wall-clock execution time; sub-plans run in parallel.",
+)
+
+SEQUENTIAL_TIME = Metric(
+    name="sequential_time",
+    unit="ms",
+    aggregation=SumAggregation(),
+    description="Estimated execution time under strictly sequential execution.",
+)
+
+MONETARY_FEES = Metric(
+    name="monetary_fees",
+    unit="cents",
+    aggregation=SumAggregation(),
+    description="Monetary cost of execution, e.g. cloud resource fees.",
+)
+
+ENERGY = Metric(
+    name="energy",
+    unit="J",
+    aggregation=SumAggregation(),
+    description="Energy consumed by plan execution.",
+)
+
+RESERVED_CORES = Metric(
+    name="reserved_cores",
+    unit="cores",
+    aggregation=MaxAggregation(),
+    description="Peak number of cores reserved while the plan executes.",
+)
+
+IO_LOAD = Metric(
+    name="io_load",
+    unit="pages",
+    aggregation=SumAggregation(),
+    description="Number of pages read from or written to storage.",
+)
+
+BUFFER_SPACE = Metric(
+    name="buffer_space",
+    unit="pages",
+    aggregation=MaxAggregation(),
+    description="Peak buffer space reserved by the plan.",
+)
+
+RESULT_PRECISION_LOSS = Metric(
+    name="precision_loss",
+    unit="fraction",
+    aggregation=PrecisionLossAggregation(),
+    description=(
+        "Loss of result precision caused by sampled scans "
+        "(0 = exact result, values approach 1 for heavy sampling)."
+    ),
+)
+
+
+class MetricSet:
+    """An ordered, immutable collection of metrics.
+
+    The order of metrics fixes the component order of all cost vectors built
+    against this metric set.
+    """
+
+    def __init__(self, metrics: Sequence[Metric]):
+        if not metrics:
+            raise ValueError("a metric set needs at least one metric")
+        names = [m.name for m in metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate metric names in {names}")
+        self._metrics: Tuple[Metric, ...] = tuple(metrics)
+        self._index: Dict[str, int] = {m.name: i for i, m in enumerate(metrics)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics)
+
+    def __getitem__(self, index: int) -> Metric:
+        return self._metrics[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricSet):
+            return NotImplemented
+        return self._metrics == other._metrics
+
+    def __hash__(self) -> int:
+        return hash(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MetricSet({[m.name for m in self._metrics]})"
+
+    @property
+    def names(self) -> List[str]:
+        """Metric names in component order."""
+        return [m.name for m in self._metrics]
+
+    @property
+    def dimensions(self) -> int:
+        """Number of metrics ``l``."""
+        return len(self._metrics)
+
+    def index_of(self, name: str) -> int:
+        """Component index of the named metric."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; available: {sorted(self._index)}"
+            ) from None
+
+    def contains(self, name: str) -> bool:
+        """True when the metric set contains a metric with the given name."""
+        return name in self._index
+
+    # ------------------------------------------------------------------
+    # Vector helpers
+    # ------------------------------------------------------------------
+    def vector(self, **components: float) -> CostVector:
+        """Build a cost vector from named components; missing names default to 0."""
+        unknown = set(components) - set(self._index)
+        if unknown:
+            raise KeyError(f"unknown metrics {sorted(unknown)}")
+        values = [0.0] * len(self._metrics)
+        for name, value in components.items():
+            values[self._index[name]] = value
+        return CostVector(values)
+
+    def zero_vector(self) -> CostVector:
+        """Cost vector with every component equal to zero."""
+        return CostVector.zeros(len(self._metrics))
+
+    def unbounded_vector(self) -> CostVector:
+        """Cost vector of infinities, representing the absence of bounds."""
+        return CostVector.infinite(len(self._metrics))
+
+    def component(self, cost: CostVector, name: str) -> float:
+        """Extract the named component from a cost vector."""
+        return cost[self.index_of(name)]
+
+    def combine(
+        self, left: CostVector, right: CostVector, local: CostVector
+    ) -> CostVector:
+        """Aggregate two sub-plan cost vectors with the operator's local cost."""
+        if len(left) != len(self._metrics) or len(right) != len(self._metrics):
+            raise ValueError("cost vectors do not match the metric set")
+        values = [
+            metric.combine(left[i], right[i], local[i])
+            for i, metric in enumerate(self._metrics)
+        ]
+        return CostVector(values)
+
+    def describe(self, cost: CostVector) -> Dict[str, float]:
+        """Return ``{metric name: value}`` for reporting."""
+        return {m.name: cost[i] for i, m in enumerate(self._metrics)}
+
+    # ------------------------------------------------------------------
+    def validate_for_guarantees(self) -> None:
+        """Raise when a metric's aggregation breaks the formal guarantees.
+
+        Theorem 2 requires monotone cost aggregation; this check rejects metric
+        sets containing non-monotone aggregation functions so that users get an
+        explicit error instead of silently losing the approximation guarantee.
+        """
+        offenders = [
+            m.name for m in self._metrics if not m.aggregation.is_monotone()
+        ]
+        if offenders:
+            raise ValueError(
+                "metrics with non-monotone aggregation break the approximation "
+                f"guarantees of Theorem 2: {offenders}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Canonical metric sets
+# ----------------------------------------------------------------------
+def paper_metric_set() -> MetricSet:
+    """The three metrics used in the paper's evaluation (Section 6.1).
+
+    Execution time, number of reserved cores, and result precision (expressed
+    as precision loss so that lower is better).
+    """
+    return MetricSet([EXECUTION_TIME, RESERVED_CORES, RESULT_PRECISION_LOSS])
+
+
+def default_metric_set() -> MetricSet:
+    """Alias for :func:`paper_metric_set`; used throughout examples and tests."""
+    return paper_metric_set()
+
+
+def cloud_metric_set() -> MetricSet:
+    """Two-metric set from the paper's running example: time versus fees."""
+    return MetricSet([EXECUTION_TIME, MONETARY_FEES])
+
+
+def extended_metric_set(num_metrics: int) -> MetricSet:
+    """A metric set with ``num_metrics`` objectives for the metric-count ablation.
+
+    The first three metrics match :func:`paper_metric_set`; further metrics are
+    appended in a fixed order.  Supported range: 1..7.
+    """
+    pool = [
+        EXECUTION_TIME,
+        RESERVED_CORES,
+        RESULT_PRECISION_LOSS,
+        MONETARY_FEES,
+        ENERGY,
+        IO_LOAD,
+        BUFFER_SPACE,
+    ]
+    if not 1 <= num_metrics <= len(pool):
+        raise ValueError(f"num_metrics must be in 1..{len(pool)}")
+    return MetricSet(pool[:num_metrics])

@@ -1,0 +1,266 @@
+"""Multi-objective cost model for scan and join operators.
+
+The paper reuses the multi-objective cost model of its predecessor work
+(Trummer & Koch, SIGMOD 2014) inside Postgres; the model covers execution
+time, the number of reserved cores, and result precision, where precision is
+traded against time through *sampled scans* and time is traded against cores
+through intra-operator parallelism.  This module provides a self-contained
+Python equivalent:
+
+* Scan operators read a fraction of a table's pages (``sampling_rate``) using a
+  configurable degree of parallelism.
+* Join operators (hash join, sort-merge join, nested-loop join) combine two
+  inputs with textbook CPU/IO formulas and their own degree of parallelism.
+* Every operator produces a full cost *vector* over the configured
+  :class:`~repro.costs.metrics.MetricSet`.  Metrics not listed in the metric
+  set are simply not emitted.
+
+The model only deals with *local* operator costs plus the per-metric
+aggregation defined by the metric set; it never needs to inspect plan objects,
+which keeps the dependency graph acyclic (plans depend on costs, not the other
+way round).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.costs.metrics import MetricSet
+from repro.costs.vector import CostVector
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Tunable constants of the cost model.
+
+    The defaults are loosely calibrated against Postgres' default cost
+    parameters (sequential page cost 1.0, CPU tuple cost 0.01) and a simple
+    cloud pricing/energy model.  Absolute values are irrelevant for the
+    reproduction -- only the *relative* structure of the search space matters
+    -- but they are kept realistic so that example output reads naturally.
+    """
+
+    #: Cost of reading one page sequentially (time units per page).
+    seq_page_cost: float = 1.0
+    #: Cost of reading one page during index/random access.
+    random_page_cost: float = 4.0
+    #: CPU cost of processing one tuple.
+    cpu_tuple_cost: float = 0.01
+    #: CPU cost of evaluating one operator (hash/comparison) on one tuple.
+    cpu_operator_cost: float = 0.005
+    #: Time units charged per output tuple of a join.
+    join_output_cost: float = 0.01
+    #: Monetary price per time unit and per core (cloud fee model).
+    price_per_time_core: float = 0.002
+    #: Energy per time unit and per core.
+    energy_per_time_core: float = 0.5
+    #: Rows per buffer page, used to translate row counts into buffer pages.
+    rows_per_buffer_page: int = 100
+    #: Parallel efficiency: fraction of ideal speedup retained per extra core.
+    parallel_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.parallel_efficiency <= 0.0 or self.parallel_efficiency > 1.0:
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+        for name in (
+            "seq_page_cost",
+            "random_page_cost",
+            "cpu_tuple_cost",
+            "cpu_operator_cost",
+            "join_output_cost",
+            "price_per_time_core",
+            "energy_per_time_core",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.rows_per_buffer_page <= 0:
+            raise ValueError("rows_per_buffer_page must be positive")
+
+
+class MultiObjectiveCostModel:
+    """Produces per-operator cost vectors over a metric set.
+
+    Parameters
+    ----------
+    metric_set:
+        The metrics to emit; determines the dimensionality and component order
+        of all produced cost vectors.
+    config:
+        Cost model constants; defaults to :class:`CostModelConfig`.
+    """
+
+    def __init__(self, metric_set: MetricSet, config: CostModelConfig = CostModelConfig()):
+        self._metrics = metric_set
+        self._config = config
+
+    # ------------------------------------------------------------------
+    @property
+    def metric_set(self) -> MetricSet:
+        return self._metrics
+
+    @property
+    def config(self) -> CostModelConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _effective_speedup(self, parallelism: int) -> float:
+        """Speedup achieved with the given number of cores (sub-linear)."""
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if parallelism == 1:
+            return 1.0
+        return 1.0 + (parallelism - 1) * self._config.parallel_efficiency
+
+    def _vector(self, components: Dict[str, float]) -> CostVector:
+        """Build a vector from metric-name components, dropping unknown names."""
+        known = {
+            name: value
+            for name, value in components.items()
+            if self._metrics.contains(name)
+        }
+        return self._metrics.vector(**known)
+
+    def _derived_components(
+        self, work_time: float, parallelism: int, io_pages: float
+    ) -> Dict[str, float]:
+        """Components shared by all operators (fees, energy, cores, IO)."""
+        cfg = self._config
+        return {
+            "reserved_cores": float(parallelism),
+            "monetary_fees": work_time * parallelism * cfg.price_per_time_core,
+            "energy": work_time * parallelism * cfg.energy_per_time_core,
+            "io_load": io_pages,
+        }
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan_cost(
+        self,
+        row_count: float,
+        page_count: float,
+        sampling_rate: float = 1.0,
+        parallelism: int = 1,
+        random_access: bool = False,
+    ) -> CostVector:
+        """Full cost vector of scanning a base table.
+
+        Parameters
+        ----------
+        row_count:
+            Estimated rows of the table after its filter predicates.
+        page_count:
+            Pages of the table on storage.
+        sampling_rate:
+            Fraction of the table that is actually read; rates below 1
+            correspond to the sampled-scan operators that trade result
+            precision for execution time.
+        parallelism:
+            Number of cores used by the scan.
+        random_access:
+            Whether pages are fetched with random IO (index scans).
+        """
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError("sampling_rate must be in (0, 1]")
+        if row_count < 0 or page_count < 0:
+            raise ValueError("row and page counts must be non-negative")
+        cfg = self._config
+        page_cost = cfg.random_page_cost if random_access else cfg.seq_page_cost
+        pages_read = page_count * sampling_rate
+        rows_read = row_count * sampling_rate
+        sequential_work = pages_read * page_cost + rows_read * cfg.cpu_tuple_cost
+        elapsed = sequential_work / self._effective_speedup(parallelism)
+        components = {
+            "execution_time": elapsed,
+            "sequential_time": sequential_work,
+            "precision_loss": 1.0 - sampling_rate,
+            "buffer_space": max(1.0, pages_read / 10.0),
+        }
+        components.update(
+            self._derived_components(elapsed, parallelism, pages_read)
+        )
+        return self._vector(components)
+
+    # ------------------------------------------------------------------
+    # Joins (local cost of the join operator itself)
+    # ------------------------------------------------------------------
+    def join_local_cost(
+        self,
+        left_rows: float,
+        right_rows: float,
+        output_rows: float,
+        algorithm: str = "hash_join",
+        parallelism: int = 1,
+    ) -> CostVector:
+        """Local cost vector of a join operator.
+
+        The returned vector contains only the work added by the join itself;
+        combining it with the two input cost vectors is the responsibility of
+        :meth:`repro.costs.metrics.MetricSet.combine` (i.e. the per-metric
+        aggregation functions).
+
+        Parameters
+        ----------
+        left_rows, right_rows:
+            Estimated input cardinalities.
+        output_rows:
+            Estimated output cardinality.
+        algorithm:
+            One of ``"hash_join"``, ``"sort_merge_join"``, ``"nested_loop_join"``.
+        parallelism:
+            Cores used by the join operator.
+        """
+        if min(left_rows, right_rows, output_rows) < 0:
+            raise ValueError("cardinalities must be non-negative")
+        cfg = self._config
+        if algorithm == "hash_join":
+            work = (
+                (left_rows + right_rows) * cfg.cpu_operator_cost
+                + output_rows * cfg.join_output_cost
+            )
+            buffer_rows = min(left_rows, right_rows)
+        elif algorithm == "sort_merge_join":
+            work = (
+                _n_log_n(left_rows) * cfg.cpu_operator_cost
+                + _n_log_n(right_rows) * cfg.cpu_operator_cost
+                + output_rows * cfg.join_output_cost
+            )
+            buffer_rows = left_rows + right_rows
+        elif algorithm == "nested_loop_join":
+            work = (
+                left_rows * right_rows * cfg.cpu_operator_cost * 0.1
+                + output_rows * cfg.join_output_cost
+            )
+            buffer_rows = min(left_rows, right_rows)
+        else:
+            raise ValueError(
+                f"unknown join algorithm {algorithm!r}; expected hash_join, "
+                "sort_merge_join or nested_loop_join"
+            )
+        elapsed = work / self._effective_speedup(parallelism)
+        components = {
+            "execution_time": elapsed,
+            "sequential_time": work,
+            "precision_loss": 0.0,
+            "buffer_space": max(1.0, buffer_rows / cfg.rows_per_buffer_page),
+        }
+        components.update(self._derived_components(elapsed, parallelism, 0.0))
+        return self._vector(components)
+
+    # ------------------------------------------------------------------
+    def combine(
+        self, left: CostVector, right: CostVector, local: CostVector
+    ) -> CostVector:
+        """Aggregate two sub-plan cost vectors with a join's local cost."""
+        return self._metrics.combine(left, right, local)
+
+
+def _n_log_n(rows: float) -> float:
+    """``rows * log2(rows)`` guarded against tiny inputs."""
+    if rows <= 2.0:
+        return rows
+    return rows * math.log2(rows)

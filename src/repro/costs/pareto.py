@@ -1,0 +1,234 @@
+"""Pareto plan sets and approximate Pareto plan sets.
+
+Section 3 of the paper defines:
+
+* A plan ``p*`` is *Pareto-optimal* within a plan set ``P`` if no alternative
+  plan strictly dominates it.
+* ``P* ⊆ P`` is a *Pareto plan set* if every plan in ``P`` is dominated by some
+  plan in ``P*``.
+* ``P*_alpha ⊆ P`` is an *alpha-approximate Pareto plan set* if for every plan
+  ``p`` in ``P`` there is a plan ``p*`` in ``P*_alpha`` with
+  ``c(p*) <= alpha * c(p)``.
+* With cost bounds ``b``, an *alpha-approximate b-bounded Pareto plan set* only
+  needs to cover plans with ``alpha * c(p) <= b``.
+
+This module provides a generic :class:`ParetoSet` container over arbitrary
+items keyed by their cost vectors (used by the exhaustive baseline and by the
+test suite as ground truth) together with free functions for filtering and for
+checking coverage guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.costs.dominance import (
+    approximately_dominates,
+    dominates,
+    strictly_dominates,
+    within_bounds,
+)
+from repro.costs.vector import CostVector
+
+T = TypeVar("T")
+
+
+class ParetoSet(Generic[T]):
+    """A set of items maintained so that no item strictly dominates another.
+
+    Items are arbitrary objects (typically query plans); their cost is obtained
+    through the ``cost_of`` callable supplied at construction time.  Inserting
+    an item removes all items that it strictly dominates; the insertion is
+    rejected when an existing item dominates the new one.
+
+    Note that this is the *non-approximate, minimal* frontier semantics used by
+    the exhaustive baseline (Ganguly-style full Pareto DP).  IAMA's result sets
+    deliberately do **not** behave like this: IAMA never discards previously
+    inserted result plans (Section 4.2) and prunes approximately.  That logic
+    lives in :mod:`repro.core.pruning`.
+    """
+
+    def __init__(self, cost_of: Callable[[T], CostVector]):
+        self._cost_of = cost_of
+        self._items: List[T] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def items(self) -> List[T]:
+        """Return the current frontier items (a copy)."""
+        return list(self._items)
+
+    def costs(self) -> List[CostVector]:
+        """Return the cost vectors of the current frontier items."""
+        return [self._cost_of(item) for item in self._items]
+
+    # ------------------------------------------------------------------
+    def insert(self, item: T) -> bool:
+        """Insert ``item`` unless it is dominated; evict items it dominates.
+
+        Returns ``True`` when the item was inserted.  An item whose cost equals
+        the cost of an existing item is *not* inserted (the existing
+        representative suffices), matching the convention that ties are broken
+        in favour of the incumbent.
+        """
+        cost = self._cost_of(item)
+        survivors: List[T] = []
+        for existing in self._items:
+            existing_cost = self._cost_of(existing)
+            if dominates(existing_cost, cost):
+                # The incumbent is at least as good on every metric: reject.
+                return False
+            if not dominates(cost, existing_cost):
+                survivors.append(existing)
+        survivors.append(item)
+        self._items = survivors
+        return True
+
+    def insert_all(self, items: Iterable[T]) -> int:
+        """Insert many items; return how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.insert(item):
+                accepted += 1
+        return accepted
+
+    def dominated_by_any(self, cost: CostVector) -> bool:
+        """True when some frontier item dominates the given cost vector."""
+        return any(dominates(self._cost_of(item), cost) for item in self._items)
+
+    def covers(self, cost: CostVector, alpha: float = 1.0) -> bool:
+        """True when some frontier item alpha-approximately dominates ``cost``."""
+        return any(
+            approximately_dominates(self._cost_of(item), cost, alpha)
+            for item in self._items
+        )
+
+
+# ----------------------------------------------------------------------
+# Free functions over plain cost-vector collections
+# ----------------------------------------------------------------------
+def pareto_filter(costs: Sequence[CostVector]) -> List[CostVector]:
+    """Return the subset of ``costs`` that is not strictly dominated.
+
+    Duplicate vectors are collapsed to a single representative.
+    """
+    unique: List[CostVector] = []
+    seen = set()
+    for c in costs:
+        if c not in seen:
+            seen.add(c)
+            unique.append(c)
+    frontier: List[CostVector] = []
+    for c in unique:
+        if not any(strictly_dominates(other, c) for other in unique if other is not c):
+            frontier.append(c)
+    return frontier
+
+
+def is_pareto_optimal(cost: CostVector, costs: Iterable[CostVector]) -> bool:
+    """True when no vector in ``costs`` strictly dominates ``cost``."""
+    return not any(strictly_dominates(other, cost) for other in costs)
+
+
+def is_alpha_cover(
+    candidate: Sequence[CostVector],
+    universe: Sequence[CostVector],
+    alpha: float,
+    bounds: Optional[CostVector] = None,
+) -> bool:
+    """Check the alpha-approximate (b-bounded) Pareto plan set condition.
+
+    ``candidate`` is an alpha-approximate Pareto set for ``universe`` when for
+    every ``u`` in ``universe`` there is a ``c`` in ``candidate`` with
+    ``c <= alpha * u``.  When ``bounds`` is given, only universe vectors with
+    ``alpha * u <= bounds`` need to be covered (Section 3, bounded variant).
+    """
+    for u in universe:
+        if bounds is not None and not within_bounds(u.scaled(alpha), bounds):
+            continue
+        if not any(approximately_dominates(c, u, alpha) for c in candidate):
+            return False
+    return True
+
+
+def approximation_error(
+    candidate: Sequence[CostVector],
+    universe: Sequence[CostVector],
+    bounds: Optional[CostVector] = None,
+) -> float:
+    """Return the smallest alpha such that ``candidate`` alpha-covers ``universe``.
+
+    The result is ``>= 1.0``; ``1.0`` means the candidate dominates every
+    universe vector exactly.  Used by tests and by the Figure-2 style
+    "result quality over time" experiment, where quality is reported as the
+    inverse of the approximation error.
+
+    When ``bounds`` is given, universe vectors that exceed the bounds are
+    ignored (they would only need to be covered once scaled vectors fit in the
+    bounds; for error reporting the unbounded subset is the relevant one).
+    """
+    if not universe:
+        return 1.0
+    if not candidate:
+        return float("inf")
+    worst = 1.0
+    for u in universe:
+        if bounds is not None and not within_bounds(u, bounds):
+            continue
+        best_for_u = float("inf")
+        for c in candidate:
+            ratio = _cover_ratio(c, u)
+            best_for_u = min(best_for_u, ratio)
+            if best_for_u <= worst:
+                break
+        worst = max(worst, best_for_u)
+    return worst
+
+
+def _cover_ratio(candidate: CostVector, target: CostVector) -> float:
+    """Smallest alpha with ``candidate <= alpha * target`` (inf if impossible)."""
+    alpha = 1.0
+    for c, t in zip(candidate, target):
+        if c <= t:
+            continue
+        if t == 0.0:
+            return float("inf")
+        alpha = max(alpha, c / t)
+    return alpha
+
+
+def hypervolume_2d(
+    costs: Sequence[CostVector], reference: Tuple[float, float]
+) -> float:
+    """Dominated hypervolume for two-dimensional cost vectors.
+
+    A simple quality indicator used in the interactive examples and the
+    anytime-quality experiment: the area of the region dominated by the
+    frontier, clipped at the ``reference`` point.  Larger is better.
+    """
+    if not costs:
+        return 0.0
+    if any(len(c) != 2 for c in costs):
+        raise ValueError("hypervolume_2d requires two-dimensional cost vectors")
+    ref_x, ref_y = reference
+    points = sorted(
+        {(c[0], c[1]) for c in costs if c[0] <= ref_x and c[1] <= ref_y}
+    )
+    frontier: List[Tuple[float, float]] = []
+    best_y = float("inf")
+    for x, y in points:
+        if y < best_y:
+            frontier.append((x, y))
+            best_y = y
+    area = 0.0
+    for i, (x, y) in enumerate(frontier):
+        next_x = frontier[i + 1][0] if i + 1 < len(frontier) else ref_x
+        width = max(0.0, next_x - x)
+        height = max(0.0, ref_y - y)
+        area += width * height
+    return area

@@ -1,0 +1,47 @@
+"""Interactive MOQO: user models, session driver, frontier visualization.
+
+The paper's motivation is an *interactive* optimization process (Figure 1): the
+optimizer continuously refines a visualization of the Pareto-optimal cost
+tradeoffs while the user may tighten or relax cost bounds and finally selects a
+plan by clicking a cost tradeoff.  There is no GUI in this reproduction;
+instead this package provides
+
+* scripted **user models** that react to frontier snapshots exactly like the
+  users in the paper's scenarios (never interacting, tightening bounds,
+  relaxing bounds, selecting a plan once the frontier is precise enough),
+* an **interactive session** driver that connects a user model to the anytime
+  control loop and records a timeline of everything that happened,
+* **visualization** helpers that turn frontier snapshots into data series and
+  ASCII scatter plots for terminal display.
+"""
+
+from repro.interactive.visualize import (
+    FrontierSnapshot,
+    ascii_scatter,
+    frontier_series,
+)
+from repro.interactive.user_models import (
+    UserModel,
+    PassiveUser,
+    BoundTighteningUser,
+    BoundRelaxingUser,
+    PlanSelectingUser,
+    ScriptedUser,
+    weighted_sum_chooser,
+)
+from repro.interactive.session import InteractiveSession, SessionTimelineEntry
+
+__all__ = [
+    "FrontierSnapshot",
+    "ascii_scatter",
+    "frontier_series",
+    "UserModel",
+    "PassiveUser",
+    "BoundTighteningUser",
+    "BoundRelaxingUser",
+    "PlanSelectingUser",
+    "ScriptedUser",
+    "weighted_sum_chooser",
+    "InteractiveSession",
+    "SessionTimelineEntry",
+]

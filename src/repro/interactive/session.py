@@ -1,0 +1,151 @@
+"""Interactive session driver.
+
+:class:`InteractiveSession` wires a query, a plan factory, a resolution
+schedule and a user model into the anytime control loop and records a timeline
+of frontier snapshots -- the programmatic equivalent of watching the Figure-1
+interface refine its display while the user drags bounds around and eventually
+clicks a plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.control import AnytimeMOQO, InvocationResult, UserAction
+from repro.core.resolution import ResolutionSchedule
+from repro.costs.pareto import hypervolume_2d
+from repro.costs.vector import CostVector
+from repro.interactive.user_models import UserModel
+from repro.interactive.visualize import FrontierSnapshot
+from repro.plans.factory import PlanFactory
+from repro.plans.plan import Plan
+from repro.plans.query import Query
+
+
+@dataclass(frozen=True)
+class SessionTimelineEntry:
+    """One main-loop iteration as recorded by the session."""
+
+    snapshot: FrontierSnapshot
+    action: UserAction
+    invocation_seconds: float
+
+    @property
+    def iteration(self) -> int:
+        return self.snapshot.iteration
+
+    @property
+    def resolution(self) -> int:
+        return self.snapshot.resolution
+
+
+class InteractiveSession:
+    """Drives an anytime MOQO optimization under a scripted user model."""
+
+    def __init__(
+        self,
+        query: Query,
+        factory: PlanFactory,
+        schedule: ResolutionSchedule,
+        user: Optional[UserModel] = None,
+        default_bounds: Optional[CostVector] = None,
+        **optimizer_options,
+    ):
+        self._factory = factory
+        self._user = user or UserModel()
+        self._loop = AnytimeMOQO(
+            query,
+            factory,
+            schedule,
+            default_bounds=default_bounds,
+            **optimizer_options,
+        )
+        self._timeline: List[SessionTimelineEntry] = []
+        self._started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def loop(self) -> AnytimeMOQO:
+        """The underlying control loop (for inspection)."""
+        return self._loop
+
+    @property
+    def timeline(self) -> List[SessionTimelineEntry]:
+        """Everything that happened so far, one entry per iteration."""
+        return list(self._timeline)
+
+    @property
+    def selected_plan(self) -> Optional[Plan]:
+        return self._loop.selected_plan
+
+    # ------------------------------------------------------------------
+    def run(self, max_iterations: int = 50) -> Optional[Plan]:
+        """Run until the user selects a plan or the iteration budget is spent."""
+        self._started = time.perf_counter()
+
+        def reacting_user(result: InvocationResult) -> UserAction:
+            action = self._user.react(result)
+            self._record(result, action)
+            return action
+
+        return self._loop.run(user=reacting_user, max_iterations=max_iterations)
+
+    def step(self) -> SessionTimelineEntry:
+        """Run a single iteration and record it."""
+        if self._started is None:
+            self._started = time.perf_counter()
+        result = self._loop.step()
+        entry = self._record(result, self._user.react(result))
+        return entry
+
+    # ------------------------------------------------------------------
+    def hypervolume_series(
+        self, x_metric: int = 0, y_metric: int = 1
+    ) -> List[float]:
+        """Dominated hypervolume of the visualized frontier over time.
+
+        Works on two selected metrics; the reference point is the maximum
+        observed value per metric over the whole timeline (plus 5%), so the
+        series is comparable across iterations.  Used by the anytime-quality
+        experiment (Figure 2 style).
+        """
+        all_costs = [
+            cost for entry in self._timeline for cost in entry.snapshot.costs
+        ]
+        if not all_costs:
+            return []
+        ref = (
+            max(c[x_metric] for c in all_costs) * 1.05,
+            max(c[y_metric] for c in all_costs) * 1.05,
+        )
+        series = []
+        for entry in self._timeline:
+            projected = [
+                CostVector([c[x_metric], c[y_metric]]) for c in entry.snapshot.costs
+            ]
+            series.append(hypervolume_2d(projected, ref))
+        return series
+
+    # ------------------------------------------------------------------
+    def _record(
+        self, result: InvocationResult, action: UserAction
+    ) -> SessionTimelineEntry:
+        elapsed = (
+            time.perf_counter() - self._started if self._started is not None else 0.0
+        )
+        snapshot = FrontierSnapshot(
+            iteration=result.iteration,
+            resolution=result.resolution,
+            bounds=result.bounds,
+            costs=tuple(result.frontier_costs),
+            elapsed_seconds=elapsed,
+        )
+        entry = SessionTimelineEntry(
+            snapshot=snapshot,
+            action=action,
+            invocation_seconds=result.duration_seconds,
+        )
+        self._timeline.append(entry)
+        return entry

@@ -1,0 +1,53 @@
+"""Query and query-plan representation.
+
+The paper models a query as a set of tables to be joined (Section 3) and a
+query plan as either a scan of a single table or a join of two sub-plans.
+Section 4.3 lists the standard extensions the real implementation supports:
+multiple join operators, interesting tuple orders, and predicates/projections
+pushed into the join tree.  This package provides:
+
+* :mod:`repro.plans.query` -- the query model (table sets plus the join graph
+  used for cardinality estimation),
+* :mod:`repro.plans.operators` -- physical scan and join operators with their
+  parameters (sampling rate, parallelism, algorithm),
+* :mod:`repro.plans.plan` -- immutable plan trees carrying cost vectors and
+  interesting orders,
+* :mod:`repro.plans.factory` -- the :class:`PlanFactory` that builds costed
+  scan and join plans from operators, the cardinality estimator and the
+  multi-objective cost model.
+"""
+
+from repro.plans.query import Query, table_subsets, proper_splits
+from repro.plans.operators import (
+    ScanOperator,
+    JoinOperator,
+    OperatorRegistry,
+    default_operator_registry,
+)
+from repro.plans.plan import Plan, ScanPlan, JoinPlan, plan_signature
+from repro.plans.factory import PlanFactory
+from repro.plans.explain import (
+    explain_plan,
+    compare_plans,
+    frontier_summary,
+    format_frontier_summary,
+)
+
+__all__ = [
+    "Query",
+    "table_subsets",
+    "proper_splits",
+    "ScanOperator",
+    "JoinOperator",
+    "OperatorRegistry",
+    "default_operator_registry",
+    "Plan",
+    "ScanPlan",
+    "JoinPlan",
+    "plan_signature",
+    "PlanFactory",
+    "explain_plan",
+    "compare_plans",
+    "frontier_summary",
+    "format_frontier_summary",
+]

@@ -1,0 +1,189 @@
+"""Physical scan and join operators.
+
+The paper's evaluation trades execution time against the number of reserved
+cores (via intra-operator parallelism) and against result precision (via
+sampled scans).  Section 4.3 notes that supporting multiple join operators
+"just requires to add an inner loop iterating over all applicable join
+operators" inside the plan-combination step.  This module defines the operator
+descriptors and an :class:`OperatorRegistry` that enumerates the applicable
+operator variants for a table or a join, which is exactly that inner loop's
+domain.
+
+The registry also reproduces a detail mentioned in the paper's footnote 4: the
+8-table TPC-H query "refers to many small tables for which less sampling
+strategies are considered" -- the registry therefore offers fewer sampled-scan
+variants for small tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ScanOperator:
+    """A physical scan variant.
+
+    Attributes
+    ----------
+    kind:
+        ``"seq_scan"`` or ``"sample_scan"``.
+    sampling_rate:
+        Fraction of the table that is read; 1.0 for full scans.
+    parallelism:
+        Number of cores used by the scan.
+    """
+
+    kind: str
+    sampling_rate: float = 1.0
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("seq_scan", "sample_scan"):
+            raise ValueError(f"unknown scan kind {self.kind!r}")
+        if not 0.0 < self.sampling_rate <= 1.0:
+            raise ValueError("sampling_rate must be in (0, 1]")
+        if self.kind == "seq_scan" and self.sampling_rate != 1.0:
+            raise ValueError("seq_scan must have sampling_rate 1.0")
+        if self.kind == "sample_scan" and self.sampling_rate >= 1.0:
+            raise ValueError("sample_scan must have sampling_rate < 1.0")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label for plan rendering."""
+        if self.kind == "seq_scan":
+            return f"SeqScan(p={self.parallelism})"
+        return f"SampleScan(rate={self.sampling_rate:g}, p={self.parallelism})"
+
+
+@dataclass(frozen=True)
+class JoinOperator:
+    """A physical join variant.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"hash_join"``, ``"sort_merge_join"`` or ``"nested_loop_join"``.
+    parallelism:
+        Number of cores used by the join.
+    """
+
+    algorithm: str
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("hash_join", "sort_merge_join", "nested_loop_join"):
+            raise ValueError(f"unknown join algorithm {self.algorithm!r}")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable label for plan rendering."""
+        short = {
+            "hash_join": "HJ",
+            "sort_merge_join": "MJ",
+            "nested_loop_join": "NL",
+        }[self.algorithm]
+        return f"{short}(p={self.parallelism})"
+
+    @property
+    def produces_order(self) -> bool:
+        """Whether the operator produces sorted output (interesting order)."""
+        return self.algorithm == "sort_merge_join"
+
+
+class OperatorRegistry:
+    """Enumerates the applicable operator variants for scans and joins.
+
+    Parameters
+    ----------
+    parallelism_levels:
+        Degrees of parallelism offered for scans and joins.
+    sampling_rates:
+        Sampling rates (strictly below 1.0) offered for sampled scans of
+        sufficiently large tables.
+    small_table_rows:
+        Tables with at most this many rows only get full scans and the single
+        coarsest sampling rate; this mirrors the paper's remark that small
+        tables have fewer sampling strategies.
+    join_algorithms:
+        Join algorithms offered for every join.
+    """
+
+    def __init__(
+        self,
+        parallelism_levels: Sequence[int] = (1, 2, 4),
+        sampling_rates: Sequence[float] = (0.5, 0.1, 0.01),
+        small_table_rows: int = 20_000,
+        join_algorithms: Sequence[str] = (
+            "hash_join",
+            "sort_merge_join",
+            "nested_loop_join",
+        ),
+    ):
+        if not parallelism_levels:
+            raise ValueError("at least one parallelism level is required")
+        if any(p < 1 for p in parallelism_levels):
+            raise ValueError("parallelism levels must be >= 1")
+        if any(not 0.0 < rate < 1.0 for rate in sampling_rates):
+            raise ValueError("sampling rates must be in (0, 1)")
+        if not join_algorithms:
+            raise ValueError("at least one join algorithm is required")
+        self._parallelism_levels = tuple(sorted(set(parallelism_levels)))
+        self._sampling_rates = tuple(sorted(set(sampling_rates), reverse=True))
+        self._small_table_rows = small_table_rows
+        self._join_algorithms = tuple(join_algorithms)
+
+    # ------------------------------------------------------------------
+    @property
+    def parallelism_levels(self) -> Tuple[int, ...]:
+        return self._parallelism_levels
+
+    @property
+    def sampling_rates(self) -> Tuple[float, ...]:
+        return self._sampling_rates
+
+    @property
+    def join_algorithms(self) -> Tuple[str, ...]:
+        return self._join_algorithms
+
+    # ------------------------------------------------------------------
+    def scan_operators(self, table_rows: float) -> List[ScanOperator]:
+        """Scan variants applicable to a table with the given row count."""
+        operators: List[ScanOperator] = []
+        for parallelism in self._parallelism_levels:
+            operators.append(ScanOperator("seq_scan", 1.0, parallelism))
+        if table_rows <= self._small_table_rows:
+            rates: Tuple[float, ...] = self._sampling_rates[:1]
+        else:
+            rates = self._sampling_rates
+        for rate in rates:
+            for parallelism in self._parallelism_levels:
+                operators.append(ScanOperator("sample_scan", rate, parallelism))
+        return operators
+
+    def join_operators(self) -> List[JoinOperator]:
+        """Join variants applicable to any join."""
+        operators: List[JoinOperator] = []
+        for algorithm in self._join_algorithms:
+            for parallelism in self._parallelism_levels:
+                operators.append(JoinOperator(algorithm, parallelism))
+        return operators
+
+
+def default_operator_registry() -> OperatorRegistry:
+    """Registry with the default parallelism, sampling and join settings."""
+    return OperatorRegistry()
+
+
+def minimal_operator_registry() -> OperatorRegistry:
+    """A small registry (single-core, hash join only) for fast unit tests."""
+    return OperatorRegistry(
+        parallelism_levels=(1,),
+        sampling_rates=(0.1,),
+        join_algorithms=("hash_join",),
+    )

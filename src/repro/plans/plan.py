@@ -1,0 +1,160 @@
+"""Immutable query plan trees.
+
+A plan either scans a single table or joins the results of two sub-plans
+(Section 3: ``p = p1 ⋈ p2``).  Plans carry:
+
+* the set of tables they join (``frozenset`` of table names),
+* their multi-objective cost vector,
+* the physical operator that produced them,
+* an optional *interesting order* tag (Section 4.3: plans producing different
+  interesting tuple orders are pruned separately),
+* a process-unique integer id, used to represent plans compactly ("plans are
+  represented by pointers to their sub-plans", Section 5.2) and to build the
+  freshness signature used by ``IsFresh``.
+
+Plans are immutable; equality is identity-based (two structurally identical
+plans created independently are distinct objects with distinct ids), which is
+what the incremental bookkeeping requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.costs.vector import CostVector
+from repro.plans.operators import JoinOperator, ScanOperator
+
+_plan_id_counter = itertools.count(1)
+
+
+class Plan:
+    """Base class for query plans."""
+
+    __slots__ = ("plan_id", "tables", "cost", "interesting_order")
+
+    def __init__(
+        self,
+        tables: FrozenSet[str],
+        cost: CostVector,
+        interesting_order: Optional[str] = None,
+    ):
+        if not tables:
+            raise ValueError("a plan must join at least one table")
+        self.plan_id: int = next(_plan_id_counter)
+        self.tables: FrozenSet[str] = frozenset(tables)
+        self.cost: CostVector = cost
+        #: Name of the column/order the plan's output is sorted on, or None.
+        self.interesting_order: Optional[str] = interesting_order
+
+    # ------------------------------------------------------------------
+    @property
+    def table_count(self) -> int:
+        """Number of tables joined by this plan."""
+        return len(self.tables)
+
+    def is_scan(self) -> bool:
+        return isinstance(self, ScanPlan)
+
+    def is_join(self) -> bool:
+        return isinstance(self, JoinPlan)
+
+    def leaves(self) -> List["ScanPlan"]:
+        """The scan plans at the leaves of this plan tree, left to right."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the plan tree (1 for scans)."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Plan"]:
+        """Iterate over the plan tree in pre-order."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """A compact single-line rendering of the plan tree."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(id={self.plan_id}, tables={sorted(self.tables)})"
+
+
+class ScanPlan(Plan):
+    """A plan that scans a single base table."""
+
+    __slots__ = ("table", "operator")
+
+    def __init__(
+        self,
+        table: str,
+        operator: ScanOperator,
+        cost: CostVector,
+        interesting_order: Optional[str] = None,
+    ):
+        super().__init__(frozenset({table}), cost, interesting_order)
+        self.table = table
+        self.operator = operator
+
+    def leaves(self) -> List["ScanPlan"]:
+        return [self]
+
+    def depth(self) -> int:
+        return 1
+
+    def walk(self) -> Iterator[Plan]:
+        yield self
+
+    def render(self) -> str:
+        return f"{self.operator.label}[{self.table}]"
+
+
+class JoinPlan(Plan):
+    """A plan joining the results of two sub-plans."""
+
+    __slots__ = ("left", "right", "operator")
+
+    def __init__(
+        self,
+        left: Plan,
+        right: Plan,
+        operator: JoinOperator,
+        cost: CostVector,
+        interesting_order: Optional[str] = None,
+    ):
+        overlap = left.tables & right.tables
+        if overlap:
+            raise ValueError(
+                f"join operands overlap on tables {sorted(overlap)}"
+            )
+        super().__init__(left.tables | right.tables, cost, interesting_order)
+        self.left = left
+        self.right = right
+        self.operator = operator
+
+    def leaves(self) -> List[ScanPlan]:
+        return self.left.leaves() + self.right.leaves()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def walk(self) -> Iterator[Plan]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.operator.label} {self.right.render()})"
+
+
+def plan_signature(
+    left: Plan, right: Plan, operator: JoinOperator
+) -> Tuple[int, int, str, int]:
+    """The freshness signature of a sub-plan combination.
+
+    ``IsFresh`` (Algorithm 3) must evaluate to true exactly once per sub-plan
+    pair and join operator; the signature is the hash-table key used for that
+    check.  The operand order is canonicalized by plan id so that the pair
+    ``(p1, p2)`` and ``(p2, p1)`` map to the same signature.
+    """
+    first, second = (left, right) if left.plan_id <= right.plan_id else (right, left)
+    return (first.plan_id, second.plan_id, operator.algorithm, operator.parallelism)

@@ -1,0 +1,440 @@
+"""TPC-H schema, statistics and query join blocks.
+
+The TPC-H benchmark schema (scale factor 1) is modelled with its published
+table cardinalities and the foreign keys along which its queries join.  Every
+TPC-H query that contains at least one join is represented as one or more
+*join blocks* -- the select-project-join sub-queries that a Selinger-style
+optimizer (such as Postgres, Section 4.3 / 6.1) optimizes independently after
+decomposing nested queries.  A block is described by its table set, the join
+predicates connecting those tables, and per-table filter selectivities that
+summarize the block's WHERE clauses.
+
+Queries Q7 and Q8 join the ``nation`` table twice (customer nation and
+supplier nation); because the optimizer identifies tables by name, the schema
+includes ``nation2``, an alias clone of ``nation`` with identical statistics.
+
+The resulting blocks join 2, 3, 4, 5, 6 or 8 tables -- there is no 7-table
+block, which is why the paper's figures have no bar at 7 tables, and the only
+8-table block comes from Q8, which "refers to many small tables for which less
+sampling strategies are considered" (footnote 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.cardinality import JoinGraph, JoinPredicate
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+from repro.catalog.statistics import StatisticsCatalog
+from repro.plans.query import Query
+
+#: TPC-H table cardinalities at scale factor 1.
+TPCH_TABLE_ROWS: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "nation2": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def tpch_schema(scale_factor: float = 1.0) -> Schema:
+    """Build the TPC-H schema scaled by ``scale_factor``.
+
+    Only the columns participating in joins (keys) are modelled; distinct
+    value counts of key columns equal the referenced table's cardinality.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+
+    def rows(table: str) -> int:
+        base = TPCH_TABLE_ROWS[table]
+        if table in ("region", "nation", "nation2"):
+            return base  # fixed-size tables do not scale
+        return max(1, int(base * scale_factor))
+
+    def key(name: str, distinct: int) -> Column:
+        return Column(name, "int", distinct_values=max(1, distinct))
+
+    tables = [
+        Table(
+            "region",
+            [key("r_regionkey", 5)],
+            row_count=rows("region"),
+        ),
+        Table(
+            "nation",
+            [key("n_nationkey", 25), key("n_regionkey", 5)],
+            row_count=rows("nation"),
+        ),
+        Table(
+            "nation2",
+            [key("n_nationkey", 25), key("n_regionkey", 5)],
+            row_count=rows("nation2"),
+        ),
+        Table(
+            "supplier",
+            [key("s_suppkey", rows("supplier")), key("s_nationkey", 25)],
+            row_count=rows("supplier"),
+        ),
+        Table(
+            "customer",
+            [key("c_custkey", rows("customer")), key("c_nationkey", 25)],
+            row_count=rows("customer"),
+        ),
+        Table(
+            "part",
+            [key("p_partkey", rows("part"))],
+            row_count=rows("part"),
+        ),
+        Table(
+            "partsupp",
+            [
+                key("ps_partkey", rows("part")),
+                key("ps_suppkey", rows("supplier")),
+            ],
+            row_count=rows("partsupp"),
+        ),
+        Table(
+            "orders",
+            [
+                key("o_orderkey", rows("orders")),
+                key("o_custkey", rows("customer")),
+            ],
+            row_count=rows("orders"),
+        ),
+        Table(
+            "lineitem",
+            [
+                key("l_orderkey", rows("orders")),
+                key("l_partkey", rows("part")),
+                key("l_suppkey", rows("supplier")),
+            ],
+            row_count=rows("lineitem"),
+        ),
+    ]
+    foreign_keys = [
+        ForeignKey("nation", "n_regionkey", "region", "r_regionkey"),
+        ForeignKey("nation2", "n_regionkey", "region", "r_regionkey"),
+        ForeignKey("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ForeignKey("customer", "c_nationkey", "nation", "n_nationkey"),
+        ForeignKey("partsupp", "ps_partkey", "part", "p_partkey"),
+        ForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ForeignKey("orders", "o_custkey", "customer", "c_custkey"),
+        ForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ForeignKey("lineitem", "l_partkey", "part", "p_partkey"),
+        ForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ]
+    return Schema("tpch", tables, foreign_keys)
+
+
+def tpch_statistics(scale_factor: float = 1.0) -> StatisticsCatalog:
+    """Statistics catalog over the TPC-H schema."""
+    return StatisticsCatalog(tpch_schema(scale_factor))
+
+
+# ----------------------------------------------------------------------
+# Join predicates (by name, for readability below)
+# ----------------------------------------------------------------------
+def _predicate(left: str, right: str) -> JoinPredicate:
+    """The standard TPC-H join predicate between two tables."""
+    edges: Dict[Tuple[str, str], Tuple[str, str]] = {
+        ("nation", "region"): ("n_regionkey", "r_regionkey"),
+        ("nation2", "region"): ("n_regionkey", "r_regionkey"),
+        ("supplier", "nation"): ("s_nationkey", "n_nationkey"),
+        ("supplier", "nation2"): ("s_nationkey", "n_nationkey"),
+        ("customer", "nation"): ("c_nationkey", "n_nationkey"),
+        ("customer", "nation2"): ("c_nationkey", "n_nationkey"),
+        ("partsupp", "part"): ("ps_partkey", "p_partkey"),
+        ("partsupp", "supplier"): ("ps_suppkey", "s_suppkey"),
+        ("orders", "customer"): ("o_custkey", "c_custkey"),
+        ("lineitem", "orders"): ("l_orderkey", "o_orderkey"),
+        ("lineitem", "part"): ("l_partkey", "p_partkey"),
+        ("lineitem", "supplier"): ("l_suppkey", "s_suppkey"),
+        ("lineitem", "partsupp"): ("l_partkey", "ps_partkey"),
+    }
+    if (left, right) in edges:
+        left_col, right_col = edges[(left, right)]
+        return JoinPredicate(left, left_col, right, right_col)
+    if (right, left) in edges:
+        right_col, left_col = edges[(right, left)]
+        return JoinPredicate(left, left_col, right, right_col)
+    raise KeyError(f"no standard TPC-H join predicate between {left} and {right}")
+
+
+@dataclass(frozen=True)
+class QueryBlockSpec:
+    """Declarative description of one TPC-H join block."""
+
+    name: str
+    tables: Tuple[str, ...]
+    joins: Tuple[Tuple[str, str], ...]
+    selectivities: Mapping[str, float]
+
+    def table_count(self) -> int:
+        return len(self.tables)
+
+
+#: All TPC-H join blocks with at least two tables (i.e. at least one join).
+#: Filter selectivities are rounded estimates of each block's WHERE clauses
+#: against the TPC-H specification defaults.
+_BLOCK_SPECS: Tuple[QueryBlockSpec, ...] = (
+    # Q2: main block (5 tables) and correlated min-cost subquery (4 tables).
+    QueryBlockSpec(
+        name="q02_main",
+        tables=("part", "supplier", "partsupp", "nation", "region"),
+        joins=(
+            ("partsupp", "part"),
+            ("partsupp", "supplier"),
+            ("supplier", "nation"),
+            ("nation", "region"),
+        ),
+        selectivities={"part": 0.004, "region": 0.2},
+    ),
+    QueryBlockSpec(
+        name="q02_sub",
+        tables=("partsupp", "supplier", "nation", "region"),
+        joins=(
+            ("partsupp", "supplier"),
+            ("supplier", "nation"),
+            ("nation", "region"),
+        ),
+        selectivities={"region": 0.2},
+    ),
+    # Q3: shipping priority.
+    QueryBlockSpec(
+        name="q03",
+        tables=("customer", "orders", "lineitem"),
+        joins=(("orders", "customer"), ("lineitem", "orders")),
+        selectivities={"customer": 0.2, "orders": 0.48, "lineitem": 0.54},
+    ),
+    # Q4: order priority checking (semi-join block).
+    QueryBlockSpec(
+        name="q04",
+        tables=("orders", "lineitem"),
+        joins=(("lineitem", "orders"),),
+        selectivities={"orders": 0.038, "lineitem": 0.63},
+    ),
+    # Q5: local supplier volume.
+    QueryBlockSpec(
+        name="q05",
+        tables=("customer", "orders", "lineitem", "supplier", "nation", "region"),
+        joins=(
+            ("orders", "customer"),
+            ("lineitem", "orders"),
+            ("lineitem", "supplier"),
+            ("supplier", "nation"),
+            ("customer", "nation"),
+            ("nation", "region"),
+        ),
+        selectivities={"orders": 0.15, "region": 0.2},
+    ),
+    # Q7: volume shipping (two nation aliases).
+    QueryBlockSpec(
+        name="q07",
+        tables=("supplier", "lineitem", "orders", "customer", "nation", "nation2"),
+        joins=(
+            ("lineitem", "supplier"),
+            ("lineitem", "orders"),
+            ("orders", "customer"),
+            ("supplier", "nation"),
+            ("customer", "nation2"),
+        ),
+        selectivities={"lineitem": 0.3, "nation": 0.04, "nation2": 0.04},
+    ),
+    # Q8: national market share (8 tables; the largest block in the workload).
+    QueryBlockSpec(
+        name="q08",
+        tables=(
+            "part",
+            "supplier",
+            "lineitem",
+            "orders",
+            "customer",
+            "nation",
+            "nation2",
+            "region",
+        ),
+        joins=(
+            ("lineitem", "part"),
+            ("lineitem", "supplier"),
+            ("lineitem", "orders"),
+            ("orders", "customer"),
+            ("customer", "nation"),
+            ("nation", "region"),
+            ("supplier", "nation2"),
+        ),
+        selectivities={"part": 0.007, "orders": 0.3, "region": 0.2},
+    ),
+    # Q9: product type profit measure.
+    QueryBlockSpec(
+        name="q09",
+        tables=("part", "supplier", "lineitem", "partsupp", "orders", "nation"),
+        joins=(
+            ("lineitem", "part"),
+            ("lineitem", "supplier"),
+            ("lineitem", "partsupp"),
+            ("lineitem", "orders"),
+            ("supplier", "nation"),
+        ),
+        selectivities={"part": 0.05},
+    ),
+    # Q10: returned item reporting.
+    QueryBlockSpec(
+        name="q10",
+        tables=("customer", "orders", "lineitem", "nation"),
+        joins=(
+            ("orders", "customer"),
+            ("lineitem", "orders"),
+            ("customer", "nation"),
+        ),
+        selectivities={"orders": 0.03, "lineitem": 0.25},
+    ),
+    # Q11: important stock identification (main and HAVING subquery blocks).
+    QueryBlockSpec(
+        name="q11_main",
+        tables=("partsupp", "supplier", "nation"),
+        joins=(("partsupp", "supplier"), ("supplier", "nation")),
+        selectivities={"nation": 0.04},
+    ),
+    QueryBlockSpec(
+        name="q11_sub",
+        tables=("partsupp", "supplier", "nation"),
+        joins=(("partsupp", "supplier"), ("supplier", "nation")),
+        selectivities={"nation": 0.04},
+    ),
+    # Q12: shipping modes and order priority.
+    QueryBlockSpec(
+        name="q12",
+        tables=("orders", "lineitem"),
+        joins=(("lineitem", "orders"),),
+        selectivities={"lineitem": 0.005},
+    ),
+    # Q13: customer distribution (outer join block).
+    QueryBlockSpec(
+        name="q13",
+        tables=("customer", "orders"),
+        joins=(("orders", "customer"),),
+        selectivities={"orders": 0.98},
+    ),
+    # Q14: promotion effect.
+    QueryBlockSpec(
+        name="q14",
+        tables=("lineitem", "part"),
+        joins=(("lineitem", "part"),),
+        selectivities={"lineitem": 0.013},
+    ),
+    # Q15: top supplier (revenue view collapses to lineitem).
+    QueryBlockSpec(
+        name="q15",
+        tables=("supplier", "lineitem"),
+        joins=(("lineitem", "supplier"),),
+        selectivities={"lineitem": 0.04},
+    ),
+    # Q16: parts/supplier relationship.
+    QueryBlockSpec(
+        name="q16",
+        tables=("partsupp", "part"),
+        joins=(("partsupp", "part"),),
+        selectivities={"part": 0.11},
+    ),
+    # Q17: small-quantity-order revenue.
+    QueryBlockSpec(
+        name="q17",
+        tables=("lineitem", "part"),
+        joins=(("lineitem", "part"),),
+        selectivities={"part": 0.001},
+    ),
+    # Q18: large volume customer.
+    QueryBlockSpec(
+        name="q18",
+        tables=("customer", "orders", "lineitem"),
+        joins=(("orders", "customer"), ("lineitem", "orders")),
+        selectivities={},
+    ),
+    # Q19: discounted revenue.
+    QueryBlockSpec(
+        name="q19",
+        tables=("lineitem", "part"),
+        joins=(("lineitem", "part"),),
+        selectivities={"part": 0.002, "lineitem": 0.02},
+    ),
+    # Q20: potential part promotion (outer block).
+    QueryBlockSpec(
+        name="q20",
+        tables=("supplier", "nation"),
+        joins=(("supplier", "nation"),),
+        selectivities={"nation": 0.04},
+    ),
+    # Q21: suppliers who kept orders waiting.
+    QueryBlockSpec(
+        name="q21",
+        tables=("supplier", "lineitem", "orders", "nation"),
+        joins=(
+            ("lineitem", "supplier"),
+            ("lineitem", "orders"),
+            ("supplier", "nation"),
+        ),
+        selectivities={"orders": 0.49, "nation": 0.04},
+    ),
+    # Q22: global sales opportunity (anti-join block).
+    QueryBlockSpec(
+        name="q22",
+        tables=("customer", "orders"),
+        joins=(("orders", "customer"),),
+        selectivities={"customer": 0.32},
+    ),
+)
+
+
+def tpch_query_blocks() -> List[QueryBlockSpec]:
+    """The declarative specifications of all TPC-H join blocks."""
+    return list(_BLOCK_SPECS)
+
+
+def _build_query(spec: QueryBlockSpec) -> Query:
+    predicates = [_predicate(left, right) for left, right in spec.joins]
+    join_graph = JoinGraph(
+        tables=spec.tables,
+        predicates=predicates,
+        base_selectivities=dict(spec.selectivities),
+    )
+    return Query(f"tpch_{spec.name}", join_graph)
+
+
+def tpch_queries(
+    min_tables: int = 2, max_tables: Optional[int] = None
+) -> List[Query]:
+    """All TPC-H join blocks as :class:`~repro.plans.query.Query` objects.
+
+    ``min_tables`` / ``max_tables`` filter by block size; the defaults return
+    every block with at least one join, the paper's evaluation workload.
+    """
+    queries = []
+    for spec in _BLOCK_SPECS:
+        count = spec.table_count()
+        if count < min_tables:
+            continue
+        if max_tables is not None and count > max_tables:
+            continue
+        queries.append(_build_query(spec))
+    return queries
+
+
+def tpch_blocks_by_table_count(
+    min_tables: int = 2, max_tables: Optional[int] = None
+) -> Dict[int, List[Query]]:
+    """TPC-H join blocks grouped by the number of joined tables.
+
+    The experiment harness reports averages per group, reproducing the x-axis
+    of Figures 3-5 (2, 3, 4, 5, 6 and 8 tables; no block joins 7 tables).
+    """
+    grouped: Dict[int, List[Query]] = {}
+    for query in tpch_queries(min_tables=min_tables, max_tables=max_tables):
+        grouped.setdefault(query.table_count, []).append(query)
+    return dict(sorted(grouped.items()))

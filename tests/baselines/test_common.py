@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.baselines.common` (the from-scratch DP)."""
+
+import pytest
+
+from repro.baselines.common import ApproximateParetoDP
+from repro.costs.pareto import approximation_error, pareto_filter
+from tests.conftest import build_chain_query, build_factory
+
+
+def make_dp(**kwargs):
+    query = build_chain_query()
+    factory = build_factory(query)
+    return ApproximateParetoDP(query, factory, **kwargs), factory
+
+
+class TestRun:
+    def test_produces_complete_plans(self):
+        dp, factory = make_dp()
+        report = dp.run(factory.metric_set.unbounded_vector(), alpha=1.1)
+        assert report.frontier_size > 0
+        assert all(p.tables == dp.query.tables for p in dp.frontier())
+
+    def test_rejects_alpha_below_one(self):
+        dp, factory = make_dp()
+        with pytest.raises(ValueError):
+            dp.run(factory.metric_set.unbounded_vector(), alpha=0.5)
+
+    def test_every_run_starts_from_scratch(self):
+        dp, factory = make_dp()
+        bounds = factory.metric_set.unbounded_vector()
+        first = dp.run(bounds, alpha=1.1)
+        second = dp.run(bounds, alpha=1.1)
+        # Memoryless: the second run regenerates every plan.
+        assert second.plans_generated == first.plans_generated
+        assert factory.counters.total_plans_built >= 2 * first.plans_generated
+
+    def test_finer_alpha_keeps_at_least_as_many_plans(self):
+        dp, factory = make_dp()
+        bounds = factory.metric_set.unbounded_vector()
+        coarse = dp.run(bounds, alpha=1.5)
+        fine = dp.run(bounds, alpha=1.01)
+        assert fine.plans_kept >= coarse.plans_kept
+
+    def test_bounds_restrict_the_frontier(self):
+        dp, factory = make_dp()
+        bounds = factory.metric_set.unbounded_vector()
+        dp.run(bounds, alpha=1.1)
+        costs = [p.cost for p in dp.frontier()]
+        cutoff = sorted(c[0] for c in costs)[len(costs) // 2]
+        tight = bounds.with_component(0, cutoff)
+        dp.run(tight, alpha=1.1)
+        assert all(p.cost[0] <= cutoff for p in dp.frontier())
+
+    def test_keep_dominated_false_yields_minimal_sets(self):
+        keeping, keeping_factory = make_dp(keep_dominated=True)
+        evicting, evicting_factory = make_dp(keep_dominated=False)
+        bounds_a = keeping_factory.metric_set.unbounded_vector()
+        bounds_b = evicting_factory.metric_set.unbounded_vector()
+        report_keep = keeping.run(bounds_a, alpha=1.1)
+        report_evict = evicting.run(bounds_b, alpha=1.1)
+        assert report_evict.plans_kept <= report_keep.plans_kept
+
+    def test_duration_is_measured(self):
+        dp, factory = make_dp()
+        report = dp.run(factory.metric_set.unbounded_vector(), alpha=1.1)
+        assert report.duration_seconds > 0
+
+
+class TestApproximationQuality:
+    def test_alpha_one_with_eviction_is_exact_pareto(self):
+        dp, factory = make_dp(keep_dominated=False)
+        dp.run(factory.metric_set.unbounded_vector(), alpha=1.0)
+        frontier_costs = [p.cost for p in dp.frontier()]
+        assert approximation_error(frontier_costs, frontier_costs) == 1.0
+        # Minimal frontier: no plan dominates another.
+        assert len(pareto_filter(frontier_costs)) == len(set(frontier_costs))
+
+    def test_approximate_run_covers_exact_run(self):
+        exact, exact_factory = make_dp(keep_dominated=False)
+        exact.run(exact_factory.metric_set.unbounded_vector(), alpha=1.0)
+        exact_costs = [p.cost for p in exact.frontier()]
+
+        alpha = 1.2
+        approx, approx_factory = make_dp()
+        approx.run(approx_factory.metric_set.unbounded_vector(), alpha=alpha)
+        approx_costs = [p.cost for p in approx.frontier()]
+        guarantee = alpha ** exact.query.table_count
+        assert approximation_error(approx_costs, exact_costs) <= guarantee + 1e-9

@@ -1,0 +1,52 @@
+"""Unit tests for :mod:`repro.baselines.exhaustive`."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveParetoOptimizer
+from repro.costs.dominance import strictly_dominates
+from repro.costs.pareto import is_alpha_cover
+from tests.conftest import build_chain_query, build_factory
+
+
+def make_exhaustive():
+    query = build_chain_query()
+    factory = build_factory(query)
+    return ExhaustiveParetoOptimizer(query, factory), factory
+
+
+class TestExhaustive:
+    def test_frontier_is_mutually_non_dominated(self):
+        optimizer, _ = make_exhaustive()
+        optimizer.optimize()
+        frontier = [p.cost for p in optimizer.frontier()]
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not strictly_dominates(a, b)
+
+    def test_frontier_covers_every_generated_complete_plan(self):
+        optimizer, factory = make_exhaustive()
+        optimizer.optimize()
+        frontier = [p.cost for p in optimizer.frontier()]
+        assert is_alpha_cover(frontier, frontier, alpha=1.0)
+
+    def test_report_has_alpha_one(self):
+        optimizer, _ = make_exhaustive()
+        report = optimizer.optimize()
+        assert report.alpha == 1.0
+
+    def test_bounded_optimization(self):
+        optimizer, factory = make_exhaustive()
+        optimizer.optimize()
+        costs = [p.cost for p in optimizer.frontier()]
+        cutoff = sorted(c[0] for c in costs)[len(costs) // 2]
+        bounds = factory.metric_set.unbounded_vector().with_component(0, cutoff)
+        optimizer.optimize(bounds)
+        assert all(p.cost[0] <= cutoff for p in optimizer.frontier())
+
+    def test_reports_accumulate(self):
+        optimizer, _ = make_exhaustive()
+        optimizer.optimize()
+        optimizer.optimize()
+        assert len(optimizer.reports) == 2

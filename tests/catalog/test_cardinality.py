@@ -1,0 +1,164 @@
+"""Unit tests for :mod:`repro.catalog.cardinality`."""
+
+import pytest
+
+from repro.catalog.cardinality import CardinalityEstimator, JoinGraph, JoinPredicate
+from repro.catalog.statistics import StatisticsCatalog
+
+
+@pytest.fixture
+def chain_graph():
+    return JoinGraph(
+        tables=["customers", "orders", "items"],
+        predicates=[
+            JoinPredicate("orders", "customer_id", "customers", "id"),
+            JoinPredicate("items", "order_id", "orders", "id"),
+        ],
+        base_selectivities={"customers": 0.5},
+    )
+
+
+@pytest.fixture
+def estimator(small_statistics, chain_graph):
+    return CardinalityEstimator(small_statistics, chain_graph)
+
+
+class TestJoinPredicate:
+    def test_self_join_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPredicate("t", "a", "t", "b")
+
+    def test_invalid_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPredicate("a", "x", "b", "y", selectivity=0.0)
+
+    def test_connects(self):
+        predicate = JoinPredicate("a", "x", "b", "y")
+        assert predicate.connects({"a"}, {"b"})
+        assert predicate.connects({"b"}, {"a"})
+        assert not predicate.connects({"a"}, {"c"})
+
+    def test_tables_property(self):
+        assert JoinPredicate("a", "x", "b", "y").tables == frozenset({"a", "b"})
+
+
+class TestJoinGraph:
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(tables=["a", "a"])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(tables=[])
+
+    def test_predicate_outside_graph_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(tables=["a"], predicates=[JoinPredicate("a", "x", "b", "y")])
+
+    def test_selectivity_for_unknown_table_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(tables=["a"], base_selectivities={"b": 0.5})
+
+    def test_selectivity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            JoinGraph(tables=["a"], base_selectivities={"a": 0.0})
+
+    def test_base_selectivity_defaults_to_one(self, chain_graph):
+        assert chain_graph.base_selectivity("orders") == 1.0
+        assert chain_graph.base_selectivity("customers") == 0.5
+
+    def test_predicates_within(self, chain_graph):
+        inner = chain_graph.predicates_within({"customers", "orders"})
+        assert len(inner) == 1
+        assert chain_graph.predicates_within({"customers", "items"}) == []
+
+    def test_predicates_between(self, chain_graph):
+        between = chain_graph.predicates_between({"customers"}, {"orders", "items"})
+        assert len(between) == 1
+
+    def test_connectivity(self, chain_graph):
+        assert chain_graph.is_connected({"customers", "orders"})
+        assert chain_graph.is_connected({"customers", "orders", "items"})
+        assert not chain_graph.is_connected({"customers", "items"})
+        assert chain_graph.is_connected({"items"})
+        assert not chain_graph.is_connected([])
+
+    def test_neighbors(self, chain_graph):
+        assert chain_graph.neighbors("orders") == ["customers", "items"]
+        assert chain_graph.neighbors("customers") == ["orders"]
+
+
+class TestCardinalityEstimator:
+    def test_base_cardinality_applies_selectivity(self, estimator):
+        assert estimator.base_cardinality("customers") == pytest.approx(500.0)
+        assert estimator.base_cardinality("orders") == pytest.approx(20_000.0)
+
+    def test_predicate_selectivity_uses_max_distinct(self, estimator):
+        predicate = estimator.join_graph.predicates[0]
+        # customers.id has 1000 distinct values, orders.customer_id 1000.
+        assert estimator.predicate_selectivity(predicate) == pytest.approx(1 / 1000)
+
+    def test_explicit_selectivity_wins(self, small_statistics):
+        graph = JoinGraph(
+            tables=["customers", "orders"],
+            predicates=[
+                JoinPredicate("orders", "customer_id", "customers", "id", selectivity=0.01)
+            ],
+        )
+        estimator = CardinalityEstimator(small_statistics, graph)
+        assert estimator.predicate_selectivity(graph.predicates[0]) == pytest.approx(0.01)
+
+    def test_single_table_cardinality(self, estimator):
+        assert estimator.cardinality({"orders"}) == pytest.approx(20_000.0)
+
+    def test_two_table_join_cardinality(self, estimator):
+        # 500 customers x 20000 orders x 1/1000 = 10000
+        assert estimator.cardinality({"customers", "orders"}) == pytest.approx(10_000.0)
+
+    def test_three_table_join_cardinality(self, estimator):
+        expected = 500 * 20_000 * 100_000 * (1 / 1000) * (1 / 20_000)
+        assert estimator.cardinality({"customers", "orders", "items"}) == pytest.approx(expected)
+
+    def test_join_cardinality_requires_disjoint_operands(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.join_cardinality({"orders"}, {"orders", "items"})
+
+    def test_join_cardinality_equals_union_cardinality(self, estimator):
+        assert estimator.join_cardinality({"customers"}, {"orders"}) == estimator.cardinality(
+            {"customers", "orders"}
+        )
+
+    def test_unknown_table_raises(self, estimator):
+        with pytest.raises(KeyError):
+            estimator.cardinality({"unknown"})
+
+    def test_empty_set_raises(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.cardinality(set())
+
+    def test_cardinality_is_at_least_one(self, small_statistics):
+        graph = JoinGraph(
+            tables=["customers", "orders"],
+            predicates=[
+                JoinPredicate(
+                    "orders", "customer_id", "customers", "id", selectivity=1e-12
+                )
+            ],
+        )
+        estimator = CardinalityEstimator(small_statistics, graph)
+        assert estimator.cardinality({"customers", "orders"}) >= 1.0
+
+    def test_cache_and_clear(self, estimator):
+        first = estimator.cardinality({"customers", "orders"})
+        estimator.clear_cache()
+        assert estimator.cardinality({"customers", "orders"}) == first
+
+    def test_cross_product_without_predicate(self, small_statistics):
+        graph = JoinGraph(tables=["customers", "items"])
+        estimator = CardinalityEstimator(small_statistics, graph)
+        assert estimator.cardinality({"customers", "items"}) == pytest.approx(
+            1_000 * 100_000
+        )
+
+    def test_page_count_passthrough(self, estimator, small_statistics):
+        assert estimator.page_count("orders") == small_statistics.page_count("orders")

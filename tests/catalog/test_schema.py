@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.catalog.schema`."""
+
+import pytest
+
+from repro.catalog.schema import Column, ForeignKey, Schema, Table
+
+
+def make_table(name="t", rows=100):
+    return Table(name, [Column("id", "int", distinct_values=rows)], row_count=rows)
+
+
+class TestColumn:
+    def test_valid_column(self):
+        column = Column("id", "int", distinct_values=10)
+        assert column.name == "id"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("")
+
+    def test_non_positive_distinct_values_rejected(self):
+        with pytest.raises(ValueError):
+            Column("id", distinct_values=0)
+
+    def test_distinct_values_optional(self):
+        assert Column("payload").distinct_values is None
+
+
+class TestTable:
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("id").name == "id"
+
+    def test_unknown_column_raises_with_hint(self):
+        with pytest.raises(KeyError, match="id"):
+            make_table().column("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("id"), Column("id")], row_count=10)
+
+    def test_table_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [], row_count=10)
+
+    def test_row_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_table(rows=0)
+
+    def test_page_count_rounds_up(self):
+        table = Table("t", [Column("id")], row_count=101, page_size_rows=100)
+        assert table.page_count == 2
+
+    def test_page_count_is_at_least_one(self):
+        table = Table("t", [Column("id")], row_count=5, page_size_rows=100)
+        assert table.page_count == 1
+
+    def test_equality_is_by_name(self):
+        assert make_table("a") == make_table("a")
+        assert make_table("a") != make_table("b")
+
+    def test_has_column(self):
+        assert make_table().has_column("id")
+        assert not make_table().has_column("other")
+
+
+class TestForeignKey:
+    def test_reversed(self):
+        fk = ForeignKey("orders", "customer_id", "customers", "id")
+        reverse = fk.reversed()
+        assert reverse.from_table == "customers"
+        assert reverse.to_column == "customer_id"
+
+
+class TestSchema:
+    def _make_schema(self):
+        customers = Table("customers", [Column("id")], row_count=10)
+        orders = Table("orders", [Column("id"), Column("customer_id")], row_count=100)
+        return Schema(
+            "shop",
+            [customers, orders],
+            [ForeignKey("orders", "customer_id", "customers", "id")],
+        )
+
+    def test_table_lookup(self):
+        schema = self._make_schema()
+        assert schema.table("orders").row_count == 100
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            self._make_schema().table("missing")
+
+    def test_contains_and_len(self):
+        schema = self._make_schema()
+        assert "orders" in schema
+        assert "missing" not in schema
+        assert len(schema) == 2
+
+    def test_duplicate_tables_rejected(self):
+        table = Table("t", [Column("id")], row_count=1)
+        with pytest.raises(ValueError):
+            Schema("s", [table, table])
+
+    def test_foreign_key_endpoints_validated(self):
+        customers = Table("customers", [Column("id")], row_count=10)
+        with pytest.raises(KeyError):
+            Schema("s", [customers], [ForeignKey("orders", "x", "customers", "id")])
+        orders = Table("orders", [Column("id")], row_count=10)
+        with pytest.raises(ValueError):
+            Schema(
+                "s",
+                [customers, orders],
+                [ForeignKey("orders", "customer_id", "customers", "id")],
+            )
+
+    def test_foreign_keys_between(self):
+        schema = self._make_schema()
+        assert len(schema.foreign_keys_between("orders", "customers")) == 1
+        assert len(schema.foreign_keys_between("customers", "orders")) == 1
+        assert schema.foreign_keys_between("orders", "orders") == []
+
+    def test_iteration(self):
+        schema = self._make_schema()
+        assert {table.name for table in schema} == {"customers", "orders"}

@@ -1,0 +1,146 @@
+"""Tests for :mod:`repro.core.control` (Algorithm 1, the main control loop)."""
+
+import pytest
+
+from repro.core.control import (
+    AnytimeMOQO,
+    ChangeBounds,
+    Continue,
+    SelectPlan,
+)
+from repro.core.resolution import ResolutionSchedule
+from tests.conftest import build_chain_query, build_factory
+
+
+def make_loop(levels=3, **kwargs):
+    query = build_chain_query()
+    factory = build_factory(query)
+    schedule = ResolutionSchedule(levels=levels, target_precision=1.05, precision_step=0.3)
+    return AnytimeMOQO(query, factory, schedule, **kwargs), factory
+
+
+class TestStep:
+    def test_initial_state(self):
+        loop, factory = make_loop()
+        assert loop.resolution == 0
+        assert loop.iteration == 0
+        assert not loop.bounds.is_finite()
+
+    def test_step_produces_frontier_and_advances_resolution(self):
+        loop, _ = make_loop()
+        result = loop.step()
+        assert result.iteration == 1
+        assert result.resolution == 0
+        assert len(result.frontier) > 0
+        assert loop.resolution == 1
+
+    def test_resolution_saturates_at_max(self):
+        loop, _ = make_loop(levels=2)
+        loop.step()
+        loop.step()
+        loop.step()
+        assert loop.resolution == 1
+        assert loop.at_max_resolution
+
+    def test_history_is_recorded(self):
+        loop, _ = make_loop()
+        loop.step()
+        loop.step()
+        assert [r.iteration for r in loop.history] == [1, 2]
+
+    def test_bounds_change_resets_resolution(self):
+        loop, factory = make_loop()
+        result = loop.step()
+        assert loop.resolution == 1
+        new_bounds = factory.metric_set.unbounded_vector().with_component(0, 1e9)
+        loop.step(ChangeBounds(new_bounds))
+        assert loop.resolution == 0
+        assert loop.bounds == new_bounds
+
+    def test_select_plan_records_selection(self):
+        loop, _ = make_loop()
+        result = loop.step()
+        chosen = result.frontier[0].plan
+        loop.step(SelectPlan(plan=chosen))
+        assert loop.selected_plan is chosen
+
+    def test_visualize_callback_receives_every_result(self):
+        seen = []
+        loop, _ = make_loop(visualize=seen.append)
+        loop.step()
+        loop.step()
+        assert [r.iteration for r in seen] == [1, 2]
+
+    def test_frontier_costs_match_plans(self):
+        loop, _ = make_loop()
+        result = loop.step()
+        for point in result.frontier:
+            assert point.cost == point.plan.cost
+        assert result.frontier_costs == [p.cost for p in result.frontier]
+
+
+class TestRun:
+    def test_run_without_user_performs_one_sweep(self):
+        loop, _ = make_loop(levels=3)
+        selected = loop.run()
+        assert selected is None
+        assert loop.iteration == 3
+
+    def test_run_with_plan_selection_stops_early(self):
+        loop, _ = make_loop(levels=3)
+
+        def user(result):
+            if result.iteration == 2:
+                return SelectPlan(chooser=lambda frontier: frontier[0])
+            return Continue()
+
+        selected = loop.run(user=user, max_iterations=10)
+        assert selected is not None
+        assert loop.iteration == 2
+        assert loop.selected_plan is selected
+
+    def test_run_respects_max_iterations(self):
+        loop, _ = make_loop(levels=3)
+        loop.run(max_iterations=1)
+        assert loop.iteration == 1
+
+    def test_run_with_bound_changes(self):
+        loop, factory = make_loop(levels=3)
+        issued = []
+
+        def user(result):
+            if result.iteration == 1:
+                bounds = factory.metric_set.unbounded_vector().with_component(0, 1e9)
+                issued.append(bounds)
+                return ChangeBounds(bounds)
+            return Continue()
+
+        loop.run(user=user, max_iterations=3)
+        assert loop.history[1].bounds == issued[0]
+
+    def test_resolution_sweep_covers_every_level(self):
+        loop, _ = make_loop(levels=4)
+        results = loop.run_resolution_sweep()
+        assert [r.resolution for r in results] == [0, 1, 2, 3]
+
+
+class TestAnytimeBehaviour:
+    def test_frontier_never_shrinks_during_refinement(self):
+        loop, _ = make_loop(levels=4)
+        sizes = [len(result.frontier) for result in loop.run_resolution_sweep()]
+        assert all(later >= earlier for earlier, later in zip(sizes, sizes[1:]))
+
+    def test_selected_plan_resolution_from_chooser(self):
+        loop, factory = make_loop()
+        result = loop.step()
+        metric_index = 0
+        action = SelectPlan(
+            chooser=lambda frontier: min(frontier, key=lambda p: p.cost[metric_index])
+        )
+        resolved = action.resolve([p.plan for p in result.frontier])
+        assert resolved is not None
+        assert resolved.cost[0] == min(cost[0] for cost in result.frontier_costs)
+
+    def test_select_plan_resolve_empty_frontier(self):
+        action = SelectPlan(chooser=lambda frontier: frontier[0])
+        assert action.resolve([]) is None

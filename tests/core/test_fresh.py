@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.core.fresh`."""
+
+import pytest
+
+from repro.core.fresh import FreshnessRegistry, fresh_pairs
+from repro.costs.vector import CostVector
+from repro.plans.operators import JoinOperator, ScanOperator
+from repro.plans.plan import ScanPlan
+
+
+def scan(table):
+    return ScanPlan(table, ScanOperator("seq_scan"), CostVector([1.0, 1.0]))
+
+
+class TestFreshnessRegistry:
+    def test_first_registration_is_fresh(self):
+        registry = FreshnessRegistry()
+        assert registry.register(scan("a"), scan("b"), JoinOperator("hash_join"))
+
+    def test_second_registration_is_stale(self):
+        registry = FreshnessRegistry()
+        a, b = scan("a"), scan("b")
+        operator = JoinOperator("hash_join")
+        assert registry.register(a, b, operator)
+        assert not registry.register(a, b, operator)
+
+    def test_registration_is_symmetric(self):
+        registry = FreshnessRegistry()
+        a, b = scan("a"), scan("b")
+        operator = JoinOperator("hash_join")
+        registry.register(a, b, operator)
+        assert not registry.register(b, a, operator)
+
+    def test_different_operator_is_fresh(self):
+        registry = FreshnessRegistry()
+        a, b = scan("a"), scan("b")
+        registry.register(a, b, JoinOperator("hash_join"))
+        assert registry.register(a, b, JoinOperator("nested_loop_join"))
+
+    def test_is_fresh_has_no_side_effect(self):
+        registry = FreshnessRegistry()
+        a, b = scan("a"), scan("b")
+        operator = JoinOperator("hash_join")
+        assert registry.is_fresh(a, b, operator)
+        assert registry.is_fresh(a, b, operator)
+        assert len(registry) == 0
+
+    def test_counters(self):
+        registry = FreshnessRegistry()
+        a, b = scan("a"), scan("b")
+        operator = JoinOperator("hash_join")
+        registry.register(a, b, operator)
+        registry.register(a, b, operator)
+        assert registry.counters.fresh_combinations == 1
+        assert registry.counters.repeated_combinations == 1
+        assert registry.counters.total_checks == 2
+
+    def test_clear(self):
+        registry = FreshnessRegistry()
+        a, b = scan("a"), scan("b")
+        registry.register(a, b, JoinOperator("hash_join"))
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.register(a, b, JoinOperator("hash_join"))
+
+
+class TestFreshPairs:
+    def test_empty_operands_yield_nothing(self):
+        assert list(fresh_pairs([], [scan("b")])) == []
+        assert list(fresh_pairs([scan("a")], [])) == []
+
+    def test_unknown_delta_enumerates_all_pairs(self):
+        left = [scan("a1"), scan("a2")]
+        right = [scan("b1"), scan("b2"), scan("b3")]
+        pairs = list(fresh_pairs(left, right))
+        assert len(pairs) == 6
+
+    def test_delta_sets_skip_old_old_pairs(self):
+        old_left, new_left = scan("a1"), scan("a2")
+        old_right, new_right = scan("b1"), scan("b2")
+        pairs = set(
+            (l.plan_id, r.plan_id)
+            for l, r in fresh_pairs(
+                [old_left, new_left],
+                [old_right, new_right],
+                left_delta=[new_left],
+                right_delta=[new_right],
+            )
+        )
+        assert (old_left.plan_id, old_right.plan_id) not in pairs
+        assert (new_left.plan_id, old_right.plan_id) in pairs
+        assert (old_left.plan_id, new_right.plan_id) in pairs
+        assert (new_left.plan_id, new_right.plan_id) in pairs
+        assert len(pairs) == 3
+
+    def test_empty_deltas_yield_nothing(self):
+        left = [scan("a")]
+        right = [scan("b")]
+        assert list(fresh_pairs(left, right, left_delta=[], right_delta=[])) == []
+
+    def test_full_delta_enumerates_everything(self):
+        left = [scan("a1"), scan("a2")]
+        right = [scan("b1")]
+        pairs = list(fresh_pairs(left, right, left_delta=left, right_delta=right))
+        assert len(pairs) == 2
+
+    def test_pairs_are_unique(self):
+        left = [scan("a1"), scan("a2"), scan("a3")]
+        right = [scan("b1"), scan("b2")]
+        pairs = list(
+            fresh_pairs(left, right, left_delta=left[:1], right_delta=right[:1])
+        )
+        assert len(pairs) == len(set((l.plan_id, r.plan_id) for l, r in pairs))

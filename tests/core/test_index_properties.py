@@ -1,0 +1,97 @@
+"""Property-based tests for the plan index (hypothesis).
+
+The plan index is the data structure the complexity analysis leans on
+(Section 5.3 assumes O(F) retrieval); its range queries and the bucket pruning
+must never silently drop or invent plans.  The oracle here is a brute-force
+filter over a plain list.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import PlanIndex
+from repro.costs.dominance import dominates
+from repro.costs.vector import CostVector
+from repro.plans.operators import ScanOperator
+from repro.plans.plan import ScanPlan
+
+costs = st.tuples(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+entries = st.lists(
+    st.tuples(costs, st.integers(min_value=0, max_value=4)), min_size=0, max_size=40
+)
+bounds_values = st.one_of(
+    costs.map(lambda c: CostVector(c)),
+    st.just(CostVector.infinite(2)),
+)
+
+
+def build_index(entry_list):
+    index = PlanIndex()
+    plans = []
+    for cost, resolution in entry_list:
+        plan = ScanPlan("t", ScanOperator("seq_scan"), CostVector(cost))
+        index.insert(plan, resolution)
+        plans.append((plan, resolution))
+    return index, plans
+
+
+class TestRetrievalMatchesBruteForce:
+    @settings(max_examples=150)
+    @given(entries, bounds_values, st.integers(min_value=0, max_value=4))
+    def test_retrieve_equals_linear_scan(self, entry_list, bounds, max_resolution):
+        index, plans = build_index(entry_list)
+        expected = {
+            plan.plan_id
+            for plan, resolution in plans
+            if resolution <= max_resolution and dominates(plan.cost, bounds)
+        }
+        retrieved = {p.plan_id for p in index.retrieve(bounds, max_resolution)}
+        assert retrieved == expected
+
+    @settings(max_examples=150)
+    @given(entries, bounds_values, st.integers(min_value=0, max_value=4), costs)
+    def test_find_dominating_agrees_with_oracle(
+        self, entry_list, bounds, max_resolution, target
+    ):
+        index, plans = build_index(entry_list)
+        target_vector = CostVector(target)
+        oracle = any(
+            resolution <= max_resolution
+            and dominates(plan.cost, bounds)
+            and dominates(plan.cost, target_vector)
+            for plan, resolution in plans
+        )
+        witness = index.find_dominating(target_vector, bounds, max_resolution)
+        assert (witness is not None) == oracle
+        if witness is not None:
+            assert dominates(witness.cost, target_vector)
+            assert dominates(witness.cost, bounds)
+            assert index.resolution_of(witness) <= max_resolution
+
+    @settings(max_examples=100)
+    @given(entries)
+    def test_size_and_membership_bookkeeping(self, entry_list):
+        index, plans = build_index(entry_list)
+        assert len(index) == len(plans)
+        for plan, resolution in plans:
+            assert plan in index
+            assert index.resolution_of(plan) == resolution
+        # Removing every plan empties the index.
+        for plan, _ in plans:
+            index.remove(plan)
+        assert len(index) == 0
+        assert index.all_plans() == []
+
+    @settings(max_examples=100)
+    @given(entries, st.data())
+    def test_removal_keeps_other_entries_retrievable(self, entry_list, data):
+        index, plans = build_index(entry_list)
+        if not plans:
+            return
+        victim_position = data.draw(st.integers(min_value=0, max_value=len(plans) - 1))
+        victim, _ = plans[victim_position]
+        index.remove(victim)
+        remaining = {p.plan_id for p, _ in plans} - {victim.plan_id}
+        assert {p.plan_id for p in index.all_plans()} == remaining

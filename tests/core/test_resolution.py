@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.core.resolution`."""
+
+import pytest
+
+from repro.core.resolution import ResolutionSchedule
+
+
+class TestConstruction:
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule(levels=0)
+
+    def test_target_precision_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule(levels=3, target_precision=1.0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule(levels=3, precision_step=-0.1)
+
+    def test_levels_and_max_resolution(self):
+        schedule = ResolutionSchedule(levels=5)
+        assert schedule.levels == 5
+        assert schedule.max_resolution == 4
+
+
+class TestPaperFormula:
+    def test_formula_matches_section_6(self):
+        # alpha_r = alpha_T + alpha_S * (r_M - r) / r_M
+        schedule = ResolutionSchedule(levels=5, target_precision=1.01, precision_step=0.05)
+        assert schedule.alpha(4) == pytest.approx(1.01)
+        assert schedule.alpha(0) == pytest.approx(1.06)
+        assert schedule.alpha(2) == pytest.approx(1.01 + 0.05 * 2 / 4)
+
+    def test_single_level_uses_target_precision(self):
+        schedule = ResolutionSchedule(levels=1, target_precision=1.01, precision_step=0.5)
+        assert schedule.alpha(0) == pytest.approx(1.01)
+
+    def test_factors_are_strictly_decreasing(self):
+        schedule = ResolutionSchedule(levels=20, target_precision=1.005, precision_step=0.5)
+        factors = schedule.factors()
+        assert all(earlier > later for earlier, later in zip(factors, factors[1:]))
+        assert all(factor > 1.0 for factor in factors)
+
+    def test_resolution_out_of_range_rejected(self):
+        schedule = ResolutionSchedule(levels=3)
+        with pytest.raises(ValueError):
+            schedule.alpha(3)
+        with pytest.raises(ValueError):
+            schedule.alpha(-1)
+
+
+class TestNavigation:
+    def test_next_resolution_increments(self):
+        schedule = ResolutionSchedule(levels=3)
+        assert schedule.next_resolution(0) == 1
+
+    def test_next_resolution_saturates_at_max(self):
+        schedule = ResolutionSchedule(levels=3)
+        assert schedule.next_resolution(2) == 2
+
+    def test_resolutions_iterator(self):
+        assert list(ResolutionSchedule(levels=4).resolutions()) == [0, 1, 2, 3]
+
+
+class TestGuarantees:
+    def test_guaranteed_precision_matches_paper_example(self):
+        # "1.01^8 ~= 1.08" for TPC-H queries with at most eight tables.
+        schedule = ResolutionSchedule(levels=20, target_precision=1.01, precision_step=0.05)
+        assert schedule.guaranteed_precision(8) == pytest.approx(1.01 ** 8)
+        assert schedule.guaranteed_precision(8) == pytest.approx(1.0828, abs=1e-3)
+
+    def test_guarantee_at_intermediate_resolution(self):
+        schedule = ResolutionSchedule(levels=5, target_precision=1.01, precision_step=0.05)
+        assert schedule.guaranteed_precision(3, resolution=0) == pytest.approx(1.06 ** 3)
+
+    def test_invalid_table_count(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule(levels=2).guaranteed_precision(0)
+
+
+class TestExplicitFactors:
+    def test_from_factors_roundtrip(self):
+        schedule = ResolutionSchedule.from_factors([1.5, 1.2, 1.05])
+        assert schedule.levels == 3
+        assert schedule.alpha(0) == pytest.approx(1.5)
+        assert schedule.alpha(2) == pytest.approx(1.05)
+
+    def test_from_factors_requires_decreasing_sequence(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule.from_factors([1.2, 1.3])
+
+    def test_from_factors_requires_values_above_one(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule.from_factors([1.2, 1.0])
+
+    def test_from_factors_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ResolutionSchedule.from_factors([])

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.costs.aggregation`."""
+
+import pytest
+
+from repro.costs.aggregation import (
+    MaxAggregation,
+    MinAggregation,
+    PipelineMaxAggregation,
+    PrecisionLossAggregation,
+    ScaledSumAggregation,
+    SumAggregation,
+    combine_many,
+)
+
+
+class TestSumAggregation:
+    def test_combines_by_addition(self):
+        assert SumAggregation().combine(1.0, 2.0, 0.5) == pytest.approx(3.5)
+
+    def test_is_monotone(self):
+        assert SumAggregation().is_monotone()
+
+
+class TestMaxAggregation:
+    def test_combines_by_maximum(self):
+        assert MaxAggregation().combine(1.0, 4.0, 2.0) == pytest.approx(4.0)
+
+    def test_local_cost_can_dominate(self):
+        assert MaxAggregation().combine(1.0, 2.0, 7.0) == pytest.approx(7.0)
+
+    def test_is_monotone(self):
+        assert MaxAggregation().is_monotone()
+
+
+class TestPipelineMaxAggregation:
+    def test_combines_max_plus_local(self):
+        assert PipelineMaxAggregation().combine(3.0, 5.0, 2.0) == pytest.approx(7.0)
+
+    def test_is_monotone(self):
+        assert PipelineMaxAggregation().is_monotone()
+
+
+class TestMinAggregation:
+    def test_combines_min_plus_local(self):
+        assert MinAggregation().combine(3.0, 5.0, 1.0) == pytest.approx(4.0)
+
+    def test_is_not_monotone(self):
+        # min aggregation may produce a value below one of the inputs, which
+        # breaks the monotone-cost-aggregation assumption of Theorem 2.
+        assert not MinAggregation().is_monotone()
+        assert MinAggregation().combine(3.0, 5.0, 0.0) < 5.0
+
+
+class TestScaledSumAggregation:
+    def test_scales_operands(self):
+        aggregation = ScaledSumAggregation(scale_left=2.0, scale_right=3.0)
+        assert aggregation.combine(1.0, 1.0, 0.5) == pytest.approx(5.5)
+
+    def test_monotone_only_with_scales_at_least_one(self):
+        assert ScaledSumAggregation(1.0, 1.5).is_monotone()
+        assert not ScaledSumAggregation(0.5, 1.0).is_monotone()
+
+    def test_rejects_non_positive_scales(self):
+        with pytest.raises(ValueError):
+            ScaledSumAggregation(scale_left=0.0)
+
+
+class TestPrecisionLossAggregation:
+    def test_no_loss_inputs_produce_no_loss(self):
+        assert PrecisionLossAggregation().combine(0.0, 0.0, 0.0) == pytest.approx(0.0)
+
+    def test_single_lossy_input_propagates(self):
+        assert PrecisionLossAggregation().combine(0.5, 0.0, 0.0) == pytest.approx(0.5)
+
+    def test_losses_combine_multiplicatively(self):
+        combined = PrecisionLossAggregation().combine(0.5, 0.5, 0.0)
+        assert combined == pytest.approx(0.75)
+
+    def test_result_stays_in_unit_interval(self):
+        assert PrecisionLossAggregation().combine(1.0, 1.0, 1.0) <= 1.0
+
+    def test_is_monotone(self):
+        aggregation = PrecisionLossAggregation()
+        assert aggregation.is_monotone()
+        assert aggregation.combine(0.3, 0.2, 0.0) >= 0.3
+
+
+class TestCombineMany:
+    def test_folds_over_values(self):
+        assert combine_many(SumAggregation(), [1.0, 2.0, 3.0], local=0.5) == pytest.approx(6.5)
+
+    def test_empty_values_return_local(self):
+        assert combine_many(SumAggregation(), [], local=2.0) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert combine_many(MaxAggregation(), [4.0], local=1.0) == pytest.approx(4.0)

@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.costs.dominance`."""
+
+import pytest
+
+from repro.costs.dominance import (
+    approximately_dominates,
+    dominates,
+    exceeds_bounds,
+    incomparable,
+    strictly_dominates,
+    within_bounds,
+)
+from repro.costs.vector import CostVector
+
+
+class TestDominates:
+    def test_equal_vectors_dominate_each_other(self):
+        a = CostVector([1, 2])
+        assert dominates(a, a)
+
+    def test_lower_vector_dominates(self):
+        assert dominates(CostVector([1, 2]), CostVector([2, 2]))
+
+    def test_higher_component_prevents_domination(self):
+        assert not dominates(CostVector([3, 1]), CostVector([2, 2]))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates(CostVector([1]), CostVector([1, 2]))
+
+    def test_infinite_bound_dominated_by_everything(self):
+        assert dominates(CostVector([5, 5]), CostVector.infinite(2))
+
+
+class TestStrictDominance:
+    def test_requires_strict_improvement_somewhere(self):
+        assert not strictly_dominates(CostVector([1, 2]), CostVector([1, 2]))
+
+    def test_strictly_better_on_one_metric(self):
+        assert strictly_dominates(CostVector([1, 1]), CostVector([1, 2]))
+
+    def test_not_strict_when_worse_somewhere(self):
+        assert not strictly_dominates(CostVector([1, 3]), CostVector([2, 2]))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            strictly_dominates(CostVector([1]), CostVector([1, 2]))
+
+
+class TestApproximateDominance:
+    def test_alpha_one_equals_dominance(self):
+        a, b = CostVector([1, 2]), CostVector([1, 2])
+        assert approximately_dominates(a, b, 1.0) == dominates(a, b)
+
+    def test_alpha_relaxes_comparison(self):
+        worse = CostVector([1.05, 1.05])
+        better = CostVector([1.0, 1.0])
+        assert not dominates(worse, better)
+        assert approximately_dominates(worse, better, 1.1)
+
+    def test_alpha_below_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            approximately_dominates(CostVector([1]), CostVector([1]), 0.9)
+
+    def test_zero_target_needs_zero_candidate(self):
+        assert approximately_dominates(CostVector([0.0]), CostVector([0.0]), 1.5)
+        assert not approximately_dominates(CostVector([0.1]), CostVector([0.0]), 1.5)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            approximately_dominates(CostVector([1]), CostVector([1, 2]), 1.5)
+
+
+class TestBounds:
+    def test_within_bounds(self):
+        assert within_bounds(CostVector([1, 2]), CostVector([2, 2]))
+
+    def test_exceeds_bounds(self):
+        assert exceeds_bounds(CostVector([3, 1]), CostVector([2, 2]))
+
+    def test_infinite_bounds_never_exceeded(self):
+        assert within_bounds(CostVector([1e12, 1e12]), CostVector.infinite(2))
+
+
+class TestIncomparability:
+    def test_incomparable_tradeoffs(self):
+        assert incomparable(CostVector([1, 3]), CostVector([3, 1]))
+
+    def test_dominating_pair_is_comparable(self):
+        assert not incomparable(CostVector([1, 1]), CostVector([2, 2]))
+
+    def test_equal_vectors_are_comparable(self):
+        a = CostVector([1, 1])
+        assert not incomparable(a, a)

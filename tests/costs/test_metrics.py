@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.costs.metrics`."""
+
+import pytest
+
+from repro.costs.metrics import (
+    EXECUTION_TIME,
+    MONETARY_FEES,
+    RESERVED_CORES,
+    RESULT_PRECISION_LOSS,
+    Metric,
+    MetricSet,
+    cloud_metric_set,
+    extended_metric_set,
+    paper_metric_set,
+)
+from repro.costs.aggregation import MinAggregation, SumAggregation
+from repro.costs.vector import CostVector
+
+
+class TestMetricSetConstruction:
+    def test_paper_metric_set_has_three_metrics(self):
+        metric_set = paper_metric_set()
+        assert metric_set.dimensions == 3
+        assert metric_set.names == [
+            "execution_time",
+            "reserved_cores",
+            "precision_loss",
+        ]
+
+    def test_cloud_metric_set_has_two_metrics(self):
+        assert cloud_metric_set().names == ["execution_time", "monetary_fees"]
+
+    def test_empty_metric_set_is_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSet([])
+
+    def test_duplicate_names_are_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSet([EXECUTION_TIME, EXECUTION_TIME])
+
+    def test_extended_metric_set_sizes(self):
+        for count in range(1, 8):
+            assert extended_metric_set(count).dimensions == count
+
+    def test_extended_metric_set_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            extended_metric_set(0)
+        with pytest.raises(ValueError):
+            extended_metric_set(8)
+
+    def test_equality_and_hash(self):
+        assert paper_metric_set() == paper_metric_set()
+        assert hash(paper_metric_set()) == hash(paper_metric_set())
+        assert paper_metric_set() != cloud_metric_set()
+
+
+class TestMetricSetLookups:
+    def test_index_of(self):
+        metric_set = paper_metric_set()
+        assert metric_set.index_of("reserved_cores") == 1
+
+    def test_index_of_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            paper_metric_set().index_of("latency")
+
+    def test_contains(self):
+        assert paper_metric_set().contains("precision_loss")
+        assert not paper_metric_set().contains("monetary_fees")
+
+    def test_iteration_and_getitem(self):
+        metric_set = paper_metric_set()
+        assert list(metric_set)[0] is metric_set[0]
+
+
+class TestVectorHelpers:
+    def test_vector_from_named_components(self):
+        metric_set = paper_metric_set()
+        vector = metric_set.vector(execution_time=5.0, reserved_cores=2.0)
+        assert vector == CostVector([5.0, 2.0, 0.0])
+
+    def test_vector_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            paper_metric_set().vector(latency=1.0)
+
+    def test_zero_and_unbounded_vectors(self):
+        metric_set = paper_metric_set()
+        assert metric_set.zero_vector() == CostVector([0, 0, 0])
+        assert not metric_set.unbounded_vector().is_finite()
+
+    def test_component_extraction(self):
+        metric_set = paper_metric_set()
+        vector = metric_set.vector(reserved_cores=4.0)
+        assert metric_set.component(vector, "reserved_cores") == 4.0
+
+    def test_describe(self):
+        metric_set = cloud_metric_set()
+        described = metric_set.describe(CostVector([1.0, 2.0]))
+        assert described == {"execution_time": 1.0, "monetary_fees": 2.0}
+
+
+class TestCombine:
+    def test_combine_uses_each_metric_aggregation(self):
+        metric_set = paper_metric_set()
+        left = metric_set.vector(execution_time=4, reserved_cores=2, precision_loss=0.0)
+        right = metric_set.vector(execution_time=6, reserved_cores=1, precision_loss=0.5)
+        local = metric_set.vector(execution_time=1, reserved_cores=4, precision_loss=0.0)
+        combined = metric_set.combine(left, right, local)
+        # execution_time: max(4, 6) + 1; cores: max(2, 1, 4); precision: 1-(1-0)(1-.5)
+        assert combined[0] == pytest.approx(7.0)
+        assert combined[1] == pytest.approx(4.0)
+        assert combined[2] == pytest.approx(0.5)
+
+    def test_combine_rejects_mismatched_vectors(self):
+        metric_set = paper_metric_set()
+        with pytest.raises(ValueError):
+            metric_set.combine(CostVector([1, 2]), CostVector([1, 2, 3]), CostVector([1, 2, 3]))
+
+    def test_metric_combine_shortcut(self):
+        assert MONETARY_FEES.combine(1.0, 2.0, 3.0) == pytest.approx(6.0)
+        assert RESERVED_CORES.combine(1.0, 2.0, 3.0) == pytest.approx(3.0)
+
+
+class TestGuaranteeValidation:
+    def test_paper_metrics_pass_validation(self):
+        paper_metric_set().validate_for_guarantees()
+
+    def test_non_monotone_metric_fails_validation(self):
+        bad_metric = Metric("availability", "prob", MinAggregation())
+        metric_set = MetricSet([EXECUTION_TIME, bad_metric])
+        with pytest.raises(ValueError, match="availability"):
+            metric_set.validate_for_guarantees()

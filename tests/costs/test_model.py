@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.costs.model`."""
+
+import pytest
+
+from repro.costs.metrics import extended_metric_set, paper_metric_set
+from repro.costs.model import CostModelConfig, MultiObjectiveCostModel
+
+
+@pytest.fixture
+def model():
+    return MultiObjectiveCostModel(paper_metric_set())
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        CostModelConfig()
+
+    def test_negative_costs_are_rejected(self):
+        with pytest.raises(ValueError):
+            CostModelConfig(seq_page_cost=-1.0)
+
+    def test_parallel_efficiency_range(self):
+        with pytest.raises(ValueError):
+            CostModelConfig(parallel_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CostModelConfig(parallel_efficiency=1.5)
+
+    def test_rows_per_buffer_page_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostModelConfig(rows_per_buffer_page=0)
+
+
+class TestScanCost:
+    def test_dimensionality_matches_metric_set(self, model):
+        cost = model.scan_cost(row_count=1000, page_count=10)
+        assert len(cost) == 3
+
+    def test_full_scan_has_no_precision_loss(self, model):
+        metric_set = model.metric_set
+        cost = model.scan_cost(row_count=1000, page_count=10, sampling_rate=1.0)
+        assert metric_set.component(cost, "precision_loss") == 0.0
+
+    def test_sampling_reduces_time_but_loses_precision(self, model):
+        metric_set = model.metric_set
+        full = model.scan_cost(row_count=10_000, page_count=100, sampling_rate=1.0)
+        sampled = model.scan_cost(row_count=10_000, page_count=100, sampling_rate=0.1)
+        assert metric_set.component(sampled, "execution_time") < metric_set.component(
+            full, "execution_time"
+        )
+        assert metric_set.component(sampled, "precision_loss") > 0.0
+
+    def test_parallelism_reduces_time_but_reserves_cores(self, model):
+        metric_set = model.metric_set
+        serial = model.scan_cost(row_count=10_000, page_count=100, parallelism=1)
+        parallel = model.scan_cost(row_count=10_000, page_count=100, parallelism=4)
+        assert metric_set.component(parallel, "execution_time") < metric_set.component(
+            serial, "execution_time"
+        )
+        assert metric_set.component(parallel, "reserved_cores") == 4.0
+
+    def test_random_access_costs_more(self, model):
+        metric_set = model.metric_set
+        sequential = model.scan_cost(row_count=1000, page_count=100, random_access=False)
+        random_access = model.scan_cost(row_count=1000, page_count=100, random_access=True)
+        assert metric_set.component(random_access, "execution_time") > metric_set.component(
+            sequential, "execution_time"
+        )
+
+    def test_invalid_sampling_rate(self, model):
+        with pytest.raises(ValueError):
+            model.scan_cost(row_count=10, page_count=1, sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            model.scan_cost(row_count=10, page_count=1, sampling_rate=1.5)
+
+    def test_negative_cardinalities_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.scan_cost(row_count=-1, page_count=1)
+
+    def test_costs_are_non_negative(self, model):
+        cost = model.scan_cost(row_count=0, page_count=0)
+        assert all(component >= 0 for component in cost)
+
+
+class TestJoinCost:
+    def test_supported_algorithms_produce_costs(self, model):
+        for algorithm in ("hash_join", "sort_merge_join", "nested_loop_join"):
+            cost = model.join_local_cost(1000, 1000, 500, algorithm=algorithm)
+            assert len(cost) == 3
+            assert all(component >= 0 for component in cost)
+
+    def test_unknown_algorithm_is_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.join_local_cost(10, 10, 10, algorithm="grace_join")
+
+    def test_nested_loop_is_most_expensive_for_large_inputs(self, model):
+        metric_set = model.metric_set
+        hash_cost = model.join_local_cost(10_000, 10_000, 100, algorithm="hash_join")
+        loop_cost = model.join_local_cost(10_000, 10_000, 100, algorithm="nested_loop_join")
+        assert metric_set.component(loop_cost, "execution_time") > metric_set.component(
+            hash_cost, "execution_time"
+        )
+
+    def test_join_parallelism_reduces_time(self, model):
+        metric_set = model.metric_set
+        serial = model.join_local_cost(10_000, 10_000, 100, parallelism=1)
+        parallel = model.join_local_cost(10_000, 10_000, 100, parallelism=4)
+        assert metric_set.component(parallel, "execution_time") < metric_set.component(
+            serial, "execution_time"
+        )
+
+    def test_negative_cardinality_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.join_local_cost(-1, 10, 10)
+
+    def test_join_has_no_precision_loss(self, model):
+        cost = model.join_local_cost(100, 100, 10)
+        assert model.metric_set.component(cost, "precision_loss") == 0.0
+
+
+class TestCombine:
+    def test_combine_is_monotone(self, model):
+        left = model.scan_cost(row_count=1000, page_count=10)
+        right = model.scan_cost(row_count=2000, page_count=20)
+        local = model.join_local_cost(1000, 2000, 500)
+        combined = model.combine(left, right, local)
+        for index in range(len(combined)):
+            assert combined[index] >= left[index] - 1e-12
+            assert combined[index] >= right[index] - 1e-12
+
+    def test_extended_metric_set_produces_more_components(self):
+        model = MultiObjectiveCostModel(extended_metric_set(6))
+        cost = model.scan_cost(row_count=100, page_count=10)
+        assert len(cost) == 6
+
+    def test_fees_scale_with_parallelism(self):
+        metric_set = extended_metric_set(4)  # includes monetary fees
+        model = MultiObjectiveCostModel(metric_set)
+        serial = model.scan_cost(row_count=100_000, page_count=1000, parallelism=1)
+        parallel = model.scan_cost(row_count=100_000, page_count=1000, parallelism=4)
+        # More cores cost more money for (almost) the same work.
+        assert metric_set.component(parallel, "monetary_fees") > metric_set.component(
+            serial, "monetary_fees"
+        ) * 0.9

@@ -1,0 +1,166 @@
+"""Property-based tests for the cost substrate (hypothesis).
+
+The key invariants verified here underpin the paper's formal analysis:
+
+* dominance is a partial order and approximate dominance relaxes it,
+* every shipped metric's aggregation is monotone (Theorem 2's assumption),
+* the Principle of Near-Optimality (Definition 1) holds for the shipped metric
+  sets: scaling both sub-plan cost vectors by ``alpha`` scales the combined
+  cost by at most ``alpha``.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.costs.dominance import (
+    approximately_dominates,
+    dominates,
+    incomparable,
+    strictly_dominates,
+)
+from repro.costs.metrics import extended_metric_set, paper_metric_set
+from repro.costs.pareto import approximation_error, is_alpha_cover, pareto_filter
+from repro.costs.vector import CostVector
+
+finite_costs = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+def cost_vectors(dimensions: int):
+    return st.lists(finite_costs, min_size=dimensions, max_size=dimensions).map(CostVector)
+
+
+# Precision-loss components must live in [0, 1]; build metric-set-compatible
+# vectors with the last component (precision loss) bounded accordingly.
+def paper_vectors():
+    return st.tuples(
+        finite_costs,
+        finite_costs,
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ).map(lambda t: CostVector(list(t)))
+
+
+alphas = st.floats(min_value=1.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestDominanceProperties:
+    @given(cost_vectors(3))
+    def test_dominance_is_reflexive(self, vector):
+        assert dominates(vector, vector)
+
+    @given(cost_vectors(3), cost_vectors(3))
+    def test_dominance_is_antisymmetric_up_to_equality(self, a, b):
+        if dominates(a, b) and dominates(b, a):
+            assert a == b
+
+    @given(cost_vectors(3), cost_vectors(3), cost_vectors(3))
+    def test_dominance_is_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(cost_vectors(3), cost_vectors(3))
+    def test_strict_dominance_implies_dominance(self, a, b):
+        if strictly_dominates(a, b):
+            assert dominates(a, b)
+            assert not dominates(b, a)
+
+    @given(cost_vectors(2), cost_vectors(2))
+    def test_exactly_one_relation_holds(self, a, b):
+        relations = [
+            a == b,
+            strictly_dominates(a, b),
+            strictly_dominates(b, a),
+            incomparable(a, b),
+        ]
+        assert sum(1 for r in relations if r) == 1
+
+    @given(cost_vectors(3), cost_vectors(3), alphas)
+    def test_dominance_implies_approximate_dominance(self, a, b, alpha):
+        if dominates(a, b):
+            assert approximately_dominates(a, b, alpha)
+
+    @given(cost_vectors(3), alphas, alphas)
+    def test_approximate_dominance_is_monotone_in_alpha(self, a, alpha1, alpha2):
+        b = a.scaled(1.0)  # same vector
+        low, high = sorted((alpha1, alpha2))
+        if approximately_dominates(a, b, low):
+            assert approximately_dominates(a, b, high)
+
+    @given(cost_vectors(3), st.floats(min_value=1.0, max_value=5.0))
+    def test_scaling_preserves_dominance(self, a, factor):
+        assert dominates(a, a.scaled(factor))
+
+
+class TestParetoProperties:
+    @given(st.lists(cost_vectors(2), min_size=1, max_size=20))
+    def test_pareto_filter_covers_every_point(self, costs):
+        frontier = pareto_filter(costs)
+        assert is_alpha_cover(frontier, costs, alpha=1.0)
+
+    @given(st.lists(cost_vectors(2), min_size=1, max_size=20))
+    def test_pareto_filter_is_mutually_non_dominated(self, costs):
+        frontier = pareto_filter(costs)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not strictly_dominates(a, b)
+
+    @given(st.lists(cost_vectors(2), min_size=1, max_size=15))
+    def test_approximation_error_of_frontier_is_one(self, costs):
+        frontier = pareto_filter(costs)
+        assert approximation_error(frontier, costs) <= 1.0 + 1e-9
+
+    @given(st.lists(paper_vectors(), min_size=1, max_size=15), alphas)
+    def test_error_bounds_certify_cover(self, costs, alpha):
+        frontier = pareto_filter(costs)
+        error = approximation_error(frontier, costs)
+        assert is_alpha_cover(frontier, costs, alpha=max(error, alpha))
+
+
+class TestAggregationProperties:
+    @given(paper_vectors(), paper_vectors(), paper_vectors())
+    def test_paper_metrics_aggregate_monotonically(self, left, right, local):
+        metric_set = paper_metric_set()
+        combined = metric_set.combine(left, right, local)
+        for index in range(len(combined)):
+            assert combined[index] >= left[index] - 1e-9
+            assert combined[index] >= right[index] - 1e-9
+
+    @given(
+        paper_vectors(),
+        paper_vectors(),
+        paper_vectors(),
+        st.floats(min_value=1.0, max_value=3.0),
+    )
+    @settings(max_examples=200)
+    def test_pono_holds_for_paper_metrics(self, left, right, local, alpha):
+        """Definition 1: scaled sub-plan costs yield an at-most-scaled plan cost."""
+        metric_set = paper_metric_set()
+        combined = metric_set.combine(left, right, local)
+        combined_scaled_inputs = metric_set.combine(
+            left.scaled(alpha), right.scaled(alpha), local
+        )
+        # The tiny relative slack absorbs floating-point rounding (1 - (1 - 2x)
+        # versus 2 * x differ by an ulp); the mathematical property is strict.
+        assert approximately_dominates(
+            combined_scaled_inputs, combined, alpha * (1 + 1e-9)
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.data(),
+    )
+    def test_pono_holds_for_extended_metric_sets(self, dimensions, data):
+        metric_set = extended_metric_set(dimensions)
+        vector_strategy = st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=dimensions,
+            max_size=dimensions,
+        ).map(CostVector)
+        left = data.draw(vector_strategy)
+        right = data.draw(vector_strategy)
+        local = data.draw(vector_strategy)
+        alpha = data.draw(st.floats(min_value=1.0, max_value=2.0))
+        combined = metric_set.combine(left, right, local)
+        combined_scaled = metric_set.combine(left.scaled(alpha), right.scaled(alpha), local)
+        assert approximately_dominates(combined_scaled, combined, alpha * (1 + 1e-9))

@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.costs.vector`."""
+
+import math
+
+import pytest
+
+from repro.costs.vector import CostVector
+
+
+class TestConstruction:
+    def test_values_are_stored_as_floats(self):
+        vector = CostVector([1, 2, 3])
+        assert vector.values == (1.0, 2.0, 3.0)
+
+    def test_empty_vector_is_rejected(self):
+        with pytest.raises(ValueError):
+            CostVector([])
+
+    def test_negative_component_is_rejected(self):
+        with pytest.raises(ValueError):
+            CostVector([1.0, -0.5])
+
+    def test_nan_component_is_rejected(self):
+        with pytest.raises(ValueError):
+            CostVector([1.0, float("nan")])
+
+    def test_infinite_components_are_allowed(self):
+        vector = CostVector([float("inf"), 1.0])
+        assert math.isinf(vector[0])
+
+    def test_zeros_constructor(self):
+        assert CostVector.zeros(3).values == (0.0, 0.0, 0.0)
+
+    def test_infinite_constructor(self):
+        assert all(math.isinf(v) for v in CostVector.infinite(2))
+
+    def test_uniform_constructor(self):
+        assert CostVector.uniform(4, 2.5).values == (2.5,) * 4
+
+
+class TestSequenceProtocol:
+    def test_len(self):
+        assert len(CostVector([1, 2])) == 2
+
+    def test_dimensions(self):
+        assert CostVector([1, 2, 3]).dimensions == 3
+
+    def test_iteration(self):
+        assert list(CostVector([3, 1])) == [3.0, 1.0]
+
+    def test_indexing(self):
+        assert CostVector([3, 1])[1] == 1.0
+
+    def test_as_list_returns_copy(self):
+        vector = CostVector([1, 2])
+        values = vector.as_list()
+        values[0] = 99
+        assert vector[0] == 1.0
+
+
+class TestEqualityAndHashing:
+    def test_equal_vectors(self):
+        assert CostVector([1, 2]) == CostVector([1.0, 2.0])
+
+    def test_unequal_vectors(self):
+        assert CostVector([1, 2]) != CostVector([2, 1])
+
+    def test_hash_consistency(self):
+        assert hash(CostVector([1, 2])) == hash(CostVector([1, 2]))
+
+    def test_comparison_with_other_types(self):
+        assert CostVector([1]) != (1.0,)
+
+    def test_usable_in_sets(self):
+        assert len({CostVector([1, 2]), CostVector([1, 2]), CostVector([2, 1])}) == 2
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert CostVector([1, 2]) + CostVector([3, 4]) == CostVector([4, 6])
+
+    def test_addition_requires_same_dimensions(self):
+        with pytest.raises(ValueError):
+            CostVector([1]) + CostVector([1, 2])
+
+    def test_componentwise_max(self):
+        result = CostVector([1, 5]).componentwise_max(CostVector([3, 2]))
+        assert result == CostVector([3, 5])
+
+    def test_componentwise_min(self):
+        result = CostVector([1, 5]).componentwise_min(CostVector([3, 2]))
+        assert result == CostVector([1, 2])
+
+    def test_scaling(self):
+        assert CostVector([1, 2]).scaled(1.5) == CostVector([1.5, 3])
+
+    def test_scaling_by_operator(self):
+        assert 2 * CostVector([1, 2]) == CostVector([2, 4])
+        assert CostVector([1, 2]) * 2 == CostVector([2, 4])
+
+    def test_negative_scaling_is_rejected(self):
+        with pytest.raises(ValueError):
+            CostVector([1]).scaled(-1.0)
+
+    def test_with_component(self):
+        assert CostVector([1, 2]).with_component(0, 9) == CostVector([9, 2])
+
+
+class TestHelpers:
+    def test_is_finite(self):
+        assert CostVector([1, 2]).is_finite()
+        assert not CostVector([1, float("inf")]).is_finite()
+
+    def test_distance(self):
+        assert CostVector([0, 0]).distance_to(CostVector([3, 4])) == pytest.approx(5.0)
+
+    def test_dominates_shortcut(self):
+        assert CostVector([1, 1]).dominates(CostVector([2, 2]))
+        assert not CostVector([3, 1]).dominates(CostVector([2, 2]))
+
+    def test_strictly_dominates_shortcut(self):
+        assert CostVector([1, 1]).strictly_dominates(CostVector([1, 2]))
+        assert not CostVector([1, 2]).strictly_dominates(CostVector([1, 2]))
+
+    def test_repr_mentions_values(self):
+        assert "1" in repr(CostVector([1, 2]))

@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.interactive.session`."""
+
+import pytest
+
+from repro.core.control import ChangeBounds, Continue
+from repro.core.resolution import ResolutionSchedule
+from repro.interactive.session import InteractiveSession
+from repro.interactive.user_models import (
+    BoundTighteningUser,
+    PassiveUser,
+    PlanSelectingUser,
+    weighted_sum_chooser,
+)
+from tests.conftest import build_chain_query, build_factory
+
+
+def make_session(user=None, levels=3, metric_set=None):
+    query = build_chain_query()
+    factory = build_factory(query, metric_set=metric_set)
+    schedule = ResolutionSchedule(levels=levels, target_precision=1.05, precision_step=0.3)
+    return InteractiveSession(query, factory, schedule, user=user), factory
+
+
+class TestSession:
+    def test_passive_session_records_full_sweep(self):
+        session, _ = make_session(PassiveUser(), levels=3)
+        selected = session.run(max_iterations=3)
+        assert selected is None
+        assert len(session.timeline) == 3
+        assert [entry.iteration for entry in session.timeline] == [1, 2, 3]
+
+    def test_default_user_is_passive(self):
+        session, _ = make_session(user=None, levels=2)
+        session.run(max_iterations=2)
+        assert all(isinstance(entry.action, Continue) for entry in session.timeline)
+
+    def test_step_records_single_entry(self):
+        session, _ = make_session(PassiveUser())
+        entry = session.step()
+        assert entry.iteration == 1
+        assert entry.snapshot.size > 0
+        assert len(session.timeline) == 1
+
+    def test_plan_selecting_user_terminates_session(self):
+        metric_set = build_factory(build_chain_query()).metric_set
+        chooser = weighted_sum_chooser(metric_set, {"execution_time": 1.0})
+        session, _ = make_session(PlanSelectingUser(chooser, min_resolution=1), levels=4)
+        selected = session.run(max_iterations=10)
+        assert selected is not None
+        assert session.selected_plan is selected
+        assert len(session.timeline) < 10
+
+    def test_bound_tightening_user_changes_bounds(self):
+        session, factory = make_session(
+            BoundTighteningUser(build_factory(build_chain_query()).metric_set, "execution_time", tighten_every=1),
+            levels=4,
+        )
+        session.run(max_iterations=4)
+        actions = [entry.action for entry in session.timeline]
+        assert any(isinstance(action, ChangeBounds) for action in actions)
+        # A bounds change resets the visualized resolution to zero afterwards.
+        change_index = next(
+            i for i, action in enumerate(actions) if isinstance(action, ChangeBounds)
+        )
+        if change_index + 1 < len(session.timeline):
+            assert session.timeline[change_index + 1].resolution == 0
+
+    def test_elapsed_time_is_monotone(self):
+        session, _ = make_session(PassiveUser(), levels=3)
+        session.run(max_iterations=3)
+        elapsed = [entry.snapshot.elapsed_seconds for entry in session.timeline]
+        assert all(later >= earlier for earlier, later in zip(elapsed, elapsed[1:]))
+
+    def test_hypervolume_series_is_monotone_for_passive_user(self):
+        session, _ = make_session(PassiveUser(), levels=3)
+        session.run(max_iterations=3)
+        series = session.hypervolume_series(0, 1)
+        assert len(series) == 3
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(series, series[1:]))
+
+    def test_hypervolume_series_empty_without_runs(self):
+        session, _ = make_session(PassiveUser())
+        assert session.hypervolume_series() == []
+
+    def test_loop_is_accessible_for_inspection(self):
+        session, _ = make_session(PassiveUser(), levels=2)
+        session.run(max_iterations=2)
+        assert session.loop.iteration == 2

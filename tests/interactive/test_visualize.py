@@ -1,0 +1,62 @@
+"""Unit tests for :mod:`repro.interactive.visualize`."""
+
+import pytest
+
+from repro.costs.metrics import cloud_metric_set
+from repro.costs.vector import CostVector
+from repro.interactive.visualize import FrontierSnapshot, ascii_scatter, frontier_series
+
+
+def snapshot(costs, iteration=1, resolution=0):
+    return FrontierSnapshot(
+        iteration=iteration,
+        resolution=resolution,
+        bounds=CostVector.infinite(2),
+        costs=tuple(CostVector(c) for c in costs),
+        elapsed_seconds=0.5,
+    )
+
+
+class TestFrontierSnapshot:
+    def test_size_and_metric_values(self):
+        snap = snapshot([(1, 2), (3, 4)])
+        assert snap.size == 2
+        assert snap.metric_values(0) == [1.0, 3.0]
+        assert snap.metric_values(1) == [2.0, 4.0]
+
+    def test_frontier_series_maps_metric_names(self):
+        snap = snapshot([(1, 2), (3, 4)])
+        series = frontier_series(snap, cloud_metric_set())
+        assert series["execution_time"] == [1.0, 3.0]
+        assert series["monetary_fees"] == [2.0, 4.0]
+
+
+class TestAsciiScatter:
+    def test_renders_points(self):
+        art = ascii_scatter([CostVector([1, 1]), CostVector([5, 3])], x_label="time", y_label="fees")
+        assert "*" in art
+        assert "time" in art and "fees" in art
+
+    def test_empty_input_is_handled(self):
+        assert "no plans" in ascii_scatter([])
+
+    def test_bounds_are_drawn(self):
+        art = ascii_scatter(
+            [CostVector([1, 1]), CostVector([8, 8])],
+            bounds=CostVector([5, 5]),
+        )
+        assert "|" in art
+        assert "-" in art
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([CostVector([1, 1])], width=5, height=2)
+
+    def test_infinite_costs_are_ignored(self):
+        art = ascii_scatter([CostVector([float("inf"), 1]), CostVector([1, 1])])
+        assert art.count("*") == 1
+
+    def test_custom_metric_axes(self):
+        costs = [CostVector([1, 10, 100]), CostVector([2, 20, 200])]
+        art = ascii_scatter(costs, x_metric=1, y_metric=2)
+        assert "*" in art

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.plans.operators`."""
+
+import pytest
+
+from repro.plans.operators import (
+    JoinOperator,
+    OperatorRegistry,
+    ScanOperator,
+    default_operator_registry,
+    minimal_operator_registry,
+)
+
+
+class TestScanOperator:
+    def test_seq_scan_requires_full_sampling(self):
+        ScanOperator("seq_scan", 1.0, 1)
+        with pytest.raises(ValueError):
+            ScanOperator("seq_scan", 0.5, 1)
+
+    def test_sample_scan_requires_partial_sampling(self):
+        ScanOperator("sample_scan", 0.5, 1)
+        with pytest.raises(ValueError):
+            ScanOperator("sample_scan", 1.0, 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScanOperator("index_scan")
+
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScanOperator("seq_scan", 1.0, 0)
+
+    def test_labels(self):
+        assert "SeqScan" in ScanOperator("seq_scan", 1.0, 2).label
+        assert "0.5" in ScanOperator("sample_scan", 0.5, 1).label
+
+
+class TestJoinOperator:
+    def test_known_algorithms(self):
+        for algorithm in ("hash_join", "sort_merge_join", "nested_loop_join"):
+            JoinOperator(algorithm)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            JoinOperator("block_nested_loop")
+
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JoinOperator("hash_join", 0)
+
+    def test_only_merge_join_produces_order(self):
+        assert JoinOperator("sort_merge_join").produces_order
+        assert not JoinOperator("hash_join").produces_order
+
+    def test_labels_are_distinct(self):
+        labels = {JoinOperator(a).label for a in ("hash_join", "sort_merge_join", "nested_loop_join")}
+        assert len(labels) == 3
+
+
+class TestOperatorRegistry:
+    def test_default_registry_shapes(self):
+        registry = default_operator_registry()
+        operators = registry.scan_operators(table_rows=1_000_000)
+        kinds = {op.kind for op in operators}
+        assert kinds == {"seq_scan", "sample_scan"}
+        assert len(registry.join_operators()) == len(registry.join_algorithms) * len(
+            registry.parallelism_levels
+        )
+
+    def test_small_tables_get_fewer_sampling_strategies(self):
+        registry = OperatorRegistry(sampling_rates=(0.5, 0.1, 0.01), small_table_rows=1000)
+        small = registry.scan_operators(table_rows=100)
+        large = registry.scan_operators(table_rows=1_000_000)
+        small_rates = {op.sampling_rate for op in small if op.kind == "sample_scan"}
+        large_rates = {op.sampling_rate for op in large if op.kind == "sample_scan"}
+        assert len(small_rates) < len(large_rates)
+
+    def test_every_parallelism_level_is_offered(self):
+        registry = OperatorRegistry(parallelism_levels=(1, 8))
+        levels = {op.parallelism for op in registry.scan_operators(10)}
+        assert levels == {1, 8}
+
+    def test_validation_of_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            OperatorRegistry(parallelism_levels=())
+        with pytest.raises(ValueError):
+            OperatorRegistry(parallelism_levels=(0,))
+        with pytest.raises(ValueError):
+            OperatorRegistry(sampling_rates=(1.5,))
+        with pytest.raises(ValueError):
+            OperatorRegistry(join_algorithms=())
+
+    def test_minimal_registry_is_small(self):
+        registry = minimal_operator_registry()
+        assert len(registry.join_operators()) == 1
+        assert len(registry.scan_operators(1_000_000)) == 2

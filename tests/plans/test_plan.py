@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.plans.plan`."""
+
+import pytest
+
+from repro.costs.vector import CostVector
+from repro.plans.operators import JoinOperator, ScanOperator
+from repro.plans.plan import JoinPlan, Plan, ScanPlan, plan_signature
+
+
+def scan(table, cost=(1.0, 1.0)):
+    return ScanPlan(table, ScanOperator("seq_scan"), CostVector(cost))
+
+
+def join(left, right, cost=(2.0, 2.0), algorithm="hash_join"):
+    return JoinPlan(left, right, JoinOperator(algorithm), CostVector(cost))
+
+
+class TestScanPlan:
+    def test_tables_and_type(self):
+        plan = scan("orders")
+        assert plan.tables == frozenset({"orders"})
+        assert plan.is_scan() and not plan.is_join()
+
+    def test_leaves_and_depth(self):
+        plan = scan("orders")
+        assert plan.leaves() == [plan]
+        assert plan.depth() == 1
+
+    def test_walk_yields_self(self):
+        plan = scan("orders")
+        assert list(plan.walk()) == [plan]
+
+    def test_render_mentions_table(self):
+        assert "orders" in scan("orders").render()
+
+    def test_plan_ids_are_unique(self):
+        assert scan("a").plan_id != scan("a").plan_id
+
+
+class TestJoinPlan:
+    def test_tables_are_union_of_children(self):
+        plan = join(scan("a"), scan("b"))
+        assert plan.tables == frozenset({"a", "b"})
+        assert plan.is_join()
+
+    def test_overlapping_operands_rejected(self):
+        with pytest.raises(ValueError):
+            join(scan("a"), scan("a"))
+
+    def test_leaves_in_order(self):
+        plan = join(join(scan("a"), scan("b")), scan("c"))
+        assert [leaf.table for leaf in plan.leaves()] == ["a", "b", "c"]
+
+    def test_depth(self):
+        plan = join(join(scan("a"), scan("b")), scan("c"))
+        assert plan.depth() == 3
+
+    def test_walk_is_preorder(self):
+        left = join(scan("a"), scan("b"))
+        plan = join(left, scan("c"))
+        walked = list(plan.walk())
+        assert walked[0] is plan
+        assert walked[1] is left
+        assert len(walked) == 5
+
+    def test_render_nests_operands(self):
+        rendered = join(scan("a"), scan("b")).render()
+        assert rendered.startswith("(") and "HJ" in rendered
+
+    def test_table_count(self):
+        assert join(scan("a"), scan("b")).table_count == 2
+
+
+class TestPlanSignature:
+    def test_signature_is_symmetric_in_operands(self):
+        a, b = scan("a"), scan("b")
+        operator = JoinOperator("hash_join")
+        assert plan_signature(a, b, operator) == plan_signature(b, a, operator)
+
+    def test_signature_distinguishes_operators(self):
+        a, b = scan("a"), scan("b")
+        assert plan_signature(a, b, JoinOperator("hash_join")) != plan_signature(
+            a, b, JoinOperator("nested_loop_join")
+        )
+
+    def test_signature_distinguishes_parallelism(self):
+        a, b = scan("a"), scan("b")
+        assert plan_signature(a, b, JoinOperator("hash_join", 1)) != plan_signature(
+            a, b, JoinOperator("hash_join", 2)
+        )
+
+    def test_signature_distinguishes_operands(self):
+        a, b, c = scan("a"), scan("b"), scan("c")
+        operator = JoinOperator("hash_join")
+        assert plan_signature(a, b, operator) != plan_signature(a, c, operator)
+
+
+class TestPlanValidation:
+    def test_plan_requires_tables(self):
+        with pytest.raises(ValueError):
+            Plan(frozenset(), CostVector([1.0]))
+
+    def test_interesting_order_defaults_to_none(self):
+        assert scan("a").interesting_order is None

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+import pytest
+
+from repro import cli
+
+
+class TestWorkloadCommand:
+    def test_lists_all_groups(self, capsys):
+        assert cli.main(["workload"]) == 0
+        output = capsys.readouterr().out
+        for count in ("2", "3", "4", "5", "6", "8"):
+            assert count in output
+        assert "tpch_q08" in output
+
+
+class TestOptimizeCommand:
+    def test_optimizes_named_block(self, capsys):
+        assert cli.main(["optimize", "tpch_q14", "--levels", "2", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "optimizing tpch_q14" in output
+        assert "resolution 0" in output
+        assert "final frontier" in output
+
+    def test_accepts_short_query_names(self, capsys):
+        assert cli.main(["optimize", "q14", "--levels", "1", "--scale", "smoke"]) == 0
+        assert "tpch_q14" in capsys.readouterr().out
+
+    def test_unknown_query_fails_with_hint(self):
+        with pytest.raises(SystemExit, match="unknown query"):
+            cli.main(["optimize", "q99", "--scale", "smoke"])
+
+
+class TestCompareCommand:
+    def test_compares_all_algorithms(self, capsys):
+        assert cli.main(["compare", "tpch_q14", "--levels", "2", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Incremental anytime" in output
+        assert "Memoryless" in output
+        assert "One-shot" in output
+        assert "faster than" in output
+
+
+class TestExperimentCommand:
+    def test_runs_ablation_and_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "rows.json"
+        exit_code = cli.main(
+            [
+                "experiment",
+                "ablation-keep-dominated",
+                "--scale",
+                "smoke",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert json_path.exists()
+        output = capsys.readouterr().out
+        assert "ablation_keep_dominated" in output
+
+    def test_unknown_experiment_fails(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            cli.main(["experiment", "figure99", "--scale", "smoke"])
+
+    def test_unknown_scale_fails(self):
+        with pytest.raises(SystemExit):
+            cli.main(["optimize", "q14", "--scale", "huge"])
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_parser_builds(self):
+        parser = cli.build_parser()
+        assert parser.prog == "repro"

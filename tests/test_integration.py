@@ -1,0 +1,159 @@
+"""End-to-end integration tests across modules on real TPC-H blocks.
+
+These tests wire the full stack together exactly as a downstream user would --
+TPC-H statistics, the default cost model, the incremental optimizer, the
+baselines and the interactive layer -- and check cross-cutting properties that
+the per-module unit tests cannot see.
+"""
+
+import pytest
+
+from repro import (
+    AnytimeMOQO,
+    CardinalityEstimator,
+    ChangeBounds,
+    ExhaustiveParetoOptimizer,
+    MemorylessAnytimeOptimizer,
+    MultiObjectiveCostModel,
+    OneShotOptimizer,
+    PlanFactory,
+    ResolutionSchedule,
+    paper_metric_set,
+)
+from repro.costs.pareto import approximation_error, pareto_filter
+from repro.interactive import InteractiveSession, PlanSelectingUser, weighted_sum_chooser
+from repro.plans.operators import OperatorRegistry
+from repro.workloads import tpch_queries, tpch_statistics
+
+
+def small_registry():
+    return OperatorRegistry(
+        parallelism_levels=(1, 2),
+        sampling_rates=(0.1,),
+        join_algorithms=("hash_join", "nested_loop_join"),
+    )
+
+
+def make_factory(query):
+    return PlanFactory(
+        estimator=CardinalityEstimator(tpch_statistics(), query.join_graph),
+        cost_model=MultiObjectiveCostModel(paper_metric_set()),
+        operators=small_registry(),
+    )
+
+
+def block(name):
+    return next(q for q in tpch_queries() if q.name == name)
+
+
+@pytest.fixture(scope="module")
+def q03():
+    return block("tpch_q03")
+
+
+@pytest.fixture(scope="module")
+def q10():
+    return block("tpch_q10")
+
+
+class TestTpchEndToEnd:
+    def test_full_sweep_guarantee_on_q03(self, q03):
+        schedule = ResolutionSchedule(levels=4, target_precision=1.02, precision_step=0.2)
+        loop = AnytimeMOQO(q03, make_factory(q03), schedule)
+        results = loop.run_resolution_sweep()
+        frontier = [p.cost for p in results[-1].frontier]
+
+        exact = ExhaustiveParetoOptimizer(q03, make_factory(q03))
+        exact.optimize()
+        exact_frontier = [p.cost for p in exact.frontier()]
+
+        guarantee = schedule.guaranteed_precision(q03.table_count)
+        assert approximation_error(frontier, exact_frontier) <= guarantee + 1e-9
+
+    def test_frontier_contains_distinct_tradeoffs(self, q03):
+        schedule = ResolutionSchedule(levels=3, target_precision=1.01, precision_step=0.05)
+        loop = AnytimeMOQO(q03, make_factory(q03), schedule)
+        results = loop.run_resolution_sweep()
+        non_dominated = pareto_filter([p.cost for p in results[-1].frontier])
+        # Sampling and parallelism must surface genuinely different tradeoffs.
+        assert len(non_dominated) >= 3
+        metric_set = paper_metric_set()
+        precision_values = {
+            metric_set.component(c, "precision_loss") for c in non_dominated
+        }
+        cores_values = {metric_set.component(c, "reserved_cores") for c in non_dominated}
+        assert len(precision_values) > 1
+        assert len(cores_values) > 1
+
+    def test_all_algorithms_agree_within_guarantee_on_q10(self, q10):
+        schedule = ResolutionSchedule(levels=3, target_precision=1.05, precision_step=0.3)
+        guarantee = schedule.guaranteed_precision(q10.table_count)
+
+        loop = AnytimeMOQO(q10, make_factory(q10), schedule)
+        iama = [p.cost for p in loop.run_resolution_sweep()[-1].frontier]
+
+        memoryless = MemorylessAnytimeOptimizer(q10, make_factory(q10), schedule)
+        memoryless.run_resolution_sweep()
+        memo = [p.cost for p in memoryless.frontier()]
+
+        oneshot = OneShotOptimizer(q10, make_factory(q10), schedule)
+        oneshot.optimize()
+        shot = [p.cost for p in oneshot.frontier()]
+
+        assert approximation_error(iama, memo) <= guarantee + 1e-9
+        assert approximation_error(iama, shot) <= guarantee + 1e-9
+        assert approximation_error(memo, iama) <= guarantee + 1e-9
+
+    def test_incremental_reuse_across_bound_changes(self, q10):
+        metric_set = paper_metric_set()
+        schedule = ResolutionSchedule(levels=4, target_precision=1.02, precision_step=0.2)
+        factory = make_factory(q10)
+        loop = AnytimeMOQO(q10, factory, schedule)
+        loop.step()
+        loop.step()
+
+        frontier = loop.history[-1].frontier
+        time_index = metric_set.index_of("execution_time")
+        median = sorted(p.cost[time_index] for p in frontier)[len(frontier) // 2]
+        bounds = metric_set.unbounded_vector().with_component(time_index, median)
+        # The change is applied after this iteration (Algorithm 1 order).
+        loop.step(ChangeBounds(bounds))
+        built_before = factory.counters.total_plans_built
+
+        # The next invocation runs under the tightened bounds at resolution 0:
+        # everything it needs was generated before, so no new plans are built
+        # and the visualized frontier respects the new bound.
+        bounded = loop.step()
+        assert bounded.resolution == 0
+        assert factory.counters.total_plans_built == built_before
+        assert all(p.cost[time_index] <= median for p in bounded.frontier)
+
+    def test_interactive_session_selects_a_plan_on_tpch(self, q03):
+        metric_set = paper_metric_set()
+        schedule = ResolutionSchedule(levels=4, target_precision=1.01, precision_step=0.05)
+        # The precision weight must outweigh the execution-time scale (~1e5
+        # time units for exact plans on this block) so that the user model
+        # represents someone who insists on an exact result.
+        chooser = weighted_sum_chooser(
+            metric_set, {"execution_time": 1.0, "precision_loss": 1e7}
+        )
+        session = InteractiveSession(
+            q03,
+            make_factory(q03),
+            schedule,
+            user=PlanSelectingUser(chooser, min_resolution=1),
+        )
+        selected = session.run(max_iterations=6)
+        assert selected is not None
+        assert selected.tables == q03.tables
+        # The heavy precision weight steers the choice towards exact plans.
+        assert metric_set.component(selected.cost, "precision_loss") <= 0.5
+
+    def test_factory_counters_are_consistent_after_everything(self, q03):
+        factory = make_factory(q03)
+        schedule = ResolutionSchedule(levels=3, target_precision=1.05, precision_step=0.3)
+        loop = AnytimeMOQO(q03, factory, schedule)
+        loop.run_resolution_sweep()
+        counters = loop.optimizer.state.counters
+        assert counters.plans_generated == factory.counters.total_plans_built
+        assert counters.prune_calls >= counters.plans_generated

@@ -1,0 +1,50 @@
+"""Smoke tests of the top-level public API (the README quickstart path)."""
+
+import pytest
+
+import repro
+from repro import (
+    AnytimeMOQO,
+    CardinalityEstimator,
+    MultiObjectiveCostModel,
+    OneShotOptimizer,
+    PlanFactory,
+    ResolutionSchedule,
+    default_operator_registry,
+    paper_metric_set,
+)
+from repro.workloads import tpch_queries, tpch_statistics
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        query = min(tpch_queries(), key=lambda q: q.table_count)
+        statistics = tpch_statistics()
+        metric_set = paper_metric_set()
+        factory = PlanFactory(
+            CardinalityEstimator(statistics, query.join_graph),
+            MultiObjectiveCostModel(metric_set),
+            default_operator_registry(),
+        )
+        loop = AnytimeMOQO(query, factory, ResolutionSchedule(levels=3))
+        results = loop.run_resolution_sweep()
+        assert len(results) == 3
+        assert len(results[-1].frontier) >= len(results[0].frontier) > 0
+
+    def test_oneshot_baseline_from_public_api(self):
+        query = min(tpch_queries(), key=lambda q: q.table_count)
+        factory = PlanFactory(
+            CardinalityEstimator(tpch_statistics(), query.join_graph),
+            MultiObjectiveCostModel(paper_metric_set()),
+            default_operator_registry(),
+        )
+        optimizer = OneShotOptimizer(query, factory, ResolutionSchedule(levels=3))
+        report = optimizer.optimize()
+        assert report.frontier_size > 0

@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.workloads.generator`."""
+
+import pytest
+
+from repro.catalog.cardinality import CardinalityEstimator
+from repro.workloads.generator import SyntheticWorkloadGenerator, Topology
+
+
+class TestGeneration:
+    def test_generates_requested_table_count(self):
+        generated = SyntheticWorkloadGenerator(seed=1).generate(4)
+        assert generated.table_count == 4
+        assert len(generated.schema) == 4
+
+    def test_chain_topology_edge_count(self):
+        generated = SyntheticWorkloadGenerator(seed=1).generate(5, Topology.CHAIN)
+        assert len(generated.query.join_graph.predicates) == 4
+
+    def test_star_topology_edge_count(self):
+        generated = SyntheticWorkloadGenerator(seed=1).generate(5, Topology.STAR)
+        assert len(generated.query.join_graph.predicates) == 4
+        # the center table is joined with every other table
+        center = generated.query.join_graph.tables[0]
+        assert len(generated.query.join_graph.neighbors(center)) == 4
+
+    def test_cycle_topology_edge_count(self):
+        generated = SyntheticWorkloadGenerator(seed=1).generate(5, Topology.CYCLE)
+        assert len(generated.query.join_graph.predicates) == 5
+
+    def test_clique_topology_edge_count(self):
+        generated = SyntheticWorkloadGenerator(seed=1).generate(5, Topology.CLIQUE)
+        assert len(generated.query.join_graph.predicates) == 10
+
+    def test_single_table_query(self):
+        generated = SyntheticWorkloadGenerator(seed=1).generate(1)
+        assert generated.query.table_count == 1
+        assert generated.query.join_graph.predicates == ()
+
+    def test_join_graph_is_connected(self):
+        for topology in Topology:
+            generated = SyntheticWorkloadGenerator(seed=3).generate(4, topology)
+            assert generated.query.is_connected(generated.query.tables)
+
+    def test_same_seed_same_workload(self):
+        first = SyntheticWorkloadGenerator(seed=7).generate(3)
+        second = SyntheticWorkloadGenerator(seed=7).generate(3)
+        rows_first = [t.row_count for t in first.schema.tables]
+        rows_second = [t.row_count for t in second.schema.tables]
+        assert rows_first == rows_second
+
+    def test_different_seeds_differ(self):
+        first = SyntheticWorkloadGenerator(seed=1).generate(3)
+        second = SyntheticWorkloadGenerator(seed=2).generate(3)
+        assert [t.row_count for t in first.schema.tables] != [
+            t.row_count for t in second.schema.tables
+        ]
+
+    def test_row_counts_respect_range(self):
+        generator = SyntheticWorkloadGenerator(seed=5, min_rows=10, max_rows=100)
+        generated = generator.generate(6)
+        for table in generated.schema.tables:
+            assert 10 <= table.row_count <= 100
+
+    def test_cardinalities_are_estimable(self):
+        generated = SyntheticWorkloadGenerator(seed=11).generate(4, Topology.STAR)
+        estimator = CardinalityEstimator(generated.statistics, generated.query.join_graph)
+        assert estimator.cardinality(generated.query.tables) >= 1.0
+
+    def test_generate_many(self):
+        queries = SyntheticWorkloadGenerator(seed=1).generate_many(3, table_count=2)
+        assert len(queries) == 3
+        names = {g.query.name for g in queries}
+        assert len(names) == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator(min_rows=0)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator().generate(0)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator().generate(2, selectivity_range=(0.5, 0.1))
