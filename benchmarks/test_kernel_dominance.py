@@ -1,0 +1,157 @@
+"""E-kernel: micro-benchmark of the batched dominance kernel.
+
+Compares frontier retrieval through the batched kernel (both backends)
+against the scalar reference -- the per-plan ``dominates()`` loop that the
+plan index used before the kernel refactor -- at the block sizes the
+Figure-3/4 TPC-H sweeps produce (hundreds to a few thousand plans per table
+set at the fine target precision).
+
+Two layers are measured:
+
+* raw block filtering: ``CostMatrix.dominated_slots`` vs. a scalar loop over
+  ``CostVector`` pairs, and
+* end-to-end index retrieval: ``PlanIndex.retrieve`` vs. a scalar scan over
+  ``PlanIndex.all_plans()``.
+
+Both paths must return the identical plan set; the kernel path is required to
+be at least 3x faster at the largest size (asserted for the numpy backend,
+which is the auto-selected one whenever numpy is installed).  Results are
+persisted to ``results/kernel_dominance.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import kernel
+from repro.core.index import PlanIndex
+from repro.costs.dominance import dominates
+from repro.costs.matrix import CostMatrix
+from repro.costs.vector import CostVector
+from repro.plans.operators import ScanOperator
+from repro.plans.plan import ScanPlan
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_NUMPY = False
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results" / "kernel_dominance.txt"
+
+#: Block sizes bracketing the per-table-set plan counts of the Figure-3/4
+#: workloads (TPC-H join blocks, fine target precision).
+SIZES = (256, 1024, 4096)
+DIMS = 3  # the paper's metric count (time, cores, precision loss)
+REPEATS = 5
+
+
+def make_costs(count: int, seed: int = 7) -> list:
+    rng = random.Random(seed)
+    return [
+        CostVector([rng.uniform(0.0, 100.0) for _ in range(DIMS)])
+        for _ in range(count)
+    ]
+
+
+def best_time(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def scalar_filter(costs, bounds):
+    return [i for i, cost in enumerate(costs) if dominates(cost, bounds)]
+
+
+def measure_block_filter(size: int) -> dict:
+    """Raw kernel block filter vs. scalar dominates() loop."""
+    costs = make_costs(size)
+    # Selects roughly a third of uniformly drawn blocks.
+    bounds = CostVector([70.0] * DIMS)
+    matrix = CostMatrix.from_vectors(costs)
+    expected = scalar_filter(costs, bounds)
+
+    row = {"size": size, "scalar_seconds": best_time(lambda: scalar_filter(costs, bounds))}
+    for backend in ("python",) + (("numpy",) if HAVE_NUMPY else ()):
+        with kernel.use_backend(backend):
+            assert matrix.dominated_slots(bounds) == expected
+            row[f"{backend}_seconds"] = best_time(
+                lambda: matrix.dominated_slots(bounds)
+            )
+            row[f"{backend}_speedup"] = row["scalar_seconds"] / row[f"{backend}_seconds"]
+    return row
+
+
+def measure_index_retrieval(size: int) -> dict:
+    """End-to-end PlanIndex.retrieve vs. a scalar scan of the same index."""
+    costs = make_costs(size, seed=13)
+    bounds = CostVector([70.0] * DIMS)
+
+    def scalar_retrieve(index):
+        return [p.plan_id for p in index.all_plans() if dominates(p.cost, bounds)]
+
+    row = {"size": size}
+    for backend in ("python",) + (("numpy",) if HAVE_NUMPY else ()):
+        with kernel.use_backend(backend):
+            index = PlanIndex()
+            for cost in costs:
+                index.insert(ScanPlan("t", ScanOperator("seq_scan"), cost), 0)
+            expected = sorted(scalar_retrieve(index))
+            assert sorted(p.plan_id for p in index.retrieve(bounds, 0)) == expected
+            scalar_seconds = best_time(lambda: scalar_retrieve(index))
+            kernel_seconds = best_time(lambda: index.retrieve(bounds, 0))
+            row.setdefault("scalar_seconds", scalar_seconds)
+            row[f"{backend}_seconds"] = kernel_seconds
+            row[f"{backend}_speedup"] = scalar_seconds / kernel_seconds
+    return row
+
+
+def format_table(title: str, rows: list) -> str:
+    keys = [k for k in rows[0] if k != "size"]
+    header = f"## {title}\n" + " | ".join(["size"] + keys)
+    lines = [header, " | ".join(["----"] * (len(keys) + 1))]
+    for row in rows:
+        cells = [str(row["size"])]
+        for key in keys:
+            value = row[key]
+            cells.append(f"{value:.3g}" if "speedup" in key else f"{value * 1e6:.1f}us")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def test_kernel_dominance_speedup():
+    block_rows = [measure_block_filter(size) for size in SIZES]
+    index_rows = [measure_index_retrieval(size) for size in SIZES]
+
+    sections = [
+        "# kernel_dominance",
+        "Batched dominance kernel vs. the scalar per-pair dominates() loop "
+        "(the pre-refactor hot path), at Figure-3/4 block sizes, "
+        f"{DIMS} metrics, best of {REPEATS} runs.",
+        f"numpy available: {HAVE_NUMPY}",
+        "",
+        format_table("raw block filter (CostMatrix.dominated_slots)", block_rows),
+        "",
+        format_table("index retrieval (PlanIndex.retrieve)", index_rows),
+    ]
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text("\n".join(sections) + "\n")
+    print("\n".join(sections))
+    print(f"[kernel_dominance] rows written to {RESULTS_PATH}")
+
+    largest = block_rows[-1]
+    if HAVE_NUMPY:
+        # The auto-selected backend must clear the 3x acceptance bar on the
+        # largest Figure-3/4-sized block.
+        assert largest["numpy_speedup"] >= 3.0, largest
+    # The pure-Python batch loop must never be slower than the scalar loop.
+    assert largest["python_speedup"] >= 1.0, largest

@@ -32,6 +32,7 @@ True
 
 from repro.costs import (
     CostVector,
+    CostMatrix,
     MetricSet,
     MultiObjectiveCostModel,
     CostModelConfig,
@@ -95,6 +96,7 @@ __version__ = "1.0.0"
 __all__ = [
     # costs
     "CostVector",
+    "CostMatrix",
     "MetricSet",
     "MultiObjectiveCostModel",
     "CostModelConfig",

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.costs.dominance import approximately_dominates, dominates, within_bounds
+from repro.costs.matrix import CostBlock
 from repro.costs.vector import CostVector
 from repro.core.pruning import order_covers
 from repro.plans.factory import PlanFactory
@@ -40,6 +41,11 @@ from repro.plans.plan import Plan
 from repro.plans.query import Query, proper_splits, table_subsets
 
 TableSet = FrozenSet[str]
+
+#: Plans of one table set plus the cost matrix the kernel filters.  The same
+#: batched dominance kernel backs IAMA's plan index (:mod:`repro.core.index`),
+#: so baseline-vs-IAMA comparisons measure the algorithms, not their loops.
+_PlanBlock = CostBlock[Plan]
 
 
 @dataclass(frozen=True)
@@ -138,23 +144,28 @@ class ApproximateParetoDP:
             raise ValueError("the precision factor alpha must be >= 1")
         started = time.perf_counter()
         plans_generated = 0
-        plan_sets: Dict[TableSet, List[Plan]] = {}
+        dims = self._factory.metric_set.dimensions
+        blocks: Dict[TableSet, _PlanBlock] = {}
 
         # Base case: scan plans per table.
         for table in sorted(self._query.tables):
             key = frozenset({table})
-            plan_sets[key] = []
+            blocks[key] = _PlanBlock(dims)
             for plan in self._factory.scan_plans(table):
                 plans_generated += 1
-                self._insert(plan_sets[key], plan, bounds, alpha)
+                self._insert(blocks[key], plan, bounds, alpha)
 
         # Recursive case: joins over subsets of increasing cardinality.
         join_operators = self._factory.join_operators()
         for subset, splits in self._plan_order:
-            target = plan_sets.setdefault(subset, [])
+            target = blocks.setdefault(subset, _PlanBlock(dims))
             for left_tables, right_tables in splits:
-                left_plans = plan_sets.get(left_tables, [])
-                right_plans = plan_sets.get(right_tables, [])
+                left_block = blocks.get(left_tables)
+                right_block = blocks.get(right_tables)
+                if left_block is None or right_block is None:
+                    continue
+                left_plans = left_block.live_items()
+                right_plans = right_block.live_items()
                 if not left_plans or not right_plans:
                     continue
                 for left in left_plans:
@@ -165,6 +176,7 @@ class ApproximateParetoDP:
                             self._insert(target, plan, bounds, alpha)
 
         duration = time.perf_counter() - started
+        plan_sets = {key: block.live_items() for key, block in blocks.items()}
         self.last_plan_sets = plan_sets
         frontier = plan_sets.get(self._query.tables, [])
         plans_kept = sum(len(plans) for plans in plan_sets.values())
@@ -183,28 +195,31 @@ class ApproximateParetoDP:
 
     # ------------------------------------------------------------------
     def _insert(
-        self, plan_list: List[Plan], plan: Plan, bounds: CostVector, alpha: float
+        self, block: _PlanBlock, plan: Plan, bounds: CostVector, alpha: float
     ) -> bool:
-        """Insert with approximate pruning; optionally evict dominated incumbents."""
+        """Insert with approximate pruning; optionally evict dominated incumbents.
+
+        The existence check ("some incumbent dominates the scaled cost") and
+        the eviction scan ("incumbents the new plan dominates") are single
+        batched kernel calls over the block's cost matrix; the interesting-
+        order compatibility is verified per surviving hit only.
+        """
         if not within_bounds(plan.cost, bounds):
             return False
         scaled = plan.cost.scaled(alpha)
-        for existing in plan_list:
+        for slot in block.matrix.dominated_slots(scaled):
+            existing = block.items[slot]
             if self._respect_orders and not order_covers(existing, plan):
                 continue
-            if dominates(existing.cost, scaled):
-                return False
+            return False
         if self._keep_dominated:
-            plan_list.append(plan)
+            block.append(plan.cost, plan)
             return True
-        survivors = [
-            existing
-            for existing in plan_list
-            if not (
-                dominates(plan.cost, existing.cost)
-                and (not self._respect_orders or order_covers(plan, existing))
-            )
-        ]
-        survivors.append(plan)
-        plan_list[:] = survivors
+        for slot in block.matrix.dominated_by_slots(plan.cost):
+            existing = block.items[slot]
+            if self._respect_orders and not order_covers(plan, existing):
+                continue
+            block.kill(slot)
+        block.compact_if_needed()
+        block.append(plan.cost, plan)
         return True

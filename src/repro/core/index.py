@@ -15,8 +15,19 @@ level, and within a level they are bucketed by the logarithm of their first
 cost component (a one-dimensional cell partition -- sufficient because the
 range queries issued by the optimizer are always of the form "cost dominated by
 ``b``, resolution at most ``r``", i.e. a lower-left box, so pruning whole
-buckets by their first-dimension lower bound is safe and effective).  Retrieval
-filters the surviving buckets with exact dominance checks.
+buckets by their first-dimension lower bound is safe and effective).  Plans
+with an infinite first cost component live in a dedicated sentinel bucket that
+compares *above* every finite bucket, so the bucket-skipping comparisons treat
+them as maximally expensive (they can never satisfy finite bounds) instead of
+accidentally ranking them below the cheapest plans.
+
+Each bucket stores its plans alongside a
+:class:`~repro.costs.matrix.CostMatrix` of their cost vectors, so the
+surviving buckets of a query are filtered with one batched kernel call each
+(:mod:`repro.kernel`) instead of a per-plan ``dominates()`` loop.  Removal
+tombstones the bucket slot and compacts lazily, preserving insertion order --
+retrieval therefore returns plans in exactly the order the scalar
+implementation did, which keeps frontiers byte-identical.
 
 The index never stores duplicate plan objects and supports removal, which the
 candidate set needs (every retrieved candidate is deleted and re-pruned,
@@ -27,11 +38,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.costs.dominance import dominates
+from repro.costs.matrix import CostBlock
 from repro.costs.vector import CostVector
 from repro.plans.plan import Plan
+
+#: Bucket id of plans whose first cost component is ``+inf``.  ``math.inf``
+#: compares above every finite bucket id, so the "skip buckets above the
+#: bound's bucket" logic handles unbounded costs without a special case.
+INFINITE_BUCKET = math.inf
+
+_BucketId = Union[int, float]
 
 
 @dataclass(frozen=True)
@@ -40,6 +58,10 @@ class IndexedPlan:
 
     plan: Plan
     resolution: int
+
+
+#: One (resolution, cell) pair: the plans plus their cost matrix.
+_Bucket = CostBlock[Plan]
 
 
 class PlanIndex:
@@ -58,18 +80,18 @@ class PlanIndex:
             raise ValueError("cell_base must be greater than 1")
         self._cell_base = cell_base
         self._log_base = math.log(cell_base)
-        # resolution level -> bucket id -> {plan id: plan} (insertion-ordered)
-        self._levels: Dict[int, Dict[int, Dict[int, Plan]]] = {}
-        # plan id -> (resolution, bucket) for O(1) removal bookkeeping
-        self._locations: Dict[int, Tuple[int, int]] = {}
+        # resolution level -> bucket id -> bucket (insertion-ordered dicts)
+        self._levels: Dict[int, Dict[_BucketId, _Bucket]] = {}
+        # plan id -> (resolution, bucket, slot) for O(1) removal bookkeeping
+        self._locations: Dict[int, Tuple[int, _BucketId, int]] = {}
 
     # ------------------------------------------------------------------
     # Bucketing
     # ------------------------------------------------------------------
-    def _bucket_of(self, cost: CostVector) -> int:
+    def _bucket_of(self, cost: CostVector) -> _BucketId:
         first = cost[0]
         if math.isinf(first):
-            return -1  # sentinel bucket for unbounded costs (never expected)
+            return INFINITE_BUCKET
         return int(math.log(first + 1.0) / self._log_base)
 
     # ------------------------------------------------------------------
@@ -83,23 +105,31 @@ class PlanIndex:
             raise ValueError(
                 f"plan {plan.plan_id} is already registered in this index"
             )
-        bucket = self._bucket_of(plan.cost)
+        bucket_id = self._bucket_of(plan.cost)
         level = self._levels.setdefault(resolution, {})
-        level.setdefault(bucket, {})[plan.plan_id] = plan
-        self._locations[plan.plan_id] = (resolution, bucket)
+        bucket = level.get(bucket_id)
+        if bucket is None:
+            bucket = _Bucket(plan.cost.dimensions)
+            level[bucket_id] = bucket
+        slot = bucket.append(plan.cost, plan)
+        self._locations[plan.plan_id] = (resolution, bucket_id, slot)
 
     def remove(self, plan: Plan) -> None:
         """Remove a previously registered plan."""
         location = self._locations.pop(plan.plan_id, None)
         if location is None:
             raise KeyError(f"plan {plan.plan_id} is not registered in this index")
-        resolution, bucket = location
-        plans = self._levels[resolution][bucket]
-        del plans[plan.plan_id]
-        if not plans:
-            del self._levels[resolution][bucket]
-            if not self._levels[resolution]:
+        resolution, bucket_id, slot = location
+        level = self._levels[resolution]
+        bucket = level[bucket_id]
+        bucket.kill(slot)
+        if bucket.matrix.live_count == 0:
+            del level[bucket_id]
+            if not level:
                 del self._levels[resolution]
+        elif bucket.compact_if_needed() is not None:
+            for new_slot, survivor in enumerate(bucket.items):
+                self._locations[survivor.plan_id] = (resolution, bucket_id, new_slot)
 
     def discard(self, plan: Plan) -> bool:
         """Remove the plan if present; return whether it was present."""
@@ -135,22 +165,24 @@ class PlanIndex:
         """Every registered plan, in no particular order."""
         result: List[Plan] = []
         for buckets in self._levels.values():
-            for plans in buckets.values():
-                result.extend(plans.values())
+            for bucket in buckets.values():
+                result.extend(bucket.live_items())
         return result
 
     def all_entries(self) -> List[IndexedPlan]:
         """Every registered plan with its resolution level."""
         result: List[IndexedPlan] = []
         for resolution, buckets in self._levels.items():
-            for plans in buckets.values():
-                result.extend(IndexedPlan(plan, resolution) for plan in plans.values())
+            for bucket in buckets.values():
+                result.extend(
+                    IndexedPlan(plan, resolution) for plan in bucket.live_items()
+                )
         return result
 
     def count_at_resolution(self, resolution: int) -> int:
         """Number of plans registered exactly at the given resolution."""
         buckets = self._levels.get(resolution, {})
-        return sum(len(plans) for plans in buckets.values())
+        return sum(bucket.matrix.live_count for bucket in buckets.values())
 
     def retrieve(
         self,
@@ -162,24 +194,24 @@ class PlanIndex:
 
         This is the range query written ``S^q[0..b, 0..r]`` in the paper
         (optionally with a non-zero lower resolution limit, which the
-        re-indexing of candidate plans uses).
+        re-indexing of candidate plans uses).  Each surviving bucket is
+        filtered with one batched kernel call.
         """
         if max_resolution < min_resolution:
             return []
-        bound_bucket = None
-        if not math.isinf(bounds[0]):
-            bound_bucket = self._bucket_of(bounds)
+        bound_bucket = self._bucket_of(bounds)
         result: List[Plan] = []
         for resolution in range(min_resolution, max_resolution + 1):
             buckets = self._levels.get(resolution)
             if not buckets:
                 continue
-            for bucket_id, plans in buckets.items():
-                if bound_bucket is not None and bucket_id > bound_bucket:
+            for bucket_id, bucket in buckets.items():
+                if bucket_id > bound_bucket:
                     continue
-                for plan in plans.values():
-                    if dominates(plan.cost, bounds):
-                        result.append(plan)
+                plans = bucket.items
+                result.extend(
+                    plans[slot] for slot in bucket.matrix.dominated_slots(bounds)
+                )
         return result
 
     def retrieve_entries(
@@ -191,20 +223,20 @@ class PlanIndex:
         """Like :meth:`retrieve` but also returns each plan's resolution."""
         if max_resolution < min_resolution:
             return []
-        bound_bucket = None
-        if not math.isinf(bounds[0]):
-            bound_bucket = self._bucket_of(bounds)
+        bound_bucket = self._bucket_of(bounds)
         result: List[IndexedPlan] = []
         for resolution in range(min_resolution, max_resolution + 1):
             buckets = self._levels.get(resolution)
             if not buckets:
                 continue
-            for bucket_id, plans in buckets.items():
-                if bound_bucket is not None and bucket_id > bound_bucket:
+            for bucket_id, bucket in buckets.items():
+                if bucket_id > bound_bucket:
                     continue
-                for plan in plans.values():
-                    if dominates(plan.cost, bounds):
-                        result.append(IndexedPlan(plan, resolution))
+                plans = bucket.items
+                result.extend(
+                    IndexedPlan(plans[slot], resolution)
+                    for slot in bucket.matrix.dominated_slots(bounds)
+                )
         return result
 
     def find_dominating(
@@ -226,28 +258,37 @@ class PlanIndex:
         layer caches it so that re-checking a deferred candidate at the next
         resolution level is usually a single dominance test.  Buckets are
         scanned in ascending first-metric order because dominating plans are
-        cheap plans, which makes the short-circuit trigger early.
+        cheap plans, which makes the short-circuit trigger early.  A plan
+        dominates both ``bounds`` and ``target`` exactly when it dominates
+        their component-wise minimum, so each bucket needs a single batched
+        kernel call.
         """
-        bound_bucket = None
-        if not math.isinf(bounds[0]):
-            bound_bucket = self._bucket_of(bounds)
-        target_bucket = self._bucket_of(target) if not math.isinf(target[0]) else None
+        if len(target) != len(bounds):
+            raise ValueError(
+                "cannot compare cost vectors of different dimensionality"
+            )
+        bucket_limit = min(self._bucket_of(bounds), self._bucket_of(target))
+        combined = tuple(min(b, t) for b, t in zip(bounds, target))
         for resolution in range(0, max_resolution + 1):
             buckets = self._levels.get(resolution)
             if not buckets:
                 continue
             for bucket_id in sorted(buckets):
-                if bound_bucket is not None and bucket_id > bound_bucket:
+                if bucket_id > bucket_limit:
+                    # Every plan in this (and any later) bucket has a
+                    # first-metric cost above the bounds or the target, so
+                    # none of them can qualify.
                     break
-                if target_bucket is not None and bucket_id > target_bucket:
-                    # Every plan in this bucket has a first-metric cost above
-                    # the target's, so none of them can dominate it.
-                    break
-                for plan in buckets[bucket_id].values():
-                    if order_filter is not None and not order_filter(plan):
-                        continue
-                    if dominates(plan.cost, bounds) and dominates(plan.cost, target):
-                        return plan
+                bucket = buckets[bucket_id]
+                if order_filter is None:
+                    slot = bucket.matrix.first_dominating(combined)
+                    if slot != -1:
+                        return bucket.items[slot]
+                else:
+                    for slot in bucket.matrix.dominated_slots(combined):
+                        plan = bucket.items[slot]
+                        if order_filter(plan):
+                            return plan
         return None
 
     def any_dominating(

@@ -14,6 +14,12 @@ subset ``q`` (Theorems 1 and 2).  The two phases are:
    of result sub-plans are generated (one per applicable join operator,
    Section 4.3), costed, and pruned.
 
+Seeding, candidate reconsideration and fresh-plan generation all collect plans
+and hand them to :func:`repro.core.pruning.prune_all` in blocks (per table
+set), so every plan's witness search runs through the batched dominance kernel
+of the plan index (:mod:`repro.kernel`); the outcome sequence is identical to
+pruning each plan the moment it is produced.
+
 Incrementality rests on two pieces of machinery implemented in
 :mod:`repro.core.fresh`: the ``IsFresh`` registry, which guarantees that no
 sub-plan pair/operator combination is ever materialized twice (Lemma 6), and
@@ -36,7 +42,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.costs.dominance import dominates
 from repro.costs.vector import CostVector
 from repro.core.fresh import fresh_pairs
-from repro.core.pruning import PruneOutcome, prune
+from repro.core.pruning import PruneOutcome, prune_all
 from repro.core.resolution import ResolutionSchedule
 from repro.core.state import OptimizerState
 from repro.plans.factory import PlanFactory
@@ -310,10 +316,11 @@ class IncrementalOptimizer:
         max_resolution: int,
         inserted_now: Dict[TableSet, List[Plan]],
     ) -> None:
+        block: List[Plan] = []
         for table in sorted(self._query.tables):
-            for plan in self._factory.scan_plans(table):
-                self._state.counters.scan_plans_generated += 1
-                self._prune(plan, bounds, resolution, alpha, max_resolution, inserted_now)
+            block.extend(self._factory.scan_plans(table))
+        self._state.counters.scan_plans_generated += len(block)
+        self._prune_block(block, bounds, resolution, alpha, max_resolution, inserted_now)
         self._state.seeded = True
 
     def _reconsider_candidates(
@@ -331,8 +338,10 @@ class IncrementalOptimizer:
             retrievable = candidate_index.retrieve(bounds, resolution)
             for plan in retrievable:
                 candidate_index.remove(plan)
-                counters.candidate_retrievals += 1
-                self._prune(plan, bounds, resolution, alpha, max_resolution, inserted_now)
+            counters.candidate_retrievals += len(retrievable)
+            self._prune_block(
+                retrievable, bounds, resolution, alpha, max_resolution, inserted_now
+            )
 
     def _generate_fresh_plans(
         self,
@@ -347,6 +356,12 @@ class IncrementalOptimizer:
         freshness = self._state.freshness
         join_operators = self._factory.join_operators()
         for subset, splits in self._plan_order:
+            # Collect every fresh combination for this table subset, then
+            # prune the whole block at once.  Plans of a subset never feed the
+            # generation of the same subset (splits are strictly smaller), so
+            # deferring the pruning to the block boundary is equivalent to
+            # pruning each plan as it is generated.
+            block: List[Plan] = []
             for left_tables, right_tables in splits:
                 if delta_mode:
                     left_delta = inserted_now.get(left_tables, [])
@@ -376,43 +391,50 @@ class IncrementalOptimizer:
                     for operator in join_operators:
                         if not freshness.register(left, right, operator):
                             continue
-                        plan = self._factory.join_plan(left, right, operator)
-                        counters.join_plans_generated += 1
-                        self._prune(
-                            plan, bounds, resolution, alpha, max_resolution, inserted_now
-                        )
+                        block.append(self._factory.join_plan(left, right, operator))
+            counters.join_plans_generated += len(block)
+            self._prune_block(
+                block, bounds, resolution, alpha, max_resolution, inserted_now
+            )
 
-    def _prune(
+    def _prune_block(
         self,
-        plan: Plan,
+        plans: List[Plan],
         bounds: CostVector,
         resolution: int,
         alpha: float,
         max_resolution: int,
         inserted_now: Dict[TableSet, List[Plan]],
-    ) -> PruneOutcome:
+    ) -> None:
+        """Prune a block of plans, grouped per table set, preserving order."""
+        if not plans:
+            return
         counters = self._state.counters
-        outcome = prune(
-            result_index=self._state.result_set(plan.tables),
-            candidate_index=self._state.candidate_set(plan.tables),
-            bounds=bounds,
-            resolution=resolution,
-            alpha=alpha,
-            max_resolution=max_resolution,
-            plan=plan,
-            respect_orders=self._respect_orders,
-            witnesses=self._witnesses,
-        )
-        if outcome is PruneOutcome.INSERTED:
-            counters.plans_inserted += 1
-            inserted_now.setdefault(plan.tables, []).append(plan)
-        elif outcome is PruneOutcome.DEFERRED_TO_HIGHER_RESOLUTION:
-            counters.plans_deferred += 1
-        elif outcome is PruneOutcome.OUT_OF_BOUNDS:
-            counters.plans_out_of_bounds += 1
-        else:
-            counters.plans_discarded += 1
-        return outcome
+        groups: Dict[TableSet, List[Plan]] = {}
+        for plan in plans:
+            groups.setdefault(plan.tables, []).append(plan)
+        for tables, group in groups.items():
+            outcomes = prune_all(
+                result_index=self._state.result_set(tables),
+                candidate_index=self._state.candidate_set(tables),
+                bounds=bounds,
+                resolution=resolution,
+                alpha=alpha,
+                max_resolution=max_resolution,
+                plans=group,
+                respect_orders=self._respect_orders,
+                witnesses=self._witnesses,
+            )
+            for plan, outcome in zip(group, outcomes):
+                if outcome is PruneOutcome.INSERTED:
+                    counters.plans_inserted += 1
+                    inserted_now.setdefault(plan.tables, []).append(plan)
+                elif outcome is PruneOutcome.DEFERRED_TO_HIGHER_RESOLUTION:
+                    counters.plans_deferred += 1
+                elif outcome is PruneOutcome.OUT_OF_BOUNDS:
+                    counters.plans_out_of_bounds += 1
+                else:
+                    counters.plans_discarded += 1
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,7 @@ plan when it provides at least the same ordering guarantee.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.costs.dominance import dominates, within_bounds
 from repro.costs.vector import CostVector
@@ -123,8 +123,77 @@ def prune(
     """
     if alpha < 1.0:
         raise ValueError("the precision factor alpha_r must be >= 1")
-    scaled_cost = plan.cost.scaled(alpha)
+    return _prune_scaled(
+        result_index,
+        candidate_index,
+        bounds,
+        resolution,
+        max_resolution,
+        plan,
+        plan.cost.scaled(alpha),
+        respect_orders,
+        witnesses,
+    )
 
+
+def prune_all(
+    result_index: PlanIndex,
+    candidate_index: PlanIndex,
+    bounds: CostVector,
+    resolution: int,
+    alpha: float,
+    max_resolution: int,
+    plans: Sequence[Plan],
+    respect_orders: bool = True,
+    witnesses: Optional[Dict[int, Plan]] = None,
+) -> List[PruneOutcome]:
+    """Apply procedure ``Prune`` to a block of plans of one table set.
+
+    The plans are processed strictly in order, so the outcome sequence is
+    identical to calling :func:`prune` once per plan -- a plan inserted early
+    in the block can approximate (and thereby defer) a later one.  The batch
+    entry point lets callers (seeding, candidate reconsideration and
+    fresh-plan generation in :mod:`repro.core.optimizer`) collect plans and
+    prune in blocks instead of interleaving generation and pruning; each
+    plan's witness search then runs through the batched kernel of the result
+    index.
+
+    All plans must belong to the same table set as the given result and
+    candidate indexes; returns one :class:`PruneOutcome` per plan, in order.
+    """
+    if alpha < 1.0:
+        raise ValueError("the precision factor alpha_r must be >= 1")
+    if not plans:
+        return []
+    scaled_costs = [plan.cost.scaled(alpha) for plan in plans]
+    return [
+        _prune_scaled(
+            result_index,
+            candidate_index,
+            bounds,
+            resolution,
+            max_resolution,
+            plan,
+            scaled_cost,
+            respect_orders,
+            witnesses,
+        )
+        for plan, scaled_cost in zip(plans, scaled_costs)
+    ]
+
+
+def _prune_scaled(
+    result_index: PlanIndex,
+    candidate_index: PlanIndex,
+    bounds: CostVector,
+    resolution: int,
+    max_resolution: int,
+    plan: Plan,
+    scaled_cost: CostVector,
+    respect_orders: bool,
+    witnesses: Optional[Dict[int, Plan]],
+) -> PruneOutcome:
+    """Prune one plan whose ``alpha_r``-scaled cost is already computed."""
     witness: Optional[Plan] = None
     if witnesses is not None:
         cached = witnesses.get(plan.plan_id)

@@ -6,9 +6,16 @@ multi-objective cost model used to cost query plans (Section 6.1 uses execution
 time, number of reserved cores, and result precision; the algorithm itself
 supports any metric whose aggregation function is built from sum, max, min and
 multiplication by constants -- the "PONO class" of Section 5.1).
+
+:class:`CostVector` is the public value type; :class:`CostMatrix` is its
+structure-of-arrays companion for whole-block dominance operations, backed by
+the batched kernel in :mod:`repro.kernel` (pure-Python loops, or numpy when
+available -- auto-selected at import, overridable via the
+``REPRO_KERNEL_BACKEND`` environment variable).
 """
 
 from repro.costs.vector import CostVector
+from repro.costs.matrix import CostBlock, CostMatrix
 from repro.costs.dominance import (
     dominates,
     strictly_dominates,
@@ -49,6 +56,8 @@ from repro.costs.model import MultiObjectiveCostModel, CostModelConfig
 
 __all__ = [
     "CostVector",
+    "CostMatrix",
+    "CostBlock",
     "dominates",
     "strictly_dominates",
     "approximately_dominates",

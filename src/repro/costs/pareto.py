@@ -28,6 +28,7 @@ from repro.costs.dominance import (
     strictly_dominates,
     within_bounds,
 )
+from repro.costs.matrix import CostBlock, CostMatrix
 from repro.costs.vector import CostVector
 
 T = TypeVar("T")
@@ -41,6 +42,10 @@ class ParetoSet(Generic[T]):
     an item removes all items that it strictly dominates; the insertion is
     rejected when an existing item dominates the new one.
 
+    The item costs are mirrored in a :class:`~repro.costs.matrix.CostMatrix`,
+    so the dominance test of every insertion and coverage query is one batched
+    kernel call over the whole frontier instead of a per-item Python loop.
+
     Note that this is the *non-approximate, minimal* frontier semantics used by
     the exhaustive baseline (Ganguly-style full Pareto DP).  IAMA's result sets
     deliberately do **not** behave like this: IAMA never discards previously
@@ -50,22 +55,23 @@ class ParetoSet(Generic[T]):
 
     def __init__(self, cost_of: Callable[[T], CostVector]):
         self._cost_of = cost_of
-        self._items: List[T] = []
+        # Created on first insert, when the dimensionality becomes known.
+        self._block: Optional[CostBlock[T]] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._items)
+        return 0 if self._block is None else len(self._block)
 
     def __iter__(self) -> Iterator[T]:
-        return iter(self._items)
+        return iter(self.items())
 
     def items(self) -> List[T]:
         """Return the current frontier items (a copy)."""
-        return list(self._items)
+        return [] if self._block is None else self._block.live_items()
 
     def costs(self) -> List[CostVector]:
         """Return the cost vectors of the current frontier items."""
-        return [self._cost_of(item) for item in self._items]
+        return [self._cost_of(item) for item in self.items()]
 
     # ------------------------------------------------------------------
     def insert(self, item: T) -> bool:
@@ -77,16 +83,18 @@ class ParetoSet(Generic[T]):
         in favour of the incumbent.
         """
         cost = self._cost_of(item)
-        survivors: List[T] = []
-        for existing in self._items:
-            existing_cost = self._cost_of(existing)
-            if dominates(existing_cost, cost):
-                # The incumbent is at least as good on every metric: reject.
-                return False
-            if not dominates(cost, existing_cost):
-                survivors.append(existing)
-        survivors.append(item)
-        self._items = survivors
+        if self._block is None:
+            self._block = CostBlock(len(cost))
+        block = self._block
+        if block.matrix.any_dominating(cost):
+            # Some incumbent is at least as good on every metric: reject.
+            return False
+        # No incumbent dominates the new cost, so every incumbent the new cost
+        # dominates is strictly worse somewhere: evict them.
+        for slot in block.matrix.dominated_by_slots(cost):
+            block.kill(slot)
+        block.compact_if_needed()
+        block.append(cost, item)
         return True
 
     def insert_all(self, items: Iterable[T]) -> int:
@@ -99,14 +107,17 @@ class ParetoSet(Generic[T]):
 
     def dominated_by_any(self, cost: CostVector) -> bool:
         """True when some frontier item dominates the given cost vector."""
-        return any(dominates(self._cost_of(item), cost) for item in self._items)
+        if self._block is None:
+            return False
+        return self._block.matrix.any_dominating(cost)
 
     def covers(self, cost: CostVector, alpha: float = 1.0) -> bool:
         """True when some frontier item alpha-approximately dominates ``cost``."""
-        return any(
-            approximately_dominates(self._cost_of(item), cost, alpha)
-            for item in self._items
-        )
+        if self._block is None or len(self._block) == 0:
+            return False
+        if alpha < 1.0:
+            raise ValueError(f"approximation factor must be >= 1, got {alpha}")
+        return self._block.matrix.any_dominating(cost.scaled(alpha))
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +126,16 @@ class ParetoSet(Generic[T]):
 def pareto_filter(costs: Sequence[CostVector]) -> List[CostVector]:
     """Return the subset of ``costs`` that is not strictly dominated.
 
-    Duplicate vectors are collapsed to a single representative.
+    Duplicate vectors are collapsed to exactly one representative (the first
+    occurrence); the output preserves the input's first-occurrence order.
+
+    The naive algorithm compares all pairs (``O(n^2 l)``).  This implementation
+    sorts instead: a strictly dominating vector always sorts lexicographically
+    before the vector it dominates, so a single sweep that checks each vector
+    only against the frontier collected so far suffices.  For two metrics the
+    sweep degenerates to the classic sort-then-scan with a running second-
+    component minimum (``O(n log n)``); for more metrics the frontier check is
+    one batched kernel call per vector (``O(n log n + n F)``).
     """
     unique: List[CostVector] = []
     seen = set()
@@ -123,11 +143,25 @@ def pareto_filter(costs: Sequence[CostVector]) -> List[CostVector]:
         if c not in seen:
             seen.add(c)
             unique.append(c)
-    frontier: List[CostVector] = []
-    for c in unique:
-        if not any(strictly_dominates(other, c) for other in unique if other is not c):
-            frontier.append(c)
-    return frontier
+    if not unique:
+        return []
+    dims = unique[0].dimensions
+    frontier_set = set()
+    if dims == 2:
+        ordered = sorted(unique, key=lambda c: c.values)
+        # A vector is strictly dominated exactly when some lexicographically
+        # earlier vector has a second component <= its own (vectors are
+        # unique), so the frontier is the strictly-decreasing-y prefix chain.
+        best_second: Optional[float] = None
+        for c in ordered:
+            if best_second is None or c[1] < best_second:
+                best_second = c[1]
+                frontier_set.add(c)
+    else:
+        matrix = CostMatrix.from_vectors(unique)
+        mask = matrix.pareto_mask()
+        frontier_set = {c for c, keep in zip(unique, mask) if keep}
+    return [c for c in unique if c in frontier_set]
 
 
 def is_pareto_optimal(cost: CostVector, costs: Iterable[CostVector]) -> bool:

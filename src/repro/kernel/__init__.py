@@ -1,0 +1,116 @@
+"""Batched dominance/coverage kernel.
+
+Every hot loop of the optimizer boils down to a handful of primitive
+comparisons between one cost vector and a *block* of cost vectors: "which of
+these plans respect the bounds?", "does any result plan dominate this scaled
+cost?", "which incumbents does the new plan dominate?".  This package provides
+those primitives as batch operations over contiguous float storage
+(structure-of-arrays: one ``array('d')`` column per cost metric plus an
+``array('b')`` liveness bitmap) so that a whole bucket of the plan index or a
+whole DP plan list is filtered in a single kernel call instead of a Python
+loop of per-pair :func:`repro.costs.dominance.dominates` calls.
+
+Backend selection
+-----------------
+
+Two interchangeable backends implement the kernel operations:
+
+* ``python`` -- pure-Python loops over the column arrays, specialised for the
+  small metric counts (1-3) the paper uses.  Always available.
+* ``numpy`` -- vectorised comparisons over zero-copy ``numpy.frombuffer``
+  views of the same column arrays.  Used automatically when numpy is
+  importable; falls back to the pure-Python loops for very small blocks where
+  ufunc dispatch overhead would dominate.
+
+The backend is auto-selected at import time: ``numpy`` when importable,
+``python`` otherwise.  Set the environment variable ``REPRO_KERNEL_BACKEND``
+to ``python``, ``numpy`` or ``auto`` to force a choice, or call
+:func:`set_backend` / use the :func:`use_backend` context manager at runtime
+(the test suite uses the latter to assert that both backends produce
+bit-identical results).
+
+All operations use exact IEEE-754 comparisons in both backends, so frontiers
+computed through the kernel are byte-identical regardless of the backend.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from types import ModuleType
+from typing import Iterator
+
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Names accepted by :func:`set_backend` and the environment variable.
+BACKEND_NAMES = ("auto", "python", "numpy")
+
+
+def _resolve(name: str) -> ModuleType:
+    """Import and return the backend module for ``name`` (not ``auto``)."""
+    if name == "python":
+        from repro.kernel import python_backend
+
+        return python_backend
+    if name == "numpy":
+        from repro.kernel import numpy_backend
+
+        return numpy_backend
+    raise ValueError(
+        f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def _auto() -> ModuleType:
+    """Prefer the numpy backend, fall back to pure Python."""
+    try:
+        return _resolve("numpy")
+    except ImportError:
+        return _resolve("python")
+
+
+def _initial_backend() -> ModuleType:
+    requested = os.environ.get(BACKEND_ENV_VAR, "auto").strip().lower()
+    if requested in ("", "auto"):
+        return _auto()
+    # An explicit request must not be silently downgraded: if numpy is asked
+    # for but missing, the ImportError surfaces at import time.
+    return _resolve(requested)
+
+
+#: The active backend module.  Read it through this attribute on every call
+#: (``kernel.ops.leq_slots(...)``) so runtime backend switches take effect.
+ops: ModuleType = _initial_backend()
+
+
+def backend_name() -> str:
+    """Name of the active kernel backend (``"python"`` or ``"numpy"``)."""
+    return ops.NAME
+
+
+def set_backend(name: str) -> str:
+    """Switch the active backend; returns the name of the previous one."""
+    global ops
+    previous = ops.NAME
+    ops = _auto() if name == "auto" else _resolve(name)
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Context manager that temporarily switches the kernel backend."""
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "ops",
+    "backend_name",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,87 @@
+"""Numpy kernel backend.
+
+Implements the same operations as :mod:`repro.kernel.python_backend` with
+vectorised comparisons.  The column arrays (``array('d')``) and the liveness
+bitmap (``array('b')``) are viewed through zero-copy ``numpy.frombuffer``;
+nothing is ever copied except the working mask, so the backend adds no
+per-row storage overhead.
+
+For very small blocks the fixed cost of ufunc dispatch exceeds the loop cost,
+so blocks below :data:`SMALL_BLOCK` rows are delegated to the pure-Python
+loops.  Both paths use exact IEEE-754 comparisons and therefore produce
+identical results.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.kernel import python_backend as _py
+
+NAME = "numpy"
+
+#: Below this many rows the pure-Python loops are faster than ufunc dispatch.
+SMALL_BLOCK = 16
+
+Columns = Sequence[array]
+Vector = Sequence[float]
+
+
+def _column_view(col: array) -> np.ndarray:
+    return np.frombuffer(col, dtype=np.float64)
+
+
+def _leq_mask(columns: Columns, alive: array, vector: Vector) -> np.ndarray:
+    mask = np.frombuffer(alive, dtype=np.bool_).copy()
+    for col, bound in zip(columns, vector):
+        np.logical_and(mask, _column_view(col) <= bound, out=mask)
+    return mask
+
+
+def _geq_mask(columns: Columns, alive: array, vector: Vector) -> np.ndarray:
+    mask = np.frombuffer(alive, dtype=np.bool_).copy()
+    for col, bound in zip(columns, vector):
+        np.logical_and(mask, _column_view(col) >= bound, out=mask)
+    return mask
+
+
+def leq_slots(columns: Columns, alive: array, vector: Vector) -> List[int]:
+    """Slots of live rows ``r`` with ``r <= vector`` component-wise."""
+    if len(alive) < SMALL_BLOCK:
+        return _py.leq_slots(columns, alive, vector)
+    return np.nonzero(_leq_mask(columns, alive, vector))[0].tolist()
+
+
+def geq_slots(columns: Columns, alive: array, vector: Vector) -> List[int]:
+    """Slots of live rows ``r`` with ``r >= vector`` component-wise."""
+    if len(alive) < SMALL_BLOCK:
+        return _py.geq_slots(columns, alive, vector)
+    return np.nonzero(_geq_mask(columns, alive, vector))[0].tolist()
+
+
+def first_leq(columns: Columns, alive: array, vector: Vector) -> int:
+    """Slot of the first live row ``<= vector`` component-wise, or ``-1``."""
+    if len(alive) < SMALL_BLOCK:
+        return _py.first_leq(columns, alive, vector)
+    hits = np.nonzero(_leq_mask(columns, alive, vector))[0]
+    return int(hits[0]) if hits.size else -1
+
+
+def any_leq(columns: Columns, alive: array, vector: Vector) -> bool:
+    """Whether some live row is ``<= vector`` component-wise."""
+    if len(alive) < SMALL_BLOCK:
+        return _py.any_leq(columns, alive, vector)
+    return bool(_leq_mask(columns, alive, vector).any())
+
+
+def scale_columns(columns: Columns, factor: float) -> List[array]:
+    """Multiply every column by a non-negative scalar; returns new columns."""
+    scaled: List[array] = []
+    for col in columns:
+        out = array("d")
+        out.frombytes((_column_view(col) * factor).tobytes())
+        scaled.append(out)
+    return scaled

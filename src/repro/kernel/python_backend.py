@@ -1,0 +1,113 @@
+"""Pure-Python kernel backend.
+
+Operates directly on the structure-of-arrays storage of
+:class:`repro.costs.matrix.CostMatrix`: ``columns`` is a sequence of
+``array('d')`` (one per cost metric, all the same length) and ``alive`` is an
+``array('b')`` of 0/1 liveness flags of that length.  A *slot* is a row index
+into those arrays; killed rows stay in place until the owner compacts, so
+every operation masks with ``alive``.
+
+The loops are specialised for the metric counts that actually occur in the
+paper's workloads (one to three metrics); the generic path handles any
+dimensionality.  This backend is the reference implementation: the numpy
+backend must produce identical results (exact IEEE-754 comparisons in both).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence
+
+NAME = "python"
+
+Columns = Sequence[array]
+Vector = Sequence[float]
+
+
+def leq_slots(columns: Columns, alive: array, vector: Vector) -> List[int]:
+    """Slots of live rows ``r`` with ``r <= vector`` component-wise."""
+    n = len(alive)
+    if n == 0:
+        return []
+    dims = len(columns)
+    if dims == 1:
+        c0, (b0,) = columns[0], vector
+        return [i for i in range(n) if alive[i] and c0[i] <= b0]
+    if dims == 2:
+        (c0, c1), (b0, b1) = columns, vector
+        return [i for i in range(n) if alive[i] and c0[i] <= b0 and c1[i] <= b1]
+    if dims == 3:
+        (c0, c1, c2), (b0, b1, b2) = columns, vector
+        return [
+            i
+            for i in range(n)
+            if alive[i] and c0[i] <= b0 and c1[i] <= b1 and c2[i] <= b2
+        ]
+    out: List[int] = []
+    for i in range(n):
+        if not alive[i]:
+            continue
+        for col, bound in zip(columns, vector):
+            if col[i] > bound:
+                break
+        else:
+            out.append(i)
+    return out
+
+
+def geq_slots(columns: Columns, alive: array, vector: Vector) -> List[int]:
+    """Slots of live rows ``r`` with ``r >= vector`` component-wise."""
+    n = len(alive)
+    if n == 0:
+        return []
+    dims = len(columns)
+    if dims == 1:
+        c0, (b0,) = columns[0], vector
+        return [i for i in range(n) if alive[i] and c0[i] >= b0]
+    if dims == 2:
+        (c0, c1), (b0, b1) = columns, vector
+        return [i for i in range(n) if alive[i] and c0[i] >= b0 and c1[i] >= b1]
+    if dims == 3:
+        (c0, c1, c2), (b0, b1, b2) = columns, vector
+        return [
+            i
+            for i in range(n)
+            if alive[i] and c0[i] >= b0 and c1[i] >= b1 and c2[i] >= b2
+        ]
+    out: List[int] = []
+    for i in range(n):
+        if not alive[i]:
+            continue
+        for col, bound in zip(columns, vector):
+            if col[i] < bound:
+                break
+        else:
+            out.append(i)
+    return out
+
+
+def first_leq(columns: Columns, alive: array, vector: Vector) -> int:
+    """Slot of the first live row ``<= vector`` component-wise, or ``-1``."""
+    n = len(alive)
+    dims = len(columns)
+    for i in range(n):
+        if not alive[i]:
+            continue
+        ok = True
+        for k in range(dims):
+            if columns[k][i] > vector[k]:
+                ok = False
+                break
+        if ok:
+            return i
+    return -1
+
+
+def any_leq(columns: Columns, alive: array, vector: Vector) -> bool:
+    """Whether some live row is ``<= vector`` component-wise."""
+    return first_leq(columns, alive, vector) != -1
+
+
+def scale_columns(columns: Columns, factor: float) -> List[array]:
+    """Multiply every column by a non-negative scalar; returns new columns."""
+    return [array("d", (value * factor for value in col)) for col in columns]

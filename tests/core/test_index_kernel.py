@@ -1,0 +1,233 @@
+"""Kernel-path and edge-case tests for :mod:`repro.core.index`.
+
+Covers the satellite checklist items of the batched-kernel refactor: removal
+of the last plan in a bucket, retrieval with infinite bounds, the
+``order_filter`` of ``find_dominating``, the infinite-first-component bucket
+sentinel, and property-based equivalence of the kernel-backed retrieval
+against a scalar brute-force oracle on every available backend.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernel
+from repro.core.index import INFINITE_BUCKET, PlanIndex
+from repro.costs.dominance import dominates
+from repro.costs.vector import CostVector
+from repro.plans.operators import ScanOperator
+from repro.plans.plan import ScanPlan
+
+try:
+    import numpy  # noqa: F401
+
+    BACKENDS = ["python", "numpy"]
+except ImportError:  # pragma: no cover - depends on environment
+    BACKENDS = ["python"]
+
+INF = float("inf")
+
+
+def make_plan(cost, order=None):
+    return ScanPlan(
+        "t", ScanOperator("seq_scan"), CostVector(cost), interesting_order=order
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    with kernel.use_backend(request.param):
+        yield request.param
+
+
+class TestBucketEdgeCases:
+    def test_removing_last_plan_in_bucket_keeps_index_consistent(self, backend):
+        index = PlanIndex()
+        # Same bucket (similar first component), then empty it entirely.
+        lone = make_plan([100.0, 1.0])
+        other = make_plan([1.0, 1.0])
+        index.insert(lone, 0)
+        index.insert(other, 0)
+        index.remove(lone)
+        assert len(index) == 1
+        assert lone not in index
+        retrieved = index.retrieve(CostVector.infinite(2), 0)
+        assert [p.plan_id for p in retrieved] == [other.plan_id]
+        # Re-inserting into the emptied bucket works.
+        index.insert(make_plan([101.0, 2.0]), 0)
+        assert len(index) == 2
+
+    def test_removals_trigger_compaction_without_losing_plans(self, backend):
+        index = PlanIndex()
+        plans = [make_plan([10.0 + i * 0.01, float(i)]) for i in range(20)]
+        for plan in plans:
+            index.insert(plan, 0)
+        for plan in plans[:15]:
+            index.remove(plan)
+        survivors = {p.plan_id for p in plans[15:]}
+        assert {p.plan_id for p in index.all_plans()} == survivors
+        retrieved = index.retrieve(CostVector.infinite(2), 0)
+        assert [p.plan_id for p in retrieved] == [p.plan_id for p in plans[15:]]
+        # Locations stay valid after compaction: removal still works.
+        index.remove(plans[15])
+        assert len(index) == 4
+
+    def test_retrieve_with_infinite_bounds_returns_everything_in_range(self, backend):
+        index = PlanIndex()
+        plans = [make_plan([float(2**i), 1.0]) for i in range(8)]
+        for resolution, plan in enumerate(plans):
+            index.insert(plan, resolution % 3)
+        unbounded = CostVector.infinite(2)
+        assert {p.plan_id for p in index.retrieve(unbounded, 2)} == {
+            p.plan_id for p in plans
+        }
+        assert {p.plan_id for p in index.retrieve(unbounded, 0)} == {
+            p.plan_id for r, p in enumerate(plans) if r % 3 == 0
+        }
+
+    def test_find_dominating_with_order_filter_skips_incompatible_witnesses(
+        self, backend
+    ):
+        index = PlanIndex()
+        ordered_cheap = make_plan([1.0, 1.0], order="sorted:a")
+        unordered_pricier = make_plan([2.0, 2.0])
+        index.insert(ordered_cheap, 0)
+        index.insert(unordered_pricier, 0)
+        target = CostVector([3.0, 3.0])
+        unbounded = CostVector.infinite(2)
+        # Without a filter the cheapest dominating plan wins.
+        assert index.find_dominating(target, unbounded, 0) is ordered_cheap
+        # The filter must skip the ordered plan but still find the other one.
+        witness = index.find_dominating(
+            target, unbounded, 0, order_filter=lambda p: p.interesting_order is None
+        )
+        assert witness is unordered_pricier
+        # A filter rejecting everything yields no witness.
+        assert (
+            index.find_dominating(target, unbounded, 0, order_filter=lambda p: False)
+            is None
+        )
+
+
+class TestInfiniteCostSentinel:
+    def test_infinite_first_component_maps_to_top_bucket(self):
+        index = PlanIndex()
+        assert index._bucket_of(CostVector([INF, 1.0])) == INFINITE_BUCKET
+        assert INFINITE_BUCKET > index._bucket_of(CostVector([1e300, 1.0]))
+
+    def test_infinite_cost_plan_is_not_retrievable_under_finite_bounds(self, backend):
+        index = PlanIndex()
+        unbounded_plan = make_plan([INF, 1.0])
+        cheap = make_plan([1.0, 1.0])
+        index.insert(unbounded_plan, 0)
+        index.insert(cheap, 0)
+        retrieved = index.retrieve(CostVector([10.0, 10.0]), 0)
+        assert [p.plan_id for p in retrieved] == [cheap.plan_id]
+
+    def test_infinite_cost_plan_is_retrievable_under_infinite_bounds(self, backend):
+        index = PlanIndex()
+        unbounded_plan = make_plan([INF, 1.0])
+        index.insert(unbounded_plan, 0)
+        retrieved = index.retrieve(CostVector.infinite(2), 0)
+        assert [p.plan_id for p in retrieved] == [unbounded_plan.plan_id]
+
+    def test_infinite_cost_plan_can_witness_infinite_targets(self, backend):
+        index = PlanIndex()
+        unbounded_plan = make_plan([INF, 1.0])
+        index.insert(unbounded_plan, 0)
+        witness = index.find_dominating(
+            CostVector([INF, 2.0]), CostVector.infinite(2), 0
+        )
+        assert witness is unbounded_plan
+        # ... but never dominates a finite target.
+        assert (
+            index.find_dominating(CostVector([5.0, 2.0]), CostVector.infinite(2), 0)
+            is None
+        )
+
+    def test_infinite_bucket_does_not_shadow_finite_buckets(self, backend):
+        # Regression: the old sentinel (-1) sorted the unbounded bucket below
+        # every finite bucket, making it look like the cheapest cell.  The
+        # infinite bucket must sort above all finite cells so bucket skipping
+        # can prune it under finite bounds without any call-site special case.
+        index = PlanIndex()
+        index.insert(make_plan([INF, 1.0]), 0)
+        finite = make_plan([5.0, 5.0])
+        index.insert(finite, 0)
+        witness = index.find_dominating(CostVector([6.0, 6.0]), CostVector([7.0, 7.0]), 0)
+        assert witness is finite
+
+
+costs = st.tuples(
+    st.one_of(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        st.just(INF),
+    ),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+entries = st.lists(
+    st.tuples(costs, st.integers(min_value=0, max_value=3)), min_size=0, max_size=40
+)
+bounds_values = st.one_of(
+    costs.map(CostVector),
+    st.just(CostVector.infinite(2)),
+)
+
+
+class TestScalarKernelEquivalence:
+    """The kernel-backed index must agree with a scalar dominates() loop."""
+
+    @settings(max_examples=120)
+    @given(entries, bounds_values, st.integers(min_value=0, max_value=3), st.data())
+    def test_retrieval_matches_scalar_oracle_on_every_backend(
+        self, entry_list, bounds, max_resolution, data
+    ):
+        results = {}
+        for name in BACKENDS:
+            with kernel.use_backend(name):
+                index = PlanIndex()
+                plans = []
+                for cost, resolution in entry_list:
+                    plan = ScanPlan("t", ScanOperator("seq_scan"), CostVector(cost))
+                    index.insert(plan, resolution)
+                    plans.append((plan, resolution))
+                retrieved = index.retrieve(bounds, max_resolution)
+                expected = {
+                    plan.plan_id
+                    for plan, resolution in plans
+                    if resolution <= max_resolution and dominates(plan.cost, bounds)
+                }
+                # Same plans as the scalar oracle (retrieval enumerates
+                # bucket by bucket, so only membership is order-free).
+                assert {p.plan_id for p in retrieved} == expected
+                assert len(retrieved) == len(expected)
+                results[name] = [tuple(p.cost) for p in retrieved]
+        # Identical cost sequences across backends (plan ids differ per build).
+        assert len({tuple(seq) for seq in results.values()}) <= 1
+
+    @settings(max_examples=120)
+    @given(entries, bounds_values, st.integers(min_value=0, max_value=3), costs)
+    def test_find_dominating_matches_scalar_oracle(
+        self, entry_list, bounds, max_resolution, target
+    ):
+        target_vector = CostVector(target)
+        for name in BACKENDS:
+            with kernel.use_backend(name):
+                index = PlanIndex()
+                plans = []
+                for cost, resolution in entry_list:
+                    plan = ScanPlan("t", ScanOperator("seq_scan"), CostVector(cost))
+                    index.insert(plan, resolution)
+                    plans.append((plan, resolution))
+                oracle = any(
+                    resolution <= max_resolution
+                    and dominates(plan.cost, bounds)
+                    and dominates(plan.cost, target_vector)
+                    for plan, resolution in plans
+                )
+                witness = index.find_dominating(target_vector, bounds, max_resolution)
+                assert (witness is not None) == oracle
+                if witness is not None:
+                    assert dominates(witness.cost, bounds)
+                    assert dominates(witness.cost, target_vector)

@@ -1,0 +1,71 @@
+"""End-to-end equivalence of the kernel backends.
+
+The acceptance bar of the batched-kernel refactor: running the optimizer (and
+the baselines) with the pure-Python kernel and with the numpy kernel must
+produce *identical* frontiers -- same cost vectors, same order, bit-for-bit.
+Both backends use exact IEEE-754 comparisons, so any divergence is a bug.
+"""
+
+import pytest
+
+from repro import kernel
+from repro.baselines.common import ApproximateParetoDP
+from repro.core.optimizer import IncrementalOptimizer
+from repro.core.resolution import ResolutionSchedule
+from tests.conftest import build_chain_query, build_factory
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_NUMPY = False
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="backend equivalence needs both backends installed"
+)
+
+
+def incremental_frontier_trace(backend_name):
+    """Frontier cost sequences of a three-level sweep under one backend."""
+    with kernel.use_backend(backend_name):
+        query = build_chain_query()
+        factory = build_factory(query)
+        schedule = ResolutionSchedule(levels=3, target_precision=1.05, precision_step=0.3)
+        optimizer = IncrementalOptimizer(query, factory, schedule)
+        unbounded = factory.metric_set.unbounded_vector()
+        trace = []
+        for resolution in schedule.resolutions():
+            report = optimizer.optimize(unbounded, resolution)
+            frontier = optimizer.frontier(unbounded, resolution)
+            trace.append(
+                (
+                    report.plans_inserted,
+                    report.plans_deferred,
+                    report.plans_out_of_bounds,
+                    tuple(tuple(plan.cost) for plan in frontier),
+                )
+            )
+        return trace
+
+
+def dp_frontier(backend_name, keep_dominated):
+    with kernel.use_backend(backend_name):
+        query = build_chain_query()
+        factory = build_factory(query)
+        dp = ApproximateParetoDP(query, factory, keep_dominated=keep_dominated)
+        dp.run(factory.metric_set.unbounded_vector(), alpha=1.05)
+        return tuple(tuple(plan.cost) for plan in dp.frontier())
+
+
+class TestBackendEquivalence:
+    def test_incremental_sweep_is_bit_identical_across_backends(self):
+        assert incremental_frontier_trace("python") == incremental_frontier_trace(
+            "numpy"
+        )
+
+    @pytest.mark.parametrize("keep_dominated", [True, False])
+    def test_baseline_dp_is_bit_identical_across_backends(self, keep_dominated):
+        assert dp_frontier("python", keep_dominated) == dp_frontier(
+            "numpy", keep_dominated
+        )
