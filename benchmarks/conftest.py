@@ -14,7 +14,6 @@ DESIGN.md for the experiment index).  The benchmarks share:
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Dict
 
@@ -22,7 +21,8 @@ import pytest
 
 from repro.bench.config import ExperimentConfig, config_from_environment
 from repro.bench.experiments import ExperimentResult
-from repro.bench.reporting import format_grouped_times, format_rows
+from repro.bench.export import write_text_report
+from repro.bench.reporting import format_grouped_times
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -42,16 +42,22 @@ def result_cache() -> Dict[str, ExperimentResult]:
     return _RESULT_CACHE
 
 
-def persist_result(result: ExperimentResult, grouped: bool = False) -> Path:
-    """Write an experiment's rows (and grouped table, if applicable) to disk."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{result.name}.txt"
-    sections = [f"# {result.name}", result.description, ""]
+def persist_result(
+    result: ExperimentResult,
+    grouped: bool = False,
+    extra_sections: tuple = (),
+) -> Path:
+    """Write an experiment's rows (and grouped table, if applicable) to disk.
+
+    Thin wrapper over :func:`repro.bench.export.write_text_report` -- the same
+    writer the ``repro-moqo bench`` command uses, so benchmark-produced and
+    CLI-produced ``results/*.txt`` files are byte-identical given equal rows.
+    """
+    sections = list(extra_sections)
     if grouped:
-        sections.append(format_grouped_times(result, "avg_invocation_seconds"))
-        sections.append("")
-        sections.append(format_grouped_times(result, "max_invocation_seconds"))
-        sections.append("")
-    sections.append(format_rows(result))
-    path.write_text("\n".join(sections) + "\n")
-    return path
+        sections = [
+            format_grouped_times(result, "avg_invocation_seconds"),
+            format_grouped_times(result, "max_invocation_seconds"),
+            *sections,
+        ]
+    return write_text_report(result, RESULTS_DIR, extra_sections=tuple(sections))

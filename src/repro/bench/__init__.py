@@ -1,27 +1,41 @@
 """Experiment harness.
 
 This package reproduces the paper's evaluation (Section 6).  It is organized
-in three layers:
+in these layers:
 
 * :mod:`repro.bench.config` -- experiment configurations (metric set, operator
-  registry, workload scale, resolution schedules); presets ``smoke`` and
-  ``paper`` trade fidelity against CPython run time,
+  registry, workload scale, resolution schedules); presets ``tiny``, ``smoke``
+  and ``paper`` trade fidelity against CPython run time,
 * :mod:`repro.bench.runner` -- drives one algorithm through one invocation
   series for one query and measures per-invocation times,
-* :mod:`repro.bench.experiments` -- the per-figure experiment definitions
+* :mod:`repro.bench.registry` -- the declarative experiment registry: every
+  experiment is a set of independent cells plus a deterministic merge,
+* :mod:`repro.bench.cache` -- config-hash keyed JSON store of cell results
+  under ``results/cache/``,
+* :mod:`repro.bench.scheduler` -- shards cells across a multiprocessing pool
+  and makes runs resumable,
+* :mod:`repro.bench.experiments` -- the registered experiment definitions
   (Figures 3, 4 and 5, the Figure 1/2 illustrations, the headline speedup
-  claims, and the ablations listed in DESIGN.md),
+  claims, the ablations listed in DESIGN.md, and the synthetic sweeps),
 * :mod:`repro.bench.reporting` -- plain-text tables in the shape of the
   paper's figures.
 """
 
-from repro.bench.config import ExperimentConfig, smoke_config, paper_config
+from repro.bench.cache import ResultCache, cell_key, config_fingerprint
+from repro.bench.config import (
+    ExperimentConfig,
+    paper_config,
+    smoke_config,
+    tiny_config,
+)
 from repro.bench.runner import (
     AlgorithmName,
     InvocationSeries,
     build_factory,
     run_series,
 )
+from repro.bench.registry import Cell, ExperimentSpec, get_spec, registered_names
+from repro.bench.scheduler import RunReport, run_experiment
 from repro.bench.experiments import (
     ExperimentResult,
     figure3_experiment,
@@ -29,25 +43,40 @@ from repro.bench.experiments import (
     figure5_experiment,
     anytime_quality_experiment,
     interactive_refinement_experiment,
+    metric_sweep_experiment,
     speedup_summary,
+    synthetic_topology_experiment,
 )
-from repro.bench.reporting import format_grouped_times, format_speedups
+from repro.bench.reporting import format_grouped_times, format_pivot, format_speedups
 
 __all__ = [
     "ExperimentConfig",
     "smoke_config",
+    "tiny_config",
     "paper_config",
     "AlgorithmName",
     "InvocationSeries",
     "build_factory",
     "run_series",
+    "Cell",
+    "ExperimentSpec",
+    "get_spec",
+    "registered_names",
+    "ResultCache",
+    "cell_key",
+    "config_fingerprint",
+    "RunReport",
+    "run_experiment",
     "ExperimentResult",
     "figure3_experiment",
     "figure4_experiment",
     "figure5_experiment",
     "anytime_quality_experiment",
     "interactive_refinement_experiment",
+    "metric_sweep_experiment",
+    "synthetic_topology_experiment",
     "speedup_summary",
     "format_grouped_times",
+    "format_pivot",
     "format_speedups",
 ]

@@ -1,0 +1,171 @@
+"""Content-addressed on-disk store for benchmark cell results.
+
+Each cell result is persisted as one JSON file under
+``results/cache/<experiment>/<key>.json`` where ``<key>`` is the SHA-256 over
+
+* the experiment name,
+* the cell parameters, and
+* the canonical fingerprint of the :class:`~repro.bench.config.ExperimentConfig`.
+
+Keying by content hash means cached cells behave like independently computed,
+mergeable facts: a resumed run adopts a cached payload if and only if it was
+produced for exactly the same cell under exactly the same configuration, and
+two runs that disagree on any configuration detail can never exchange results.
+Timing payloads still differ between machines, of course -- the cache makes
+*reruns* reproducible, it does not make wall-clock measurements portable.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent runs sharing a
+cache directory at worst waste a recomputation, never corrupt an entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.bench.registry import Cell, CellPayload
+
+PathLike = Union[str, Path]
+
+#: Bump when the cache entry layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Canonicalization and fingerprints
+# ----------------------------------------------------------------------
+def canonicalize(obj: object) -> object:
+    """Reduce an object tree to JSON-compatible data, deterministically.
+
+    Dataclasses and plain objects are expanded field by field (tagged with the
+    class name so that differently-typed but equal-valued configurations do not
+    collide); containers recurse; enums use their value.  The output contains
+    no memory addresses or hash-order dependence, so it is stable across
+    processes and Python invocations -- the property the cache keying relies on.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__class__": type(obj).__name__, **fields}
+    if isinstance(obj, enum.Enum):
+        return canonicalize(obj.value)
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, dict):
+        return {
+            str(key): canonicalize(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    state = getattr(obj, "__dict__", None)
+    if state:
+        return {
+            "__class__": type(obj).__name__,
+            **{k: canonicalize(v) for k, v in sorted(state.items())},
+        }
+    return {"__class__": type(obj).__name__}
+
+
+def _digest(payload: object) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config) -> str:
+    """Stable hex fingerprint of an experiment configuration."""
+    return _digest(canonicalize(config))
+
+
+def cell_key(cell: Cell, config) -> str:
+    """Content hash identifying one cell result under one configuration."""
+    return _digest(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": cell.experiment,
+            "params": canonicalize(cell.params_dict),
+            "config": config_fingerprint(config),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Config-hash keyed JSON store of cell payloads under one root directory."""
+
+    def __init__(self, root: PathLike):
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, cell: Cell, config) -> Path:
+        return self._root / cell.experiment / f"{cell_key(cell, config)}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, cell: Cell, config) -> Optional[CellPayload]:
+        """The cached payload for this cell, or ``None`` on miss/corruption."""
+        path = self.path_for(cell, config)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            entry.get("version") != CACHE_FORMAT_VERSION
+            or entry.get("experiment") != cell.experiment
+            or entry.get("params") != canonicalize(cell.params_dict)
+        ):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, cell: Cell, config, payload: CellPayload) -> Path:
+        """Atomically persist one cell payload; returns the entry path."""
+        path = self.path_for(cell, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": cell.experiment,
+            "params": canonicalize(cell.params_dict),
+            "config_fingerprint": config_fingerprint(config),
+            "config_name": getattr(config, "name", None),
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                # No sort_keys: payload key order is data (it fixes the column
+                # order of the merged report), so it must survive the round
+                # trip unchanged.
+                json.dump(entry, handle, indent=2)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Path]:
+        """All cache entry files currently on disk."""
+        if not self._root.exists():
+            return []
+        return sorted(self._root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())

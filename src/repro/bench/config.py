@@ -76,6 +76,14 @@ class ExperimentConfig:
         MODERATE_PRECISION,
         FINE_PRECISION,
     )
+    #: Join-graph topologies exercised by the synthetic-workload sweep.
+    synthetic_topologies: Tuple[str, ...] = ("chain", "star", "cycle", "clique")
+    #: Table counts of the generated synthetic queries.
+    synthetic_table_counts: Tuple[int, ...] = (2, 3, 4)
+    #: Generator seeds; each (topology, table count, seed) cell is one query.
+    synthetic_seeds: Tuple[int, ...] = (0, 1)
+    #: Metric counts swept by the metric-count x query-size experiment.
+    metric_count_settings: Tuple[int, ...] = (2, 3, 4)
 
     # ------------------------------------------------------------------
     def operator_registry(self) -> OperatorRegistry:
@@ -101,6 +109,30 @@ def smoke_config() -> ExperimentConfig:
         max_tables=6,
         max_queries_per_group=1,
         resolution_level_settings=(1, 5),
+        synthetic_table_counts=(2, 3),
+        synthetic_seeds=(0, 1),
+    )
+
+
+def tiny_config() -> ExperimentConfig:
+    """Minimal configuration for smoke tests of the harness itself.
+
+    Everything is cut to the bone (single join algorithm, blocks up to three
+    tables, two resolution levels) so that a full experiment finishes in a few
+    seconds; use it to exercise the scheduler, cache and CLI, not to draw
+    performance conclusions.
+    """
+    return ExperimentConfig(
+        name="tiny",
+        parallelism_levels=(1,),
+        sampling_rates=(0.5,),
+        join_algorithms=("hash_join",),
+        max_tables=3,
+        max_queries_per_group=1,
+        resolution_level_settings=(1, 2),
+        synthetic_table_counts=(2, 3),
+        synthetic_seeds=(0,),
+        metric_count_settings=(2, 3),
     )
 
 
@@ -109,13 +141,21 @@ def paper_config() -> ExperimentConfig:
     return ExperimentConfig(name="paper")
 
 
+#: Preset name -> factory, as accepted by ``REPRO_BENCH_SCALE`` and ``--scale``.
+CONFIG_PRESETS = {
+    "tiny": tiny_config,
+    "smoke": smoke_config,
+    "paper": paper_config,
+}
+
+
 def config_from_environment(default: str = "smoke") -> ExperimentConfig:
-    """Pick the preset named by ``REPRO_BENCH_SCALE`` (``smoke`` or ``paper``)."""
+    """Pick the preset named by ``REPRO_BENCH_SCALE``."""
     scale = os.environ.get("REPRO_BENCH_SCALE", default).strip().lower()
-    if scale == "paper":
-        return paper_config()
-    if scale == "smoke":
-        return smoke_config()
-    raise ValueError(
-        f"unknown REPRO_BENCH_SCALE value {scale!r}; expected 'smoke' or 'paper'"
-    )
+    factory = CONFIG_PRESETS.get(scale)
+    if factory is None:
+        expected = ", ".join(sorted(CONFIG_PRESETS))
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE value {scale!r}; expected one of: {expected}"
+        )
+    return factory()

@@ -139,6 +139,44 @@ def write_markdown(result: ExperimentResult, path: PathLike) -> Path:
 
 
 # ----------------------------------------------------------------------
+# Plain-text result reports (results/<name>.txt)
+# ----------------------------------------------------------------------
+def render_text_report(
+    result: ExperimentResult,
+    extra_sections: Sequence[str] = (),
+) -> str:
+    """The canonical ``results/<name>.txt`` content for an experiment.
+
+    Layout: a heading, the description, any extra sections (e.g. the grouped
+    figure-3/4/5 tables or a sweep pivot), then the generic row dump.  Both
+    the pytest benchmark targets and ``repro-moqo bench`` write through this
+    function, so serial, sharded and resumed runs produce byte-identical
+    files given identical rows.
+    """
+    from repro.bench.reporting import format_rows
+
+    sections = [f"# {result.name}", result.description, ""]
+    for section in extra_sections:
+        sections.append(section)
+        sections.append("")
+    sections.append(format_rows(result))
+    return "\n".join(sections) + "\n"
+
+
+def write_text_report(
+    result: ExperimentResult,
+    directory: PathLike,
+    extra_sections: Sequence[str] = (),
+) -> Path:
+    """Write :func:`render_text_report` to ``<directory>/<name>.txt``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}.txt"
+    path.write_text(render_text_report(result, extra_sections))
+    return path
+
+
+# ----------------------------------------------------------------------
 # Bundles
 # ----------------------------------------------------------------------
 def export_all(

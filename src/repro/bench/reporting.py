@@ -76,6 +76,67 @@ def format_speedups(summary: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def format_pivot(
+    result: ExperimentResult,
+    row_key: str,
+    column_key: str,
+    value_key: str,
+    block_key: Optional[str] = None,
+) -> str:
+    """Render one measure as a ``row_key x column_key`` table.
+
+    Used by the sweep experiments whose natural reading is a small matrix
+    (e.g. table count x topology, or table count x metric count).  With a
+    ``block_key`` one table is printed per distinct block value.
+    """
+
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def _order(value: object):
+        # Numbers sort numerically (10 after 2), everything else as text.
+        return (isinstance(value, str), value)
+
+    lines: List[str] = [f"== {result.name}: {value_key} by {row_key} x {column_key} =="]
+    blocks = (
+        sorted({str(row[block_key]) for row in result.rows})
+        if block_key is not None
+        else [None]
+    )
+    columns = sorted({row[column_key] for row in result.rows}, key=_order)
+    width = max(
+        [12] + [len(str(column)) for column in columns] + [len(row_key)]
+    )
+    for block in blocks:
+        rows = (
+            [row for row in result.rows if str(row[block_key]) == block]
+            if block_key is not None
+            else list(result.rows)
+        )
+        if block_key is not None:
+            lines.append(f"-- {block_key} = {block} --")
+        header = f"{row_key:>{width}} " + " ".join(
+            f"{str(column):>{width}}" for column in columns
+        )
+        lines.append(header)
+        row_values = sorted({row[row_key] for row in rows}, key=_order)
+        for row_value in row_values:
+            cells = []
+            for column in columns:
+                matches = [
+                    row
+                    for row in rows
+                    if row[row_key] == row_value and row[column_key] == column
+                ]
+                cells.append(
+                    f"{_cell(matches[0][value_key]) if matches else '-':>{width}}"
+                )
+            lines.append(f"{str(row_value):>{width}} " + " ".join(cells))
+    return "\n".join(lines)
+
+
 def format_rows(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> str:
     """Generic row dump for experiments without a dedicated layout."""
     if not result.rows:

@@ -1,0 +1,135 @@
+"""Sharded, resumable execution of registered experiments.
+
+The scheduler turns an :class:`~repro.bench.registry.ExperimentSpec` into a
+result in three steps:
+
+1. enumerate the experiment's cells for the configuration,
+2. obtain every cell's payload -- from the on-disk cache when resuming, from a
+   ``multiprocessing`` pool when ``jobs > 1``, inline otherwise,
+3. merge the payloads deterministically (in cell-enumeration order, not in
+   completion order) into an :class:`~repro.bench.experiments.ExperimentResult`.
+
+Because the merge consumes ``(cell, payload)`` facts and ignores where they
+came from, a ``--jobs N`` run produces byte-identical reports to a ``--jobs 1``
+run over the same facts, and a resumed run that finds every cell cached
+performs zero recomputation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.bench.cache import ResultCache
+from repro.bench.registry import Cell, CellPayload, ExperimentSpec, get_spec
+
+ProgressCallback = Callable[[Cell, bool], None]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one scheduled experiment run."""
+
+    experiment: str
+    result: "ExperimentResult"
+    total_cells: int
+    computed_cells: int
+    cached_cells: int
+    jobs: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.experiment}: {self.total_cells} cells "
+            f"({self.computed_cells} computed, {self.cached_cells} cached, "
+            f"jobs={self.jobs})"
+        )
+
+
+def _run_cell_task(task: Tuple[str, int, Cell, object]) -> Tuple[int, CellPayload]:
+    """Pool worker: resolve the spec by name and compute one cell."""
+    name, index, cell, config = task
+    return index, get_spec(name).run_cell(cell, config)
+
+
+def run_experiment(
+    experiment: Union[str, ExperimentSpec],
+    config,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> RunReport:
+    """Run one registered experiment, sharding its cells across processes.
+
+    Parameters
+    ----------
+    experiment:
+        Registered experiment name or spec.
+    config:
+        The :class:`~repro.bench.config.ExperimentConfig` to run under.
+    jobs:
+        Number of worker processes.  ``1`` (the default) computes every cell
+        inline in this process -- the reference execution mode.
+    cache:
+        Optional on-disk cell store.  When given, freshly computed payloads
+        are always written to it.
+    resume:
+        When true (and a cache is given), cells whose payload is already in
+        the cache are adopted instead of recomputed.
+    progress:
+        Optional callback invoked once per cell with ``(cell, from_cache)``.
+    """
+    spec = experiment if isinstance(experiment, ExperimentSpec) else get_spec(experiment)
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    cells = spec.cells(config)
+    payloads: List[Optional[CellPayload]] = [None] * len(cells)
+
+    pending: List[int] = []
+    cached = 0
+    for index, cell in enumerate(cells):
+        hit = cache.load(cell, config) if (resume and cache is not None) else None
+        if hit is not None:
+            payloads[index] = hit
+            cached += 1
+            if progress is not None:
+                progress(cell, True)
+        else:
+            pending.append(index)
+
+    if pending:
+        # Each payload is persisted the moment it arrives (not after the whole
+        # batch), so an interrupted or partially failed run leaves every
+        # completed cell in the cache and a --resume rerun picks up from there.
+        def record(index: int, payload: CellPayload) -> None:
+            payloads[index] = payload
+            if cache is not None:
+                cache.store(cells[index], config, payload)
+            if progress is not None:
+                progress(cells[index], False)
+
+        if jobs == 1 or len(pending) == 1:
+            for index in pending:
+                record(index, spec.run_cell(cells[index], config))
+        else:
+            tasks = [(spec.name, index, cells[index], config) for index in pending]
+            with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
+                # Tasks carry their cell index, so completion order is free to
+                # differ from enumeration order; the merge below still runs
+                # over the cells in enumeration order.
+                for index, payload in pool.imap_unordered(
+                    _run_cell_task, tasks, chunksize=1
+                ):
+                    record(index, payload)
+
+    outcomes = [(cell, payload) for cell, payload in zip(cells, payloads)]
+    result = spec.merge(config, outcomes)
+    return RunReport(
+        experiment=spec.name,
+        result=result,
+        total_cells=len(cells),
+        computed_cells=len(pending),
+        cached_cells=cached,
+        jobs=jobs,
+    )

@@ -7,11 +7,13 @@ The CLI exposes the most common workflows without writing Python:
   and print the frontier,
 * ``python -m repro.cli experiment figure3``  -- run one of the paper experiments
   and print/export its rows,
+* ``python -m repro.cli bench --jobs 4``      -- run registered experiments
+  through the sharded scheduler, with per-cell caching and ``--resume``,
 * ``python -m repro.cli compare tpch_q05``    -- compare IAMA against the two
   baselines on one block.
 
-All commands accept ``--scale smoke|paper`` (default: the ``REPRO_BENCH_SCALE``
-environment variable, falling back to ``smoke``).
+All commands accept ``--scale tiny|smoke|paper`` (default: the
+``REPRO_BENCH_SCALE`` environment variable, falling back to ``smoke``).
 """
 
 from __future__ import annotations
@@ -21,7 +23,9 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.bench.cache import ResultCache
 from repro.bench.config import (
+    CONFIG_PRESETS,
     ExperimentConfig,
     FINE_PRECISION,
     MODERATE_PRECISION,
@@ -39,10 +43,15 @@ from repro.bench.experiments import (
     figure4_experiment,
     figure5_experiment,
     interactive_refinement_experiment,
+    metric_sweep_experiment,
+    speedup_summary,
+    synthetic_topology_experiment,
 )
-from repro.bench.export import write_csv, write_json
+from repro.bench.export import write_csv, write_json, write_text_report
+from repro.bench.registry import get_spec, registered_names
 from repro.bench.reporting import format_grouped_times, format_rows
 from repro.bench.runner import AlgorithmName, build_factory, build_schedule, run_all_algorithms
+from repro.bench.scheduler import run_experiment
 from repro.core.control import AnytimeMOQO
 from repro.costs.pareto import pareto_filter
 from repro.workloads.tpch import tpch_blocks_by_table_count, tpch_queries
@@ -57,19 +66,23 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
     "ablation-freshness": ablation_freshness,
     "ablation-keep-dominated": ablation_result_set_growth,
     "ablation-metric-count": ablation_metric_count,
+    "synthetic-topologies": synthetic_topology_experiment,
+    "metric-sweep": metric_sweep_experiment,
 }
 
 GROUPED_EXPERIMENTS = {"figure3", "figure4", "figure5"}
+
+SCALE_CHOICES = tuple(sorted(CONFIG_PRESETS))
 
 
 def _resolve_config(scale: Optional[str]) -> ExperimentConfig:
     if scale is None:
         return config_from_environment()
-    if scale == "smoke":
-        return smoke_config()
-    if scale == "paper":
-        return paper_config()
-    raise SystemExit(f"unknown scale {scale!r}; expected 'smoke' or 'paper'")
+    factory = CONFIG_PRESETS.get(scale)
+    if factory is None:
+        expected = ", ".join(SCALE_CHOICES)
+        raise SystemExit(f"unknown scale {scale!r}; expected one of: {expected}")
+    return factory()
 
 
 def _find_query(name: str):
@@ -166,6 +179,61 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run registered experiments through the sharded, resumable scheduler."""
+    config = _resolve_config(args.scale)
+    if args.experiment:
+        names = [name.replace("-", "_") for name in args.experiment]
+    else:
+        names = registered_names()
+    specs = []
+    for name in names:
+        try:
+            specs.append(get_spec(name))
+        except KeyError:
+            available = ", ".join(registered_names())
+            raise SystemExit(
+                f"unknown experiment {name!r}; available: {available}"
+            )
+    out_dir = Path(args.out)
+    cache: Optional[ResultCache] = None
+    if args.no_cache:
+        # Refuse contradictory flags instead of silently recomputing: a
+        # --resume that cannot read any cache would redo hours of cells.
+        if args.resume:
+            raise SystemExit("--no-cache and --resume are mutually exclusive")
+        if args.cache_dir is not None:
+            raise SystemExit("--no-cache and --cache-dir are mutually exclusive")
+    else:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else out_dir / "cache"
+        cache = ResultCache(cache_dir)
+    results_by_name: Dict[str, ExperimentResult] = {}
+    for spec in specs:
+        report = run_experiment(
+            spec, config, jobs=args.jobs, cache=cache, resume=args.resume
+        )
+        results_by_name[spec.name] = report.result
+        sections = tuple(
+            formatter(report.result) for formatter in spec.section_formatters
+        )
+        path = write_text_report(report.result, out_dir, extra_sections=sections)
+        print(f"{report.summary()} -> {path}")
+    if {"figure3", "figure4", "figure5"} <= set(results_by_name):
+        # speedup_summary is derived from the figure sweeps (it has no cells
+        # of its own); regenerate it alongside them so the results directory
+        # stays internally consistent.
+        summary = speedup_summary(
+            results_by_name["figure3"],
+            results_by_name["figure4"],
+            results_by_name["figure5"],
+        )
+        path = write_text_report(summary, out_dir)
+        print(f"{summary.name}: derived from figures 3-5 -> {path}")
+    if cache is not None:
+        print(f"cell cache: {len(cache)} entries under {cache.root}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -184,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("query", help="block name, e.g. tpch_q03 or q03")
     optimize.add_argument("--levels", type=int, default=5)
     optimize.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
-    optimize.add_argument("--scale", choices=("smoke", "paper"), default=None)
+    optimize.add_argument("--scale", choices=SCALE_CHOICES, default=None)
     optimize.add_argument("--show", type=int, default=10, help="frontier points to print")
     optimize.set_defaults(handler=cmd_optimize)
 
@@ -192,15 +260,57 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("query")
     compare.add_argument("--levels", type=int, default=5)
     compare.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
-    compare.add_argument("--scale", choices=("smoke", "paper"), default=None)
+    compare.add_argument("--scale", choices=SCALE_CHOICES, default=None)
     compare.set_defaults(handler=cmd_compare)
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
-    experiment.add_argument("--scale", choices=("smoke", "paper"), default=None)
+    experiment.add_argument("--scale", choices=SCALE_CHOICES, default=None)
     experiment.add_argument("--csv", type=Path, default=None, help="export rows as CSV")
     experiment.add_argument("--json", type=Path, default=None, help="export rows as JSON")
     experiment.set_defaults(handler=cmd_experiment)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run experiments through the sharded, cached, resumable scheduler",
+    )
+    bench.add_argument(
+        "--experiment",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="registered experiment to run (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard cells across (default: 1, serial)",
+    )
+    bench.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached cell results instead of recomputing them",
+    )
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("results"),
+        help="directory for the results/<name>.txt reports (default: results)",
+    )
+    bench.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cell cache directory (default: <out>/cache)",
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk cell cache entirely",
+    )
+    bench.add_argument("--scale", choices=SCALE_CHOICES, default=None)
+    bench.set_defaults(handler=cmd_bench)
 
     return parser
 

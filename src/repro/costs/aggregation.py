@@ -54,6 +54,18 @@ class AggregationFunction(abc.ABC):
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
 
+    # Value semantics: two aggregations of the same class with the same
+    # parameters are the same function.  Metric (a frozen dataclass) and
+    # everything above it -- MetricSet, ExperimentConfig -- derive their
+    # equality and hashes from this, so it must survive pickling: benchmark
+    # worker processes receive configs by pickle and rely on unpickled copies
+    # comparing equal (e.g. for per-config memoization).
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
 
 class SumAggregation(AggregationFunction):
     """``cost = left + right + local``.

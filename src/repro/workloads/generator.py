@@ -160,3 +160,67 @@ def _log10(value: float) -> float:
     import math
 
     return math.log10(value)
+
+
+# ----------------------------------------------------------------------
+# Stateless helpers for sweep cells and determinism checks
+# ----------------------------------------------------------------------
+def generated_workload(
+    seed: int,
+    table_count: int,
+    topology: "Topology | str" = Topology.CHAIN,
+) -> GeneratedQuery:
+    """One synthetic query, fully determined by ``(seed, table_count, topology)``.
+
+    A fresh generator is built per call, so the output is independent of any
+    other generation that happened in the process.  The benchmark scheduler
+    relies on this: a sweep cell identified by these three values produces the
+    same query no matter which worker process computes it, which is what makes
+    cell results cacheable facts.
+    """
+    topo = topology if isinstance(topology, Topology) else Topology(topology)
+    return SyntheticWorkloadGenerator(seed=seed).generate(table_count, topo)
+
+
+def workload_fingerprint(generated: GeneratedQuery) -> str:
+    """Stable hex digest of everything that defines a generated workload.
+
+    Covers the schema (tables, row counts, column cardinalities), the foreign
+    keys, the join predicates and the base selectivities.  Two processes that
+    generate from the same seed must produce the same fingerprint; the
+    determinism regression tests and the cell cache validation check exactly
+    that.
+    """
+    import hashlib
+    import json
+
+    schema = generated.schema
+    graph = generated.query.join_graph
+    payload = {
+        "query": generated.query.name,
+        "schema": schema.name,
+        "tables": [
+            {
+                "name": table.name,
+                "rows": table.row_count,
+                "columns": [
+                    [column.name, column.data_type, column.distinct_values]
+                    for column in table.columns
+                ],
+            }
+            for table in sorted(schema.tables, key=lambda t: t.name)
+        ],
+        "foreign_keys": sorted(
+            [fk.from_table, fk.from_column, fk.to_table, fk.to_column]
+            for fk in schema.foreign_keys
+        ),
+        "predicates": sorted(
+            [p.left_table, p.left_column, p.right_table, p.right_column]
+            for p in graph.predicates
+        ),
+        "selectivities": {
+            table: repr(graph.base_selectivity(table)) for table in graph.tables
+        },
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

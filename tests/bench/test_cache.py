@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.bench.cache`."""
+
+import json
+
+import pytest
+
+from repro.bench.cache import (
+    ResultCache,
+    canonicalize,
+    cell_key,
+    config_fingerprint,
+)
+from repro.bench.config import smoke_config, tiny_config
+from repro.bench.registry import Cell
+from repro.costs.metrics import extended_metric_set
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable_for_equal_configs(self):
+        assert config_fingerprint(tiny_config()) == config_fingerprint(tiny_config())
+
+    def test_fingerprint_distinguishes_presets(self):
+        assert config_fingerprint(tiny_config()) != config_fingerprint(smoke_config())
+
+    def test_fingerprint_sees_nested_overrides(self):
+        base = smoke_config()
+        overridden = base.with_overrides(metric_set=extended_metric_set(4))
+        assert config_fingerprint(base) != config_fingerprint(overridden)
+
+    def test_canonical_form_is_json_compatible(self):
+        canonical = canonicalize(smoke_config())
+        assert json.loads(json.dumps(canonical)) == canonical
+
+    def test_config_survives_pickling_with_equality_intact(self):
+        """Worker processes receive configs by pickle; the unpickled copy must
+        stay equal (and equally fingerprinted/hashed) or every per-config
+        memoization in a pool worker degenerates to a miss."""
+        import pickle
+
+        config = smoke_config()
+        roundtripped = pickle.loads(pickle.dumps(config))
+        assert roundtripped == config
+        assert hash(roundtripped) == hash(config)
+        assert config_fingerprint(roundtripped) == config_fingerprint(config)
+
+
+class TestCellKeys:
+    def test_key_depends_on_params(self):
+        config = tiny_config()
+        a = Cell.make("figure3", query="tpch_q03", resolution_levels=1)
+        b = Cell.make("figure3", query="tpch_q03", resolution_levels=2)
+        assert cell_key(a, config) != cell_key(b, config)
+
+    def test_key_depends_on_config(self):
+        cell = Cell.make("figure3", query="tpch_q03", resolution_levels=1)
+        assert cell_key(cell, tiny_config()) != cell_key(cell, smoke_config())
+
+    def test_key_is_order_insensitive(self):
+        config = tiny_config()
+        a = Cell.make("figure3", query="tpch_q03", resolution_levels=1)
+        b = Cell.make("figure3", resolution_levels=1, query="tpch_q03")
+        assert a == b
+        assert cell_key(a, config) == cell_key(b, config)
+
+    def test_non_scalar_params_are_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            Cell.make("figure3", queries=["a", "b"])
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        cell = Cell.make("figure3", query="tpch_q03", resolution_levels=1)
+        assert cache.load(cell, config) is None
+        payload = {"frontier_size": 3, "durations_seconds": [0.25, 0.5]}
+        path = cache.store(cell, config, payload)
+        assert path.exists()
+        loaded = cache.load(cell, config)
+        assert loaded == payload
+        # Key order is data: it fixes the column order of merged reports.
+        assert list(loaded) == list(payload)
+        assert len(cache) == 1
+
+    def test_config_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = Cell.make("figure3", query="tpch_q03", resolution_levels=1)
+        cache.store(cell, tiny_config(), {"value": 1})
+        assert cache.load(cell, smoke_config()) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        cell = Cell.make("figure3", query="tpch_q03", resolution_levels=1)
+        path = cache.store(cell, config, {"value": 1})
+        path.write_text("{not json")
+        assert cache.load(cell, config) is None
+
+    def test_entries_are_grouped_by_experiment(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        cache.store(Cell.make("figure3", q="a"), config, {"v": 1})
+        cache.store(Cell.make("figure4", q="a"), config, {"v": 2})
+        assert {path.parent.name for path in cache.entries()} == {
+            "figure3",
+            "figure4",
+        }

@@ -81,3 +81,55 @@ class TestSpeedupsAndRows:
         result = ExperimentResult(name="x", description="", rows=[{"a": 1, "b": 2}])
         text = format_rows(result, columns=["b"])
         assert "a" not in text.splitlines()[1]
+
+
+class TestFormatPivot:
+    def _result(self, table_counts=(2, 5, 10)):
+        from repro.bench.reporting import format_pivot
+
+        rows = [
+            {
+                "topology": topology,
+                "table_count": count,
+                "algorithm": "Incremental anytime",
+                "avg_invocation_seconds": 0.01 * count,
+            }
+            for topology in ("chain", "clique")
+            for count in table_counts
+        ]
+        result = ExperimentResult(name="pivot_probe", description="", rows=rows)
+        return format_pivot(
+            result,
+            row_key="table_count",
+            column_key="topology",
+            value_key="avg_invocation_seconds",
+        ), format_pivot(
+            result,
+            row_key="topology",
+            column_key="table_count",
+            value_key="avg_invocation_seconds",
+        )
+
+    def test_numeric_keys_sort_numerically_not_lexicographically(self):
+        by_rows, by_columns = self._result()
+        row_order = [
+            line.split()[0]
+            for line in by_rows.splitlines()
+            if line and line.split()[0].isdigit()
+        ]
+        assert row_order == ["2", "5", "10"]
+        header = next(
+            line for line in by_columns.splitlines() if "topology" in line and "10" in line
+        )
+        assert header.split()[1:] == ["2", "5", "10"]
+
+    def test_missing_combinations_render_as_dash(self):
+        from repro.bench.reporting import format_pivot
+
+        result = ExperimentResult(
+            name="sparse",
+            description="",
+            rows=[{"a": 1, "b": "x", "v": 1.0}, {"a": 2, "b": "y", "v": 2.0}],
+        )
+        text = format_pivot(result, row_key="a", column_key="b", value_key="v")
+        assert "-" in text
