@@ -4,39 +4,28 @@
 Example 2 of the paper: "In approximate query processing, there is a tradeoff
 between execution time and result precision since sampling can be used to
 reduce execution time."  This script optimizes a lineitem-heavy TPC-H block
-under the paper's three-metric cost model and then answers questions a user
-hand-tuning a recurring analytical query would ask:
+under the paper's three-metric cost model -- through the unified planner API
+-- and then answers questions a user hand-tuning a recurring analytical query
+would ask:
 
 * What is the fastest exact plan (no sampling, precision loss 0)?
 * How much faster can the query get if 5% / 25% precision loss is acceptable?
 * How do those answers change when only a single core may be reserved?
 
-It also contrasts IAMA's frontier against classical single-objective
-optimization, which can only produce one point of the tradeoff space.
+It also contrasts IAMA's frontier against the registry's ``single_objective``
+planner, which can only produce one point of the tradeoff space.
 
 Run with:  python examples/approximate_query_processing.py
+(Scale via REPRO_BENCH_SCALE=tiny|smoke|paper; default smoke.)
 """
 
-from repro import (
-    AnytimeMOQO,
-    CardinalityEstimator,
-    MultiObjectiveCostModel,
-    PlanFactory,
-    ResolutionSchedule,
-    SingleObjectiveOptimizer,
-    default_operator_registry,
-    paper_metric_set,
-)
+import os
+
+from repro.api import OptimizeRequest, open_session
 from repro.costs.pareto import pareto_filter
-from repro.workloads import tpch_queries, tpch_statistics
 
-
-def build_factory(query, metric_set):
-    return PlanFactory(
-        estimator=CardinalityEstimator(tpch_statistics(), query.join_graph),
-        cost_model=MultiObjectiveCostModel(metric_set),
-        operators=default_operator_registry(),
-    )
+TINY = os.environ.get("REPRO_BENCH_SCALE", "").strip().lower() == "tiny"
+LEVELS = 3 if TINY else 8
 
 
 def fastest_within(frontier, metric_set, max_precision_loss, max_cores=None):
@@ -45,30 +34,32 @@ def fastest_within(frontier, metric_set, max_precision_loss, max_cores=None):
     loss_index = metric_set.index_of("precision_loss")
     cores_index = metric_set.index_of("reserved_cores")
     admissible = [
-        point
-        for point in frontier
-        if point.cost[loss_index] <= max_precision_loss + 1e-12
-        and (max_cores is None or point.cost[cores_index] <= max_cores)
+        summary
+        for summary in frontier
+        if summary.cost[loss_index] <= max_precision_loss + 1e-12
+        and (max_cores is None or summary.cost[cores_index] <= max_cores)
     ]
     if not admissible:
         return None
-    return min(admissible, key=lambda point: point.cost[time_index])
+    return min(admissible, key=lambda summary: summary.cost[time_index])
 
 
 def main() -> None:
-    query = next(q for q in tpch_queries() if q.name == "tpch_q14")
-    metric_set = paper_metric_set()
-    print(f"Approximate query processing on {query.name}: {sorted(query.tables)}\n")
-
-    # Multi-objective anytime optimization.
-    factory = build_factory(query, metric_set)
-    schedule = ResolutionSchedule(levels=8, target_precision=1.005, precision_step=0.1)
-    loop = AnytimeMOQO(query, factory, schedule)
-    results = loop.run_resolution_sweep()
-    frontier = results[-1].frontier
-    non_dominated = pareto_filter([p.cost for p in frontier])
+    # Multi-objective anytime optimization through the unified API.
+    request = OptimizeRequest(
+        workload="tpch:q14", algorithm="iama", levels=LEVELS, precision="fine"
+    )
+    session = open_session(request)
     print(
-        f"IAMA explored {factory.counters.total_plans_built} plans and kept "
+        f"Approximate query processing on {session.query.name}: "
+        f"{sorted(session.query.tables)}\n"
+    )
+    result = session.run()
+    metric_set = session.driver.factory.metric_set
+    frontier = result.frontier
+    non_dominated = pareto_filter([summary.cost for summary in frontier])
+    print(
+        f"IAMA explored {result.plans_generated} plans and kept "
         f"{len(frontier)} tradeoffs ({len(non_dominated)} non-dominated).\n"
     )
 
@@ -91,14 +82,17 @@ def main() -> None:
             f"{name}={value:.3g}" for name, value in metric_set.describe(best.cost).items()
         )
         print(f"  {label:32s}: {described}  ({speedup:.1f}x vs exact)")
-        print(f"    {best.plan.render()}")
+        print(f"    {best.render}")
 
-    # Classical single-objective optimization sees only one point.
-    single = SingleObjectiveOptimizer(query, build_factory(query, metric_set), "execution_time")
-    fastest = single.optimize()
+    # Classical single-objective optimization sees only one point; it is just
+    # another planner in the registry.
+    single = open_session(
+        request.with_overrides(algorithm="single_objective", objective="execution_time")
+    ).run()
+    fastest = single.frontier[0]
     print(
-        "\nSingle-objective optimizer (execution time only) returns a single plan:\n"
-        f"  {fastest.render()}\n"
+        "\nSingle-objective planner (execution time only) returns a single plan:\n"
+        f"  {fastest.render}\n"
         f"  cost: "
         + ", ".join(
             f"{name}={value:.3g}"

@@ -4,95 +4,88 @@
 Example 1 of the paper: "In cloud computing, there is a tradeoff between
 execution time and fees as buying more resources can speed up execution."
 This script simulates the interactive session of Figure 1 on a TPC-H block
-with the two-metric cloud cost model:
+with the two-metric cloud cost model, steering a unified-API planner session
+the way a user would drive the visual interface:
 
-* the optimizer quickly shows a coarse frontier,
-* a scripted user keeps tightening the execution-time bound (dragging the
-  bound line to the left),
+* the optimizer quickly shows a coarse frontier (one ``FrontierUpdate`` per
+  invocation),
+* the "user" reacts to the streamed updates by twice tightening the
+  execution-time bound (dragging the bound line to the left),
 * the resolution resets after every bound change and then refines again,
-* finally the user selects the cheapest plan that meets the deadline.
+* finally the user selects the cheapest plan that meets the deadline, ending
+  the session with ``finish_reason == "selected"``.
 
-The frontier is rendered as an ASCII scatter plot after every iteration.
+The frontier is rendered as an ASCII scatter plot at the end.
 
 Run with:  python examples/cloud_tradeoff_exploration.py
+(Scale via REPRO_BENCH_SCALE=tiny|smoke|paper; default smoke.)
 """
 
-from repro import (
-    CardinalityEstimator,
-    MultiObjectiveCostModel,
-    PlanFactory,
-    ResolutionSchedule,
-    default_operator_registry,
-)
-from repro.costs.metrics import cloud_metric_set
-from repro.interactive import (
-    BoundTighteningUser,
-    InteractiveSession,
-    PlanSelectingUser,
-    ascii_scatter,
-    weighted_sum_chooser,
-)
-from repro.interactive.user_models import UserModel
-from repro.core.control import Continue, InvocationResult, SelectPlan, UserAction
-from repro.workloads import tpch_queries, tpch_statistics
+import os
 
+from repro.api import Budget, OptimizeRequest, open_session
+from repro.core.control import ChangeBounds
+from repro.interactive import ascii_scatter, weighted_sum_chooser
 
-class CloudUser(UserModel):
-    """Tightens the time bound twice, then picks the cheapest qualifying plan."""
-
-    def __init__(self, metric_set):
-        self._tightener = BoundTighteningUser(
-            metric_set, "execution_time", tighten_every=2, factor=0.6
-        )
-        self._metric_set = metric_set
-        self._changes = 0
-
-    def react(self, result: InvocationResult) -> UserAction:
-        if self._changes < 2:
-            action = self._tightener.react(result)
-            if not isinstance(action, Continue):
-                self._changes += 1
-            return action
-        if result.frontier:
-            chooser = weighted_sum_chooser(self._metric_set, {"monetary_fees": 1.0})
-            return SelectPlan(chooser=chooser)
-        return Continue()
+TINY = os.environ.get("REPRO_BENCH_SCALE", "").strip().lower() == "tiny"
+QUERY = "tpch:q03" if TINY else "tpch:q10"
+LEVELS = 3 if TINY else 6
 
 
 def main() -> None:
-    query = next(q for q in tpch_queries() if q.name == "tpch_q10")
-    metric_set = cloud_metric_set()
-    print(f"Interactive cloud optimization of {query.name}: {sorted(query.tables)}")
+    request = OptimizeRequest(
+        workload=QUERY,
+        algorithm="iama",
+        levels=LEVELS,
+        metrics=("execution_time", "monetary_fees"),
+        budget=Budget(max_invocations=12),
+    )
+    session = open_session(request)
+    metric_set = session.driver.factory.metric_set
+    print(f"Interactive cloud optimization of {session.query.name}: "
+          f"{sorted(session.query.tables)}")
     print(f"Metrics: {metric_set.names}\n")
 
-    factory = PlanFactory(
-        estimator=CardinalityEstimator(tpch_statistics(), query.join_graph),
-        cost_model=MultiObjectiveCostModel(metric_set),
-        operators=default_operator_registry(),
-    )
-    schedule = ResolutionSchedule(levels=6, target_precision=1.01, precision_step=0.05)
-    session = InteractiveSession(
-        query, factory, schedule, user=CloudUser(metric_set)
-    )
-    selected = session.run(max_iterations=12)
-
-    for entry in session.timeline:
+    time_index = metric_set.index_of("execution_time")
+    chooser = weighted_sum_chooser(metric_set, {"monetary_fees": 1.0})
+    changes = 0
+    for update in session.updates():
+        action = "Continue"
+        if update.frontier and update.invocation.index % 2 == 0 and changes < 2:
+            # Drag the execution-time bound to the left: first to the 80th
+            # percentile of the visualized times, then down to the fastest
+            # visualized plan (which therefore stays within bounds).
+            times = sorted(c[time_index] for c in update.frontier_costs)
+            bound = times[int(0.8 * (len(times) - 1))] if changes == 0 else times[0]
+            session.steer(ChangeBounds(
+                update.invocation.bounds.with_component(time_index, bound)
+            ))
+            changes += 1
+            action = f"ChangeBounds(time <= {bound:.3g})"
+        elif changes >= 2 and update.frontier:
+            # Deadline satisfied twice over: take the cheapest qualifying plan.
+            session.select(chooser=chooser)
+            action = "SelectPlan"
         print(
-            f"iteration {entry.iteration}: resolution {entry.resolution}, "
-            f"{entry.invocation_seconds * 1000:6.1f} ms, "
-            f"{entry.snapshot.size:4d} tradeoffs shown, "
-            f"user action: {type(entry.action).__name__}"
+            f"invocation {update.invocation.index}: "
+            f"resolution {update.invocation.resolution}, "
+            f"{update.invocation.duration_seconds * 1000:6.1f} ms, "
+            f"{len(update.frontier):4d} tradeoffs shown, "
+            f"user action: {action}"
         )
-    final = session.timeline[-1].snapshot
+
+    final = session.last_update
+    print(f"\nSession finished: {session.finish_reason}")
     print("\nFinal visualized frontier (time vs fees):")
     print(
         ascii_scatter(
-            list(final.costs),
+            list(final.frontier_costs),
             x_label="execution time",
             y_label="monetary fees",
-            bounds=final.bounds,
+            bounds=final.invocation.bounds,
         )
     )
+    selected = session.selected_plan
     if selected is not None:
         described = ", ".join(
             f"{name}={value:.3g}"
@@ -101,7 +94,7 @@ def main() -> None:
         print(f"\nUser selected: {selected.render()}")
         print(f"  cost: {described}")
     else:
-        print("\nNo plan selected within the iteration budget.")
+        print("\nNo plan selected within the invocation budget.")
 
 
 if __name__ == "__main__":

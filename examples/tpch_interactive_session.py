@@ -2,8 +2,10 @@
 """Algorithm comparison on TPC-H: why incrementality matters interactively.
 
 This example reproduces, at example scale, the core experimental comparison of
-Section 6: the incremental anytime algorithm (IAMA) against the memoryless and
-one-shot baselines on a TPC-H join block.  It reports
+Section 6 -- the incremental anytime algorithm (IAMA) against the memoryless
+and one-shot baselines -- but drives every algorithm through the *same*
+planner-registry session API, which is the point: one surface, five
+algorithms.  It reports
 
 * the time of every optimizer invocation in a resolution sweep,
 * how long a user waits for the *first* visualized frontier,
@@ -12,116 +14,101 @@ one-shot baselines on a TPC-H join block.  It reports
   reuses previously generated plans).
 
 Run with:  python examples/tpch_interactive_session.py
-(Use a smaller block or fewer levels if your machine is slow.)
+(Scale via REPRO_BENCH_SCALE=tiny|smoke|paper; default smoke.)
 """
 
+import os
 import time
 
-from repro import (
-    AnytimeMOQO,
-    CardinalityEstimator,
-    ChangeBounds,
-    MemorylessAnytimeOptimizer,
-    MultiObjectiveCostModel,
-    OneShotOptimizer,
-    PlanFactory,
-    ResolutionSchedule,
-    paper_metric_set,
-)
-from repro.plans.operators import OperatorRegistry
-from repro.workloads import tpch_queries, tpch_statistics
+from repro.api import OptimizeRequest, open_session
+from repro.core.control import ChangeBounds
 
-QUERY_NAME = "tpch_q10"     # 4-table block: customer, orders, lineitem, nation
-LEVELS = 6
+TINY = os.environ.get("REPRO_BENCH_SCALE", "").strip().lower() == "tiny"
+QUERY = "tpch:q03" if TINY else "tpch:q10"
+LEVELS = 3 if TINY else 6
 
 
-def build_factory(query, metric_set):
-    registry = OperatorRegistry(
-        parallelism_levels=(1, 2),
-        sampling_rates=(0.5, 0.1),
-        join_algorithms=("hash_join", "nested_loop_join"),
-    )
-    return PlanFactory(
-        estimator=CardinalityEstimator(tpch_statistics(), query.join_graph),
-        cost_model=MultiObjectiveCostModel(metric_set),
-        operators=registry,
-    )
+def fresh_session(algorithm: str):
+    request = OptimizeRequest(workload=QUERY, algorithm=algorithm, levels=LEVELS)
+    return open_session(request)
 
 
 def main() -> None:
-    query = next(q for q in tpch_queries() if q.name == QUERY_NAME)
-    metric_set = paper_metric_set()
-    schedule = ResolutionSchedule(levels=LEVELS, target_precision=1.01, precision_step=0.05)
+    session = fresh_session("iama")
+    query = session.query
     print(f"Comparing algorithms on {query.name} ({query.table_count} tables), "
           f"{LEVELS} resolution levels\n")
 
     # ------------------------------------------------------------------
-    # Incremental anytime (IAMA)
+    # The same drain loop serves every algorithm: open, run, read the result.
     # ------------------------------------------------------------------
-    factory = build_factory(query, metric_set)
-    loop = AnytimeMOQO(query, factory, schedule)
-    iama_results = loop.run_resolution_sweep()
-    iama_times = [r.duration_seconds for r in iama_results]
+    results = {"iama": session.run()}
+    for algorithm in ("memoryless", "oneshot"):
+        results[algorithm] = fresh_session(algorithm).run()
+
+    iama = results["iama"]
     print("IAMA invocation times      :",
-          " ".join(f"{t * 1000:7.1f}ms" for t in iama_times))
-    print(f"  first frontier after     : {iama_times[0] * 1000:.1f} ms "
-          f"({len(iama_results[0].frontier)} tradeoffs)")
-    print(f"  plans constructed        : {factory.counters.total_plans_built}")
+          " ".join(f"{t * 1000:7.1f}ms" for t in iama.durations_seconds))
+    print(f"  first frontier after     : {iama.durations_seconds[0] * 1000:.1f} ms "
+          f"({iama.invocations[0].frontier_size} tradeoffs)")
+    print(f"  plans constructed        : {iama.plans_generated}")
 
-    # ------------------------------------------------------------------
-    # Memoryless anytime baseline
-    # ------------------------------------------------------------------
-    factory = build_factory(query, metric_set)
-    memoryless = MemorylessAnytimeOptimizer(query, factory, schedule)
-    memo_reports = memoryless.run_resolution_sweep()
-    memo_times = [r.duration_seconds for r in memo_reports]
+    memo = results["memoryless"]
     print("\nMemoryless invocation times:",
-          " ".join(f"{t * 1000:7.1f}ms" for t in memo_times))
-    print(f"  plans constructed        : {factory.counters.total_plans_built}")
+          " ".join(f"{t * 1000:7.1f}ms" for t in memo.durations_seconds))
+    print(f"  plans constructed        : {memo.plans_generated}")
 
-    # ------------------------------------------------------------------
-    # One-shot baseline
-    # ------------------------------------------------------------------
-    factory = build_factory(query, metric_set)
-    oneshot = OneShotOptimizer(query, factory, schedule)
-    one_report = oneshot.optimize()
-    print(f"\nOne-shot single invocation : {one_report.duration_seconds * 1000:7.1f}ms "
+    oneshot = results["oneshot"]
+    print(f"\nOne-shot single invocation : "
+          f"{oneshot.durations_seconds[0] * 1000:7.1f}ms "
           f"(user sees nothing until it finishes)")
-    print(f"  plans constructed        : {factory.counters.total_plans_built}")
+    print(f"  plans constructed        : {oneshot.plans_generated}")
 
-    avg_iama = sum(iama_times) / len(iama_times)
-    avg_memo = sum(memo_times) / len(memo_times)
+    avg_iama = sum(iama.durations_seconds) / len(iama.durations_seconds)
+    avg_memo = sum(memo.durations_seconds) / len(memo.durations_seconds)
     print(f"\nAverage time per invocation: IAMA {avg_iama * 1000:.1f} ms, "
           f"memoryless {avg_memo * 1000:.1f} ms "
           f"-> {avg_memo / avg_iama:.1f}x faster on average")
 
     # ------------------------------------------------------------------
-    # Mid-session bound change: incrementality pays off
+    # Mid-session bound change: incrementality pays off.  The IAMA session is
+    # exhausted, so open a fresh one, drain it, then steer it with new bounds.
     # ------------------------------------------------------------------
     print("\nUser drags the execution-time bound to the median of the frontier...")
-    final_frontier = iama_results[-1].frontier
+    session = fresh_session("iama")
+    metric_set = session.driver.factory.metric_set
     time_index = metric_set.index_of("execution_time")
-    median_time = sorted(p.cost[time_index] for p in final_frontier)[len(final_frontier) // 2]
-    bounds = metric_set.unbounded_vector().with_component(time_index, median_time)
+    for update in session.updates():
+        if update.invocation.resolution == session.driver.schedule.max_resolution:
+            # React to the final frontier: tighten the time bound.
+            times = sorted(c[time_index] for c in update.frontier_costs)
+            median_time = times[len(times) // 2]
+            session.steer(ChangeBounds(
+                update.invocation.bounds.with_component(time_index, median_time)
+            ))
+            break
 
-    built_before = loop.optimizer.factory.counters.total_plans_built
+    built_before = session.driver.factory.counters.total_plans_built
     started = time.perf_counter()
-    bounded_result = loop.step(ChangeBounds(bounds))
-    loop_step = loop.step()  # one refinement under the new bounds
+    session.apply()                       # adopt the queued bound change
+    bounded = session.step()              # re-invoke under the new bounds
+    refined = session.step()              # one refinement under the new bounds
     elapsed = time.perf_counter() - started
-    built_after = loop.optimizer.factory.counters.total_plans_built
+    built_after = session.driver.factory.counters.total_plans_built
     print(f"  IAMA handled the change in {elapsed * 1000:.1f} ms and built "
           f"{built_after - built_before} new plans "
-          f"(frontier now {len(loop_step.frontier)} tradeoffs within bounds).")
+          f"(frontier now {len(refined.frontier)} tradeoffs within bounds).")
 
+    new_bounds = bounded.invocation.bounds
     started = time.perf_counter()
-    factory = build_factory(query, metric_set)
-    restart = MemorylessAnytimeOptimizer(query, factory, schedule)
-    restart.step(bounds=bounds, resolution=0)
-    restart.step(bounds=bounds, resolution=1)
+    restart = fresh_session("memoryless")
+    restart.apply(ChangeBounds(new_bounds))  # a restart begins at the new bounds
+    restart.step()
+    restart.step()
     elapsed = time.perf_counter() - started
     print(f"  A memoryless optimizer starts over and needs {elapsed * 1000:.1f} ms "
-          f"and {factory.counters.total_plans_built} plans for the same two steps.")
+          f"and {restart.driver.factory.counters.total_plans_built} plans "
+          "for the same two steps.")
 
 
 if __name__ == "__main__":

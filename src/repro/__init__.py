@@ -90,8 +90,19 @@ from repro.interactive import (
     PlanSelectingUser,
     weighted_sum_chooser,
 )
+from repro.api import (
+    Budget,
+    FrontierUpdate,
+    OptimizationResult,
+    OptimizeRequest,
+    PlannerRegistry,
+    PlannerSession,
+    open_session,
+    planner_registry,
+    register_planner,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # costs
@@ -148,5 +159,15 @@ __all__ = [
     "BoundRelaxingUser",
     "PlanSelectingUser",
     "weighted_sum_chooser",
+    # unified planner API
+    "OptimizeRequest",
+    "Budget",
+    "open_session",
+    "PlannerSession",
+    "PlannerRegistry",
+    "planner_registry",
+    "register_planner",
+    "FrontierUpdate",
+    "OptimizationResult",
     "__version__",
 ]

@@ -1,0 +1,219 @@
+"""Planner drivers: the five optimizers behind one invocation interface.
+
+A *driver* adapts one optimization algorithm to the session loop of
+:mod:`repro.api.session`: the session owns the Algorithm-1 state (bounds,
+resolution, iteration) and calls ``invoke(bounds, resolution)``; the driver
+runs one invocation of its algorithm and reports what happened.  Drivers wrap
+the existing optimizer classes unchanged — ``IncrementalOptimizer``,
+``MemorylessAnytimeOptimizer``, ``OneShotOptimizer``,
+``ExhaustiveParetoOptimizer``, ``SingleObjectiveOptimizer`` — so the registry
+path and the legacy entry points execute the same code and produce
+bit-identical frontiers (asserted by the differential test suite).
+
+``refines`` distinguishes the anytime algorithms (IAMA, memoryless), whose
+sessions climb the resolution ladder, from the single-invocation algorithms,
+whose sessions finish after one invocation unless the user changes bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.exhaustive import ExhaustiveParetoOptimizer
+from repro.baselines.memoryless import MemorylessAnytimeOptimizer
+from repro.baselines.oneshot import OneShotOptimizer
+from repro.baselines.single_objective import SingleObjectiveOptimizer
+from repro.core.optimizer import IncrementalOptimizer
+from repro.core.resolution import ResolutionSchedule
+from repro.costs.vector import CostVector
+from repro.plans.factory import PlanFactory
+from repro.plans.plan import Plan
+from repro.plans.query import Query
+
+
+@dataclass(frozen=True)
+class DriverStep:
+    """What one driver invocation produced."""
+
+    alpha: float
+    duration_seconds: float
+    plans: List[Plan]
+    native: object
+
+
+class PlannerDriver:
+    """Base class for planner drivers (one per registered algorithm)."""
+
+    #: Registered algorithm name; set by subclasses.
+    name: str = ""
+    #: Whether repeated invocations refine the result (anytime behaviour).
+    refines: bool = False
+
+    def __init__(
+        self,
+        query: Query,
+        factory: PlanFactory,
+        schedule: ResolutionSchedule,
+    ):
+        self._query = query
+        self._factory = factory
+        self._schedule = schedule
+
+    # ------------------------------------------------------------------
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def factory(self) -> PlanFactory:
+        return self._factory
+
+    @property
+    def schedule(self) -> ResolutionSchedule:
+        return self._schedule
+
+    # ------------------------------------------------------------------
+    def invoke(self, bounds: CostVector, resolution: int) -> DriverStep:
+        """Run one invocation at the given bounds and resolution."""
+        raise NotImplementedError
+
+
+class IamaDriver(PlannerDriver):
+    """The paper's incremental anytime algorithm (Algorithm 2 per invocation)."""
+
+    name = "iama"
+    refines = True
+
+    def __init__(self, query, factory, schedule, **optimizer_options):
+        super().__init__(query, factory, schedule)
+        self._optimizer = IncrementalOptimizer(
+            query, factory, schedule, **optimizer_options
+        )
+
+    @property
+    def optimizer(self) -> IncrementalOptimizer:
+        """The underlying incremental optimizer (for inspection)."""
+        return self._optimizer
+
+    def invoke(self, bounds: CostVector, resolution: int) -> DriverStep:
+        report = self._optimizer.optimize(bounds, resolution)
+        plans = self._optimizer.frontier(bounds, resolution)
+        return DriverStep(
+            alpha=report.alpha,
+            duration_seconds=report.duration_seconds,
+            plans=plans,
+            native=report,
+        )
+
+
+class MemorylessDriver(PlannerDriver):
+    """The memoryless anytime baseline (from-scratch DP per invocation)."""
+
+    name = "memoryless"
+    refines = True
+
+    def __init__(self, query, factory, schedule, **dp_options):
+        super().__init__(query, factory, schedule)
+        self._optimizer = MemorylessAnytimeOptimizer(
+            query, factory, schedule, **dp_options
+        )
+
+    @property
+    def optimizer(self) -> MemorylessAnytimeOptimizer:
+        return self._optimizer
+
+    def invoke(self, bounds: CostVector, resolution: int) -> DriverStep:
+        report = self._optimizer.step(bounds=bounds, resolution=resolution)
+        plans = self._optimizer.frontier()
+        return DriverStep(
+            alpha=report.alpha,
+            duration_seconds=report.duration_seconds,
+            plans=plans,
+            native=report,
+        )
+
+
+class OneShotDriver(PlannerDriver):
+    """The one-shot baseline: a single invocation at the target precision."""
+
+    name = "oneshot"
+    refines = False
+
+    def __init__(self, query, factory, schedule, **dp_options):
+        super().__init__(query, factory, schedule)
+        self._optimizer = OneShotOptimizer(query, factory, schedule, **dp_options)
+
+    @property
+    def optimizer(self) -> OneShotOptimizer:
+        return self._optimizer
+
+    def invoke(self, bounds: CostVector, resolution: int) -> DriverStep:
+        report = self._optimizer.optimize(bounds)
+        plans = self._optimizer.frontier()
+        return DriverStep(
+            alpha=report.alpha,
+            duration_seconds=report.duration_seconds,
+            plans=plans,
+            native=report,
+        )
+
+
+class ExhaustiveDriver(PlannerDriver):
+    """Exact Pareto DP (precision factor 1); ground truth, no approximation."""
+
+    name = "exhaustive"
+    refines = False
+
+    def __init__(self, query, factory, schedule, **dp_options):
+        super().__init__(query, factory, schedule)
+        self._optimizer = ExhaustiveParetoOptimizer(query, factory, **dp_options)
+
+    @property
+    def optimizer(self) -> ExhaustiveParetoOptimizer:
+        return self._optimizer
+
+    def invoke(self, bounds: CostVector, resolution: int) -> DriverStep:
+        report = self._optimizer.optimize(bounds)
+        plans = self._optimizer.frontier()
+        return DriverStep(
+            alpha=1.0,
+            duration_seconds=report.duration_seconds,
+            plans=plans,
+            native=report,
+        )
+
+
+class SingleObjectiveDriver(PlannerDriver):
+    """Classical single-objective DP; its frontier is a single plan."""
+
+    name = "single_objective"
+    refines = False
+
+    def __init__(
+        self,
+        query,
+        factory,
+        schedule,
+        objective: Optional[str] = None,
+        **dp_options,
+    ):
+        super().__init__(query, factory, schedule)
+        metric_name = objective or factory.metric_set.names[0]
+        self._optimizer = SingleObjectiveOptimizer(
+            query, factory, metric_name=metric_name, **dp_options
+        )
+
+    @property
+    def optimizer(self) -> SingleObjectiveOptimizer:
+        return self._optimizer
+
+    def invoke(self, bounds: CostVector, resolution: int) -> DriverStep:
+        plan = self._optimizer.optimize()
+        report = self._optimizer.report
+        return DriverStep(
+            alpha=1.0,
+            duration_seconds=report.duration_seconds,
+            plans=[plan],
+            native=report,
+        )

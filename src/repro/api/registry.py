@@ -1,0 +1,256 @@
+"""The planner registry: string-named, plugin-registrable algorithms.
+
+Every optimization algorithm is registered under a stable name; consumers
+(the CLI, the bench harness, examples, external plugins) open sessions by
+name instead of hand-wiring per-algorithm dispatch.  Built-in planners:
+
+========================  ====================================================
+``iama``                  incremental anytime algorithm (the paper's IAMA)
+``memoryless``            from-scratch anytime baseline
+``oneshot``               single invocation at the target precision
+``exhaustive``            exact Pareto DP (precision factor 1)
+``single_objective``      classical Selinger-style single-metric DP
+========================  ====================================================
+
+``incremental_anytime`` and ``one_shot`` are registered as aliases so that the
+bench harness's historical :class:`~repro.bench.runner.AlgorithmName` values
+resolve directly.
+
+Plugins register their own planner with :func:`register_planner`::
+
+    @register_planner("my_algorithm", summary="...")
+    class MyDriver(PlannerDriver):
+        ...
+
+A driver factory is any callable ``(query, factory, schedule, **options)``
+returning a :class:`~repro.api.planners.PlannerDriver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api.planners import (
+    ExhaustiveDriver,
+    IamaDriver,
+    MemorylessDriver,
+    OneShotDriver,
+    PlannerDriver,
+    SingleObjectiveDriver,
+)
+from repro.api.request import Budget, ResolvedRequest
+from repro.api.session import PlannerSession
+from repro.core.resolution import ResolutionSchedule
+from repro.costs.vector import CostVector
+from repro.plans.factory import PlanFactory
+from repro.plans.query import Query
+
+DriverFactory = Callable[..., PlannerDriver]
+
+
+@dataclass(frozen=True)
+class PlannerInfo:
+    """One registered planner: its name, a summary, and the driver factory."""
+
+    name: str
+    summary: str
+    factory: DriverFactory
+    aliases: Tuple[str, ...] = ()
+
+
+class PlannerRegistry:
+    """Name -> planner mapping with alias support and plugin registration."""
+
+    def __init__(self):
+        self._planners: Dict[str, PlannerInfo] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: DriverFactory,
+        summary: str = "",
+        aliases: Tuple[str, ...] = (),
+        replace: bool = False,
+    ) -> PlannerInfo:
+        """Register a planner under ``name`` (and optional aliases).
+
+        Re-registering an existing name raises unless ``replace=True`` — a
+        plugin must not silently shadow a built-in algorithm.
+
+        Names and aliases are stored in the same canonical form that
+        :meth:`get` looks up (lowercase, ``_`` separators), so every
+        registration is reachable regardless of the spelling used.
+        """
+        name = self._canonical(name)
+        aliases = tuple(self._canonical(alias) for alias in aliases)
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"invalid planner name {name!r}")
+        taken = self._conflicts((name, *aliases))
+        if taken and not replace:
+            raise ValueError(
+                f"planner name(s) already registered: {', '.join(taken)}; "
+                "pass replace=True to override"
+            )
+        info = PlannerInfo(name=name, summary=summary, factory=factory, aliases=aliases)
+        # A name promoted from alias to planner (or vice versa) must not leave
+        # a stale alias entry behind: the alias table is checked first by
+        # get(), so it would shadow the fresh registration.
+        for registered in (name, *aliases):
+            self._aliases.pop(registered, None)
+        self._planners[name] = info
+        for alias in aliases:
+            self._aliases[alias] = name
+        return info
+
+    @staticmethod
+    def _canonical(name: str) -> str:
+        return name.strip().lower().replace("-", "_")
+
+    def _conflicts(self, names: Tuple[str, ...]) -> List[str]:
+        return [n for n in names if n in self._planners or n in self._aliases]
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> PlannerInfo:
+        """Look up a planner by name or alias (``-`` and ``_`` are equivalent)."""
+        normalized = self._canonical(name)
+        canonical = self._aliases.get(normalized, normalized)
+        try:
+            return self._planners[canonical]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise KeyError(
+                f"unknown planner {name!r}; registered planners: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+            return True
+        except KeyError:
+            return False
+
+    def names(self, include_aliases: bool = False) -> List[str]:
+        """Registered planner names, sorted; optionally including aliases."""
+        names = sorted(self._planners)
+        if include_aliases:
+            names = sorted({*names, *self._aliases})
+        return names
+
+    def describe(self) -> Dict[str, str]:
+        """``{name: summary}`` of every registered planner."""
+        return {name: self._planners[name].summary for name in self.names()}
+
+    # ------------------------------------------------------------------
+    # Session construction
+    # ------------------------------------------------------------------
+    def create_driver(
+        self,
+        name: str,
+        query: Query,
+        factory: PlanFactory,
+        schedule: ResolutionSchedule,
+        **options,
+    ) -> PlannerDriver:
+        """Instantiate the named planner's driver."""
+        return self.get(name).factory(query, factory, schedule, **options)
+
+    def open(
+        self,
+        name: str,
+        query: Query,
+        factory: PlanFactory,
+        schedule: ResolutionSchedule,
+        bounds: Optional[CostVector] = None,
+        budget: Optional[Budget] = None,
+        continuous: bool = False,
+        **options,
+    ) -> PlannerSession:
+        """Open a session on explicit live objects (query, factory, schedule)."""
+        driver = self.create_driver(name, query, factory, schedule, **options)
+        return PlannerSession(
+            driver,
+            algorithm=self.get(name).name,
+            metric_set=factory.metric_set,
+            bounds=bounds,
+            budget=budget,
+            continuous=continuous,
+        )
+
+    def open_resolved(self, resolved: ResolvedRequest) -> PlannerSession:
+        """Open a session for a resolved :class:`OptimizeRequest`."""
+        request = resolved.request
+        options = {}
+        if self.get(request.algorithm).name == "single_objective":
+            options["objective"] = request.objective
+        return self.open(
+            request.algorithm,
+            query=resolved.query,
+            factory=resolved.factory,
+            schedule=resolved.schedule,
+            bounds=resolved.bounds,
+            budget=request.budget,
+            **options,
+        )
+
+
+#: The process-wide default registry holding the built-in planners.
+_DEFAULT_REGISTRY = PlannerRegistry()
+
+
+def planner_registry() -> PlannerRegistry:
+    """The default planner registry (built-ins plus registered plugins)."""
+    return _DEFAULT_REGISTRY
+
+
+def register_planner(
+    name: str,
+    summary: str = "",
+    aliases: Tuple[str, ...] = (),
+    registry: Optional[PlannerRegistry] = None,
+    replace: bool = False,
+) -> Callable[[DriverFactory], DriverFactory]:
+    """Decorator registering a driver factory in the (default) registry."""
+
+    def decorate(factory: DriverFactory) -> DriverFactory:
+        target = registry if registry is not None else _DEFAULT_REGISTRY
+        target.register(
+            name, factory, summary=summary, aliases=aliases, replace=replace
+        )
+        return factory
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Built-ins
+# ----------------------------------------------------------------------
+_DEFAULT_REGISTRY.register(
+    "iama",
+    IamaDriver,
+    summary="Incremental anytime multi-objective optimizer (the paper's IAMA).",
+    aliases=("incremental_anytime",),
+)
+_DEFAULT_REGISTRY.register(
+    "memoryless",
+    MemorylessDriver,
+    summary="Anytime baseline that re-optimizes from scratch at every level.",
+)
+_DEFAULT_REGISTRY.register(
+    "oneshot",
+    OneShotDriver,
+    summary="Single from-scratch invocation at the target precision.",
+    aliases=("one_shot",),
+)
+_DEFAULT_REGISTRY.register(
+    "exhaustive",
+    ExhaustiveDriver,
+    summary="Exact Pareto dynamic programming (no approximation).",
+)
+_DEFAULT_REGISTRY.register(
+    "single_objective",
+    SingleObjectiveDriver,
+    summary="Classical single-metric DP (one point of the tradeoff space).",
+)

@@ -1,0 +1,375 @@
+"""Planner sessions: the uniform anytime loop over every registered algorithm.
+
+A :class:`PlannerSession` is the paper's Algorithm 1 lifted into an API: it
+owns the interaction state (cost bounds, resolution level, iteration count),
+invokes its planner driver, streams one typed
+:class:`~repro.api.schema.FrontierUpdate` per invocation, accepts user
+steering (:class:`~repro.core.control.ChangeBounds`,
+:class:`~repro.core.control.SelectPlan`) between invocations, enforces the
+request :class:`~repro.api.request.Budget`, and finishes with a uniform
+:class:`~repro.api.schema.OptimizationResult`.
+
+The session separates *invoking* from *steering* so consumers can react to
+what they see, exactly like the interactive interface of Figure 1::
+
+    session = open_session(OptimizeRequest(workload="tpch:q03"))
+    for update in session.updates():        # one FrontierUpdate per invocation
+        if too_expensive(update.frontier):
+            session.steer(ChangeBounds(tighter))
+    result = session.result()               # uniform, JSON-serializable
+
+``step(action)`` bundles both phases for scripted drivers; ``run()`` drains
+the session to completion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.api.planners import PlannerDriver
+from repro.api.request import Budget, OptimizeRequest, resolve_request
+from repro.api.schema import (
+    FINISH_DEADLINE,
+    FINISH_EXHAUSTED,
+    FINISH_IN_PROGRESS,
+    FINISH_INVOCATION_CAP,
+    FINISH_SELECTED,
+    FINISH_TARGET_ALPHA,
+    FrontierUpdate,
+    InvocationSummary,
+    OptimizationResult,
+    PlanSummary,
+    frontier_summaries,
+)
+from repro.core.control import ChangeBounds, Continue, SelectPlan, UserAction
+from repro.costs.metrics import MetricSet
+from repro.costs.vector import CostVector
+from repro.plans.plan import Plan
+from repro.plans.query import Query
+
+
+class PlannerSession:
+    """One optimization session: invoke, stream updates, steer, finish.
+
+    Parameters
+    ----------
+    driver:
+        The planner driver executing invocations.
+    algorithm:
+        The registered name the session was opened under (drivers may be
+        registered under aliases; results report the requested name).
+    metric_set:
+        Metric set fixing the dimensionality of bounds and cost vectors.
+    bounds:
+        Initial cost bounds; ``None`` means unbounded.
+    budget:
+        Work budget; ``None`` means unlimited.
+    continuous:
+        When false (default), a refining planner's session is *exhausted*
+        after it has run at the maximal resolution — the natural end of a
+        non-interactive drain.  When true, the session follows Algorithm 1
+        literally (``r <- min(r_M, r + 1)``) and keeps accepting invocations
+        at the maximal resolution until the user selects a plan or the budget
+        runs out; interactive drivers use this mode.
+    """
+
+    def __init__(
+        self,
+        driver: PlannerDriver,
+        algorithm: Optional[str] = None,
+        metric_set: Optional[MetricSet] = None,
+        bounds: Optional[CostVector] = None,
+        budget: Optional[Budget] = None,
+        continuous: bool = False,
+    ):
+        self._driver = driver
+        self._algorithm = algorithm or driver.name
+        self._metric_set = metric_set or driver.factory.metric_set
+        self._schedule = driver.schedule
+        self._bounds = (
+            bounds if bounds is not None else self._metric_set.unbounded_vector()
+        )
+        self._budget = budget or Budget()
+        self._continuous = continuous
+        self._resolution = 0
+        self._iteration = 0
+        self._history: List[FrontierUpdate] = []
+        self._last_plans: Tuple[Plan, ...] = ()
+        self._queued: Optional[UserAction] = None
+        self._finish_reason: Optional[str] = None
+        self._selected_plan: Optional[Plan] = None
+        self._started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Read-only state
+    # ------------------------------------------------------------------
+    @property
+    def algorithm(self) -> str:
+        return self._algorithm
+
+    @property
+    def driver(self) -> PlannerDriver:
+        return self._driver
+
+    @property
+    def query(self) -> Query:
+        return self._driver.query
+
+    @property
+    def budget(self) -> Budget:
+        return self._budget
+
+    @property
+    def bounds(self) -> CostVector:
+        """The cost bounds the next invocation will use."""
+        return self._bounds
+
+    @property
+    def resolution(self) -> int:
+        """The resolution level the next invocation will use."""
+        return self._resolution
+
+    @property
+    def iteration(self) -> int:
+        """Number of completed invocations."""
+        return self._iteration
+
+    @property
+    def at_max_resolution(self) -> bool:
+        return self._resolution >= self._schedule.max_resolution
+
+    @property
+    def history(self) -> List[FrontierUpdate]:
+        """All frontier updates streamed so far."""
+        return list(self._history)
+
+    @property
+    def last_update(self) -> Optional[FrontierUpdate]:
+        return self._history[-1] if self._history else None
+
+    @property
+    def frontier_plans(self) -> Tuple[Plan, ...]:
+        """Live plan objects of the most recently visualized frontier."""
+        return self._last_plans
+
+    @property
+    def selected_plan(self) -> Optional[Plan]:
+        return self._selected_plan
+
+    @property
+    def finished(self) -> bool:
+        return self._finish_reason is not None
+
+    @property
+    def finish_reason(self) -> Optional[str]:
+        return self._finish_reason
+
+    # ------------------------------------------------------------------
+    # The two phases of one iteration
+    # ------------------------------------------------------------------
+    def advance(self) -> FrontierUpdate:
+        """Run one optimizer invocation and stream its frontier update.
+
+        The steering phase (:meth:`apply`) decides what the *next* invocation
+        looks like; a deadline of zero therefore still admits this first
+        invocation — an anytime optimizer always has something to show.
+        """
+        if self.finished:
+            raise RuntimeError(
+                f"session already finished ({self._finish_reason}); "
+                "open a new session to continue"
+            )
+        if self._started is None:
+            self._started = time.perf_counter()
+        resolution = (
+            self._resolution
+            if self._driver.refines
+            else self._schedule.max_resolution
+        )
+        step = self._driver.invoke(self._bounds, resolution)
+        self._iteration += 1
+        summary = InvocationSummary.from_report(
+            step.native,
+            index=self._iteration,
+            resolution=resolution,
+            alpha=step.alpha,
+            bounds=self._bounds,
+            duration_seconds=step.duration_seconds,
+            frontier_size=len(step.plans),
+        )
+        update = FrontierUpdate(
+            algorithm=self._algorithm,
+            invocation=summary,
+            frontier=frontier_summaries(step.plans),
+            elapsed_seconds=time.perf_counter() - self._started,
+            plans=tuple(step.plans),
+            native=step.native,
+        )
+        self._history.append(update)
+        self._last_plans = tuple(step.plans)
+        return update
+
+    def apply(self, action: Optional[UserAction] = None) -> None:
+        """Apply a steering action and the budget, fixing the next invocation.
+
+        With ``action=None`` the queued :meth:`steer` action (or
+        :class:`Continue`) is used.  Mirrors Algorithm 1 lines 12-25: plan
+        selection ends the session, a bounds change resets the resolution,
+        continuing refines it; once a refining planner has run at the maximal
+        resolution the session is exhausted.
+        """
+        if self.finished:
+            return
+        # An explicit action supersedes (and discards) any queued steer: the
+        # queue exists only to carry a reaction forward to "the next apply".
+        queued, self._queued = self._queued, None
+        if action is None:
+            action = queued if queued is not None else Continue()
+        if isinstance(action, SelectPlan):
+            self._selected_plan = action.resolve(list(self._last_plans))
+            self._finish_reason = FINISH_SELECTED
+        elif isinstance(action, ChangeBounds):
+            if len(action.bounds) != self._metric_set.dimensions:
+                raise ValueError(
+                    f"bounds have {len(action.bounds)} components but the "
+                    f"metric set has {self._metric_set.dimensions}"
+                )
+            self._bounds = action.bounds
+            self._resolution = 0
+        else:  # Continue
+            if not self._driver.refines:
+                self._finish_reason = FINISH_EXHAUSTED
+            elif self.at_max_resolution and self._iteration > 0:
+                if not self._continuous:
+                    self._finish_reason = FINISH_EXHAUSTED
+            else:
+                self._resolution = self._schedule.next_resolution(self._resolution)
+        self._check_budget(action)
+
+    def step(self, action: Optional[UserAction] = None) -> FrontierUpdate:
+        """One full iteration: invoke, then apply ``action`` (or the queue)."""
+        update = self.advance()
+        self.apply(action)
+        return update
+
+    # ------------------------------------------------------------------
+    # Steering hooks
+    # ------------------------------------------------------------------
+    def steer(self, action: UserAction) -> None:
+        """Queue a steering action, consumed at the next :meth:`apply`."""
+        self._queued = action
+
+    def select(
+        self,
+        plan: Optional[Plan] = None,
+        chooser: Optional[Callable[[Sequence[Plan]], Plan]] = None,
+    ) -> None:
+        """Queue a plan selection (a concrete plan or a frontier chooser)."""
+        self.steer(SelectPlan(plan=plan, chooser=chooser))
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def updates(self) -> Iterator[FrontierUpdate]:
+        """Stream frontier updates until the session finishes.
+
+        Steering calls made while consuming the iterator take effect at the
+        next iteration boundary, exactly like a user reacting to the freshly
+        rendered frontier.
+        """
+        while not self.finished:
+            update = self.advance()
+            yield update
+            self.apply()
+
+    def run(
+        self,
+        user: Optional[Callable[[FrontierUpdate], Optional[UserAction]]] = None,
+    ) -> OptimizationResult:
+        """Drain the session and return the uniform result.
+
+        ``user`` is called after every invocation with the frontier update and
+        may return a steering action (``None`` behaves like a user that never
+        interacts).
+        """
+        while not self.finished:
+            update = self.advance()
+            action = user(update) if user is not None else None
+            self.apply(action)
+        return self.result()
+
+    def result(self) -> OptimizationResult:
+        """The uniform session result (finish reason, invocations, frontier)."""
+        last = self.last_update
+        frontier: Tuple[PlanSummary, ...] = last.frontier if last else ()
+        selected = (
+            PlanSummary.from_plan(self._selected_plan)
+            if self._selected_plan is not None
+            else None
+        )
+        invocations = tuple(update.invocation for update in self._history)
+        return OptimizationResult(
+            algorithm=self._algorithm,
+            query_name=self._driver.query.name,
+            table_count=self._driver.query.table_count,
+            metric_names=tuple(self._metric_set.names),
+            invocations=invocations,
+            frontier=frontier,
+            finish_reason=self._finish_reason or FINISH_IN_PROGRESS,
+            total_seconds=sum(inv.duration_seconds for inv in invocations),
+            plans_generated=self._driver.factory.counters.total_plans_built,
+            selected_plan=selected,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_budget(self, action: UserAction) -> None:
+        """End the session when a budget limit is hit.
+
+        A finish reason already set by the action (selection, exhaustion) is
+        never relabelled.  The ``target_alpha`` limit only applies when the
+        user did not just change the bounds: a bounds change invalidates the
+        visualized frontier, so the precision achieved under the old bounds
+        must not end the session before the new bounds were optimized.
+        """
+        if self.finished:
+            return
+        budget = self._budget
+        if (
+            budget.max_invocations is not None
+            and self._iteration >= budget.max_invocations
+        ):
+            self._finish_reason = FINISH_INVOCATION_CAP
+            return
+        if budget.deadline_seconds is not None and self._started is not None:
+            if time.perf_counter() - self._started >= budget.deadline_seconds:
+                self._finish_reason = FINISH_DEADLINE
+                return
+        if (
+            budget.target_alpha is not None
+            and self._history
+            and not isinstance(action, ChangeBounds)
+        ):
+            if self._history[-1].invocation.alpha <= budget.target_alpha:
+                self._finish_reason = FINISH_TARGET_ALPHA
+
+
+def open_session(
+    request: OptimizeRequest,
+    registry=None,
+    query=None,
+    statistics=None,
+) -> PlannerSession:
+    """Open a planner session for a request (the main API entry point).
+
+    The workload spec is resolved, the plan factory and resolution schedule
+    are built, the algorithm is looked up in the planner registry (the default
+    registry unless ``registry`` is given), and a fresh session is returned.
+    ``query``/``statistics`` bypass workload resolution when the caller
+    already holds live objects (as the bench harness does).
+    """
+    from repro.api.registry import planner_registry
+
+    resolved = resolve_request(request, query=query, statistics=statistics)
+    registry = registry if registry is not None else planner_registry()
+    return registry.open_resolved(resolved)

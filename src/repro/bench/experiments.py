@@ -44,9 +44,7 @@ from repro.bench.runner import (
     series_from_payload,
     series_payload,
 )
-from repro.baselines.memoryless import MemorylessAnytimeOptimizer
-from repro.baselines.oneshot import OneShotOptimizer
-from repro.core.control import AnytimeMOQO
+from repro.bench.runner import _planner_registry
 from repro.costs.metrics import cloud_metric_set, extended_metric_set
 from repro.interactive.session import InteractiveSession
 from repro.interactive.user_models import BoundTighteningUser
@@ -341,30 +339,35 @@ def _figure2_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
     factory = build_factory(query, config)
     schedule = build_schedule(levels, MODERATE_PRECISION)
     part = cell["part"]
+    if part not in ("incremental_anytime", "memoryless", "one_shot"):
+        raise ValueError(f"unknown figure2 part {part!r}")
+    # One uniform drain through the planner registry; the payload shapes
+    # predate the unified API and are kept for cell-cache compatibility.
+    session = _planner_registry().open(
+        part, query=query, factory=factory, schedule=schedule
+    )
+    result = session.run()
     if part == "incremental_anytime":
-        loop = AnytimeMOQO(query, factory, schedule)
         invocations = [
             {
-                "iteration": result.iteration,
-                "resolution": result.resolution,
-                "duration_seconds": result.duration_seconds,
-                "frontier_size": len(result.frontier),
+                "iteration": invocation.index,
+                "resolution": invocation.resolution,
+                "duration_seconds": invocation.duration_seconds,
+                "frontier_size": invocation.frontier_size,
             }
-            for result in loop.run_resolution_sweep()
+            for invocation in result.invocations
         ]
         return {"query": query.name, "invocations": invocations}
     if part == "memoryless":
-        optimizer = MemorylessAnytimeOptimizer(query, factory, schedule)
-        durations = [r.duration_seconds for r in optimizer.run_resolution_sweep()]
-        return {"query": query.name, "durations_seconds": durations}
-    if part == "one_shot":
-        report = OneShotOptimizer(query, factory, schedule).optimize()
         return {
             "query": query.name,
-            "duration_seconds": report.duration_seconds,
-            "frontier_size": report.frontier_size,
+            "durations_seconds": list(result.durations_seconds),
         }
-    raise ValueError(f"unknown figure2 part {part!r}")
+    return {
+        "query": query.name,
+        "duration_seconds": result.invocations[-1].duration_seconds,
+        "frontier_size": result.invocations[-1].frontier_size,
+    }
 
 
 def _figure2_merge(config: ExperimentConfig, outcomes: CellOutcomes) -> ExperimentResult:
@@ -614,15 +617,21 @@ def _freshness_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
     query = _representative_query(config)
     factory = build_factory(query, config)
     schedule = build_schedule(cell["resolution_levels"], MODERATE_PRECISION)
-    loop = AnytimeMOQO(query, factory, schedule, use_delta_sets=cell["delta_sets"])
-    results = loop.run_resolution_sweep()
+    session = _planner_registry().open(
+        "iama",
+        query=query,
+        factory=factory,
+        schedule=schedule,
+        use_delta_sets=cell["delta_sets"],
+    )
+    result = session.run()
     return {
         "delta_sets": cell["delta_sets"],
         "query": query.name,
-        "total_seconds": sum(r.duration_seconds for r in results),
-        "pairs_enumerated": loop.optimizer.state.counters.pairs_enumerated,
-        "plans_generated": factory.counters.total_plans_built,
-        "frontier_size": results[-1].report.frontier_size,
+        "total_seconds": result.total_seconds,
+        "pairs_enumerated": session.driver.optimizer.state.counters.pairs_enumerated,
+        "plans_generated": result.plans_generated,
+        "frontier_size": result.invocations[-1].frontier_size,
     }
 
 
@@ -672,16 +681,24 @@ def _keep_dominated_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayloa
     query = _representative_query(config)
     factory = build_factory(query, config)
     schedule = build_schedule(cell["resolution_levels"], MODERATE_PRECISION)
+    registry = _planner_registry()
     if cell["part"] == "iama":
-        loop = AnytimeMOQO(query, factory, schedule)
-        loop.run_resolution_sweep()
+        session = registry.open("iama", query=query, factory=factory, schedule=schedule)
+        session.run()
+        state = session.driver.optimizer.state
         return {
             "query": query.name,
-            "result_plans": loop.optimizer.state.total_result_plans(),
-            "candidate_plans": loop.optimizer.state.total_candidate_plans(),
+            "result_plans": state.total_result_plans(),
+            "candidate_plans": state.total_candidate_plans(),
         }
-    minimal_oneshot = OneShotOptimizer(query, factory, schedule, keep_dominated=False)
-    return {"query": query.name, "plans_kept": minimal_oneshot.optimize().plans_kept}
+    session = registry.open(
+        "oneshot", query=query, factory=factory, schedule=schedule, keep_dominated=False
+    )
+    result = session.run()
+    return {
+        "query": query.name,
+        "plans_kept": result.invocations[-1].details["plans_kept"],
+    }
 
 
 def _keep_dominated_merge(

@@ -11,6 +11,14 @@ reproduces exactly that protocol for one query:
 * **one-shot** performs a single from-scratch invocation at the target
   precision.
 
+Every algorithm runs through the unified planner API
+(:mod:`repro.api`): the algorithm is looked up by name in the planner
+registry and driven by a budget-free :class:`~repro.api.session.PlannerSession`
+whose no-interaction drain is exactly the invocation-series protocol.
+:class:`AlgorithmName` survives as the bench-level enumeration of the paper's
+comparison set (its values double as registry aliases); new algorithms become
+benchmarkable by registering a planner, without touching this module.
+
 Every algorithm gets its own :class:`~repro.plans.factory.PlanFactory` instance
 (same estimator construction, same operators, same cost model) so that plan
 generation counters do not leak between algorithms.
@@ -22,11 +30,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.memoryless import MemorylessAnytimeOptimizer
-from repro.baselines.oneshot import OneShotOptimizer
 from repro.bench.config import ExperimentConfig, PrecisionSetting
 from repro.catalog.cardinality import CardinalityEstimator
-from repro.core.control import AnytimeMOQO
 from repro.core.resolution import ResolutionSchedule
 from repro.costs.model import MultiObjectiveCostModel
 from repro.plans.factory import PlanFactory
@@ -34,8 +39,23 @@ from repro.plans.query import Query
 from repro.workloads.tpch import tpch_statistics
 
 
+def _planner_registry():
+    """The default planner registry, imported lazily.
+
+    ``repro.api.request`` imports :mod:`repro.bench.config`, so a module-level
+    import here would close an import cycle through the package __init__.
+    """
+    from repro.api.registry import planner_registry
+
+    return planner_registry()
+
+
 class AlgorithmName(enum.Enum):
-    """The algorithms compared in the paper's evaluation."""
+    """The algorithms compared in the paper's evaluation.
+
+    The enum values are registered as planner-registry aliases, so
+    ``planner_registry().get(algorithm.value)`` resolves every member.
+    """
 
     INCREMENTAL_ANYTIME = "incremental_anytime"
     MEMORYLESS = "memoryless"
@@ -48,6 +68,11 @@ class AlgorithmName(enum.Enum):
             AlgorithmName.MEMORYLESS: "Memoryless",
             AlgorithmName.ONE_SHOT: "One-shot",
         }[self]
+
+    @property
+    def planner(self) -> str:
+        """Canonical planner-registry name of this algorithm."""
+        return _planner_registry().get(self.value).name
 
 
 @dataclass(frozen=True)
@@ -143,36 +168,28 @@ def run_series(
     precision: PrecisionSetting,
     statistics=None,
 ) -> InvocationSeries:
-    """Run one algorithm's full invocation series on one query and time it."""
+    """Run one algorithm's full invocation series on one query and time it.
+
+    The series is a planner session drained without user interaction: the
+    anytime algorithms climb the full resolution ladder (one invocation per
+    level), the single-invocation algorithms finish after one invocation.
+    """
     factory = build_factory(query, config, statistics=statistics)
     schedule = build_schedule(levels, precision)
-
-    if algorithm is AlgorithmName.INCREMENTAL_ANYTIME:
-        loop = AnytimeMOQO(query, factory, schedule)
-        results = loop.run_resolution_sweep()
-        durations = [result.duration_seconds for result in results]
-        frontier_size = results[-1].report.frontier_size if results else 0
-    elif algorithm is AlgorithmName.MEMORYLESS:
-        optimizer = MemorylessAnytimeOptimizer(query, factory, schedule)
-        reports = optimizer.run_resolution_sweep()
-        durations = [report.duration_seconds for report in reports]
-        frontier_size = reports[-1].frontier_size if reports else 0
-    elif algorithm is AlgorithmName.ONE_SHOT:
-        optimizer = OneShotOptimizer(query, factory, schedule)
-        reports = optimizer.run_resolution_sweep()
-        durations = [report.duration_seconds for report in reports]
-        frontier_size = reports[-1].frontier_size if reports else 0
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unknown algorithm {algorithm!r}")
-
+    session = _planner_registry().open(
+        algorithm.value, query=query, factory=factory, schedule=schedule
+    )
+    result = session.run()
     return InvocationSeries(
         algorithm=algorithm,
         query_name=query.name,
         table_count=query.table_count,
         resolution_levels=levels,
-        durations_seconds=durations,
-        plans_generated=factory.counters.total_plans_built,
-        frontier_size=frontier_size,
+        durations_seconds=result.durations_seconds,
+        plans_generated=result.plans_generated,
+        frontier_size=(
+            result.invocations[-1].frontier_size if result.invocations else 0
+        ),
     )
 
 

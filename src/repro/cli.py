@@ -3,6 +3,7 @@
 The CLI exposes the most common workflows without writing Python:
 
 * ``python -m repro.cli workload``            -- list the TPC-H join blocks,
+* ``python -m repro.cli planners``            -- list the registered planners,
 * ``python -m repro.cli optimize tpch_q03``   -- run an anytime sweep on one block
   and print the frontier,
 * ``python -m repro.cli experiment figure3``  -- run one of the paper experiments
@@ -12,6 +13,12 @@ The CLI exposes the most common workflows without writing Python:
 * ``python -m repro.cli compare tpch_q05``    -- compare IAMA against the two
   baselines on one block.
 
+``optimize`` and ``compare`` run through the unified planner API
+(:mod:`repro.api`): any registered algorithm is selectable with
+``--algorithm``, workloads may be TPC-H blocks (``tpch_q03``/``q03``) or
+generated specs (``gen:star:6:42``), and ``--json`` emits the versioned
+:class:`~repro.api.schema.OptimizationResult` payload.
+
 All commands accept ``--scale tiny|smoke|paper`` (default: the
 ``REPRO_BENCH_SCALE`` environment variable, falling back to ``smoke``).
 """
@@ -19,10 +26,12 @@ All commands accept ``--scale tiny|smoke|paper`` (default: the
 from __future__ import annotations
 
 import argparse
+import json as json_module
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.api import OptimizeRequest, open_session, planner_registry
 from repro.bench.cache import ResultCache
 from repro.bench.config import (
     CONFIG_PRESETS,
@@ -30,8 +39,6 @@ from repro.bench.config import (
     FINE_PRECISION,
     MODERATE_PRECISION,
     config_from_environment,
-    paper_config,
-    smoke_config,
 )
 from repro.bench.experiments import (
     ExperimentResult,
@@ -50,11 +57,10 @@ from repro.bench.experiments import (
 from repro.bench.export import write_csv, write_json, write_text_report
 from repro.bench.registry import get_spec, registered_names
 from repro.bench.reporting import format_grouped_times, format_rows
-from repro.bench.runner import AlgorithmName, build_factory, build_schedule, run_all_algorithms
+from repro.bench.runner import AlgorithmName
 from repro.bench.scheduler import run_experiment
-from repro.core.control import AnytimeMOQO
 from repro.costs.pareto import pareto_filter
-from repro.workloads.tpch import tpch_blocks_by_table_count, tpch_queries
+from repro.workloads.tpch import tpch_blocks_by_table_count
 
 #: Experiment name -> callable(config) -> ExperimentResult
 EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
@@ -85,12 +91,28 @@ def _resolve_config(scale: Optional[str]) -> ExperimentConfig:
     return factory()
 
 
-def _find_query(name: str):
-    for query in tpch_queries():
-        if query.name == name or query.name == f"tpch_{name}":
-            return query
-    known = ", ".join(q.name for q in tpch_queries())
-    raise SystemExit(f"unknown query {name!r}; known blocks: {known}")
+#: Registry name -> display label for the comparison table.
+_PLANNER_LABELS = {
+    "iama": AlgorithmName.INCREMENTAL_ANYTIME.label,
+    "memoryless": AlgorithmName.MEMORYLESS.label,
+    "oneshot": AlgorithmName.ONE_SHOT.label,
+}
+
+
+def _open_session(args: argparse.Namespace, algorithm: str):
+    """Open a planner session for an optimize/compare invocation."""
+    try:
+        request = OptimizeRequest(
+            workload=args.query,
+            algorithm=algorithm,
+            scale=args.scale,
+            levels=args.levels,
+            precision=args.precision,
+        )
+        return open_session(request)
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(message)
 
 
 # ----------------------------------------------------------------------
@@ -106,22 +128,37 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_planners(args: argparse.Namespace) -> int:
+    """List the registered planners of the unified API."""
+    registry = planner_registry()
+    for name, summary in registry.describe().items():
+        print(f"{name:>18}  {summary}")
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
-    """Run an anytime resolution sweep on one block and print the frontier."""
-    config = _resolve_config(args.scale)
-    query = _find_query(args.query)
-    factory = build_factory(query, config)
-    schedule = build_schedule(args.levels, MODERATE_PRECISION if args.precision == "moderate" else FINE_PRECISION)
-    loop = AnytimeMOQO(query, factory, schedule)
-    print(f"optimizing {query.name} ({query.table_count} tables), {args.levels} levels")
-    for result in loop.run_resolution_sweep():
+    """Run one planner on one workload and print (or JSON-dump) the frontier."""
+    session = _open_session(args, args.algorithm)
+    query = session.query
+    if not args.json:
         print(
-            f"  resolution {result.resolution}: {result.duration_seconds * 1000:8.1f} ms, "
-            f"{len(result.frontier)} tradeoffs"
+            f"optimizing {query.name} ({query.table_count} tables), "
+            f"{args.levels} levels, algorithm {session.algorithm}"
         )
-    metric_set = factory.metric_set
-    frontier = loop.history[-1].frontier
-    non_dominated = pareto_filter([point.cost for point in frontier])
+    for update in session.updates():
+        if not args.json:
+            print(
+                f"  resolution {update.invocation.resolution}: "
+                f"{update.invocation.duration_seconds * 1000:8.1f} ms, "
+                f"{len(update.frontier)} tradeoffs"
+            )
+    result = session.result()
+    if args.json:
+        print(json_module.dumps(result.to_dict(), indent=2))
+        return 0
+    metric_set = session.driver.factory.metric_set
+    frontier = result.frontier
+    non_dominated = pareto_filter([summary.cost for summary in frontier])
     print(f"final frontier: {len(frontier)} stored, {len(non_dominated)} non-dominated")
     for cost in sorted(non_dominated, key=lambda c: c[0])[: args.show]:
         described = ", ".join(
@@ -132,28 +169,49 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Compare IAMA against the baselines on one block."""
-    config = _resolve_config(args.scale)
-    query = _find_query(args.query)
+    """Compare planners on one workload (default: IAMA vs the paper baselines)."""
+    registry = planner_registry()
+    names = args.algorithm or [a.value for a in AlgorithmName]
+    canonical: List[str] = []
+    for name in names:
+        try:
+            resolved = registry.get(name).name
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+        if resolved not in canonical:  # aliases of one planner run (and print) once
+            canonical.append(resolved)
+    results = {name: _open_session(args, name).run() for name in canonical}
+    if args.json:
+        print(
+            json_module.dumps(
+                [results[name].to_dict() for name in canonical], indent=2
+            )
+        )
+        return 0
     precision = MODERATE_PRECISION if args.precision == "moderate" else FINE_PRECISION
-    series = run_all_algorithms(query, config, args.levels, precision)
+    first = results[canonical[0]]
     print(
-        f"{query.name}: {args.levels} resolution levels, "
+        f"{first.query_name}: {args.levels} resolution levels, "
         f"target precision {precision.target_precision}"
     )
     print(f"{'algorithm':>22} {'avg (s)':>10} {'max (s)':>10} {'plans':>8} {'frontier':>9}")
-    for algorithm in AlgorithmName:
-        entry = series[algorithm]
+    for name in canonical:
+        result = results[name]
+        durations = result.durations_seconds or [0.0]
+        label = _PLANNER_LABELS.get(name, name)
         print(
-            f"{algorithm.label:>22} {entry.average_seconds:>10.4f} "
-            f"{entry.maximum_seconds:>10.4f} {entry.plans_generated:>8d} "
-            f"{entry.frontier_size:>9d}"
+            f"{label:>22} {sum(durations) / len(durations):>10.4f} "
+            f"{max(durations):>10.4f} {result.plans_generated:>8d} "
+            f"{result.frontier_size:>9d}"
         )
-    iama = series[AlgorithmName.INCREMENTAL_ANYTIME]
-    memo = series[AlgorithmName.MEMORYLESS]
-    if iama.average_seconds > 0:
-        print(f"\nIAMA is {memo.average_seconds / iama.average_seconds:.2f}x faster than "
-              "the memoryless baseline on average invocation time.")
+    if "iama" in results and "memoryless" in results:
+        iama = results["iama"].durations_seconds
+        memo = results["memoryless"].durations_seconds
+        iama_avg = sum(iama) / len(iama) if iama else 0.0
+        memo_avg = sum(memo) / len(memo) if memo else 0.0
+        if iama_avg > 0:
+            print(f"\nIAMA is {memo_avg / iama_avg:.2f}x faster than "
+                  "the memoryless baseline on average invocation time.")
     return 0
 
 
@@ -248,19 +306,51 @@ def build_parser() -> argparse.ArgumentParser:
     workload = subparsers.add_parser("workload", help="list the TPC-H join blocks")
     workload.set_defaults(handler=cmd_workload)
 
-    optimize = subparsers.add_parser("optimize", help="anytime sweep on one block")
-    optimize.add_argument("query", help="block name, e.g. tpch_q03 or q03")
+    planners = subparsers.add_parser(
+        "planners", help="list the registered planners of the unified API"
+    )
+    planners.set_defaults(handler=cmd_planners)
+
+    workload_help = (
+        "workload: a TPC-H block (tpch_q03 or q03) or a generated spec "
+        "gen:<topology>:<tables>:<seed>, e.g. gen:star:6:42"
+    )
+
+    optimize = subparsers.add_parser("optimize", help="anytime sweep on one workload")
+    optimize.add_argument("query", help=workload_help)
+    optimize.add_argument(
+        "--algorithm",
+        default="iama",
+        help="registered planner name (see the 'planners' command)",
+    )
     optimize.add_argument("--levels", type=int, default=5)
     optimize.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
     optimize.add_argument("--scale", choices=SCALE_CHOICES, default=None)
     optimize.add_argument("--show", type=int, default=10, help="frontier points to print")
+    optimize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned OptimizationResult JSON payload",
+    )
     optimize.set_defaults(handler=cmd_optimize)
 
-    compare = subparsers.add_parser("compare", help="IAMA vs baselines on one block")
-    compare.add_argument("query")
+    compare = subparsers.add_parser("compare", help="compare planners on one workload")
+    compare.add_argument("query", help=workload_help)
+    compare.add_argument(
+        "--algorithm",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="planner to compare (repeatable; default: IAMA vs the paper baselines)",
+    )
     compare.add_argument("--levels", type=int, default=5)
     compare.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
     compare.add_argument("--scale", choices=SCALE_CHOICES, default=None)
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one OptimizationResult JSON payload per planner",
+    )
     compare.set_defaults(handler=cmd_compare)
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")

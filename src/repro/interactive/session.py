@@ -5,15 +5,30 @@ schedule and a user model into the anytime control loop and records a timeline
 of frontier snapshots -- the programmatic equivalent of watching the Figure-1
 interface refine its display while the user drags bounds around and eventually
 clicks a plan.
+
+Since the unified planner API landed, the Algorithm-1 loop itself lives in
+:class:`repro.api.session.PlannerSession`; this class is a thin
+registry-backed consumer that opens an ``iama`` session, feeds each streamed
+frontier update to the user model, steers the session with the user's
+reaction, and keeps the legacy timeline/snapshot recording on top.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.core.control import AnytimeMOQO, InvocationResult, UserAction
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.schema import FrontierUpdate
+    from repro.api.session import PlannerSession
+
+from repro.core.control import (
+    Continue,
+    FrontierPoint,
+    InvocationResult,
+    UserAction,
+)
 from repro.core.resolution import ResolutionSchedule
 from repro.costs.pareto import hypervolume_2d
 from repro.costs.vector import CostVector
@@ -53,13 +68,22 @@ class InteractiveSession:
         default_bounds: Optional[CostVector] = None,
         **optimizer_options,
     ):
+        # Imported lazily: repro.api resolves its configuration through the
+        # bench package, whose experiment definitions import this module.
+        from repro.api.registry import planner_registry
+
         self._factory = factory
         self._user = user or UserModel()
-        self._loop = AnytimeMOQO(
-            query,
-            factory,
-            schedule,
-            default_bounds=default_bounds,
+        # ``continuous``: the interactive loop follows Algorithm 1 literally
+        # and keeps refining at the maximal resolution until the user selects
+        # a plan or the caller's iteration budget runs out.
+        self._session = planner_registry().open(
+            "iama",
+            query=query,
+            factory=factory,
+            schedule=schedule,
+            bounds=default_bounds,
+            continuous=True,
             **optimizer_options,
         )
         self._timeline: List[SessionTimelineEntry] = []
@@ -67,9 +91,9 @@ class InteractiveSession:
 
     # ------------------------------------------------------------------
     @property
-    def loop(self) -> AnytimeMOQO:
-        """The underlying control loop (for inspection)."""
-        return self._loop
+    def loop(self) -> "PlannerSession":
+        """The underlying planner session (for inspection)."""
+        return self._session
 
     @property
     def timeline(self) -> List[SessionTimelineEntry]:
@@ -78,26 +102,35 @@ class InteractiveSession:
 
     @property
     def selected_plan(self) -> Optional[Plan]:
-        return self._loop.selected_plan
+        return self._session.selected_plan
 
     # ------------------------------------------------------------------
     def run(self, max_iterations: int = 50) -> Optional[Plan]:
         """Run until the user selects a plan or the iteration budget is spent."""
         self._started = time.perf_counter()
-
-        def reacting_user(result: InvocationResult) -> UserAction:
+        performed = 0
+        while performed < max_iterations and not self._session.finished:
+            update = self._session.advance()
+            result = self._legacy_result(update)
             action = self._user.react(result)
             self._record(result, action)
-            return action
-
-        return self._loop.run(user=reacting_user, max_iterations=max_iterations)
+            self._session.apply(action)
+            performed += 1
+        return self._session.selected_plan
 
     def step(self) -> SessionTimelineEntry:
-        """Run a single iteration and record it."""
+        """Run a single iteration and record it.
+
+        As in the original driver, the user model's reaction is recorded in
+        the timeline but the loop itself refines the resolution (the caller
+        decides when to steer for real).
+        """
         if self._started is None:
             self._started = time.perf_counter()
-        result = self._loop.step()
+        update = self._session.advance()
+        result = self._legacy_result(update)
         entry = self._record(result, self._user.react(result))
+        self._session.apply(Continue())
         return entry
 
     # ------------------------------------------------------------------
@@ -129,6 +162,16 @@ class InteractiveSession:
         return series
 
     # ------------------------------------------------------------------
+    def _legacy_result(self, update: "FrontierUpdate") -> InvocationResult:
+        """The core-layer invocation result the user models were written for."""
+        return InvocationResult(
+            iteration=update.invocation.index,
+            resolution=update.invocation.resolution,
+            bounds=update.invocation.bounds,
+            report=update.native,
+            frontier=[FrontierPoint(plan=p, cost=p.cost) for p in update.plans],
+        )
+
     def _record(
         self, result: InvocationResult, action: UserAction
     ) -> SessionTimelineEntry:

@@ -46,6 +46,27 @@ BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 BACKEND_NAMES = ("auto", "python", "numpy")
 
 
+def _normalize(name: str) -> str:
+    """Canonical form of a backend name; rejects anything not in BACKEND_NAMES.
+
+    Both resolution paths (the ``REPRO_KERNEL_BACKEND`` environment variable
+    and :func:`set_backend`) funnel through this check, so an unknown name
+    always fails loudly with the list of valid choices instead of silently
+    falling back to a default.
+    """
+    if not isinstance(name, str):
+        raise ValueError(
+            f"kernel backend name must be a string, got {type(name).__name__}; "
+            f"expected one of {BACKEND_NAMES}"
+        )
+    normalized = name.strip().lower()
+    if normalized not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return normalized
+
+
 def _resolve(name: str) -> ModuleType:
     """Import and return the backend module for ``name`` (not ``auto``)."""
     if name == "python":
@@ -70,12 +91,19 @@ def _auto() -> ModuleType:
 
 
 def _initial_backend() -> ModuleType:
-    requested = os.environ.get(BACKEND_ENV_VAR, "auto").strip().lower()
-    if requested in ("", "auto"):
+    requested = os.environ.get(BACKEND_ENV_VAR, "auto")
+    if requested.strip() == "":
+        # An unset or empty variable means "no preference", i.e. auto.
+        return _auto()
+    try:
+        normalized = _normalize(requested)
+    except ValueError as exc:
+        raise ValueError(f"{BACKEND_ENV_VAR}: {exc}") from None
+    if normalized == "auto":
         return _auto()
     # An explicit request must not be silently downgraded: if numpy is asked
     # for but missing, the ImportError surfaces at import time.
-    return _resolve(requested)
+    return _resolve(normalized)
 
 
 #: The active backend module.  Read it through this attribute on every call
@@ -89,10 +117,16 @@ def backend_name() -> str:
 
 
 def set_backend(name: str) -> str:
-    """Switch the active backend; returns the name of the previous one."""
+    """Switch the active backend; returns the name of the previous one.
+
+    ``name`` must be one of :data:`BACKEND_NAMES` (case-insensitive,
+    surrounding whitespace ignored); anything else raises ``ValueError``
+    without touching the active backend.
+    """
     global ops
+    normalized = _normalize(name)
     previous = ops.NAME
-    ops = _auto() if name == "auto" else _resolve(name)
+    ops = _auto() if normalized == "auto" else _resolve(normalized)
     return previous
 
 

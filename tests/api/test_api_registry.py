@@ -1,0 +1,127 @@
+"""Tests for the planner registry: built-ins, aliases, plugins."""
+
+import pytest
+
+from repro.api.planners import DriverStep, PlannerDriver
+from repro.api.registry import (
+    PlannerRegistry,
+    planner_registry,
+    register_planner,
+)
+from repro.core.resolution import ResolutionSchedule
+from tests.conftest import build_chain_query, build_factory
+
+BUILTINS = ("exhaustive", "iama", "memoryless", "oneshot", "single_objective")
+
+
+class TestDefaultRegistry:
+    def test_all_builtin_planners_are_registered(self):
+        assert tuple(planner_registry().names()) == BUILTINS
+
+    def test_bench_algorithm_values_resolve_as_aliases(self):
+        from repro.bench.runner import AlgorithmName
+
+        registry = planner_registry()
+        assert registry.get("incremental_anytime").name == "iama"
+        assert registry.get("one_shot").name == "oneshot"
+        for algorithm in AlgorithmName:
+            assert algorithm.value in registry
+            assert algorithm.planner in BUILTINS
+
+    def test_lookup_normalizes_separators_and_case(self):
+        registry = planner_registry()
+        assert registry.get("Single-Objective").name == "single_objective"
+        assert registry.get(" IAMA ").name == "iama"
+
+    def test_unknown_planner_lists_the_registered_names(self):
+        with pytest.raises(KeyError, match="iama.*memoryless.*oneshot"):
+            planner_registry().get("quantum")
+
+    def test_describe_returns_summaries(self):
+        described = planner_registry().describe()
+        assert set(described) == set(BUILTINS)
+        assert all(described[name] for name in BUILTINS)
+
+
+class StubDriver(PlannerDriver):
+    """A degenerate planner: empty frontier, zero-cost invocations."""
+
+    name = "stub"
+    refines = False
+
+    def invoke(self, bounds, resolution):
+        return DriverStep(
+            alpha=1.0, duration_seconds=0.0, plans=[], native=None
+        )
+
+
+class TestPluginRegistration:
+    def make_registry(self):
+        registry = PlannerRegistry()
+        registry.register("stub", StubDriver, summary="degenerate")
+        return registry
+
+    def test_registered_plugin_opens_sessions(self):
+        registry = self.make_registry()
+        query = build_chain_query(("customers", "orders"))
+        factory = build_factory(query)
+        session = registry.open(
+            "stub", query=query, factory=factory,
+            schedule=ResolutionSchedule(levels=1, target_precision=1.01),
+        )
+        result = session.run()
+        assert result.algorithm == "stub"
+        assert result.finish_reason == "exhausted"
+        assert result.frontier_size == 0
+
+    def test_duplicate_names_are_rejected_without_replace(self):
+        registry = self.make_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("stub", StubDriver)
+        registry.register("stub", StubDriver, replace=True)  # explicit override
+
+    def test_invalid_names_are_rejected(self):
+        registry = PlannerRegistry()
+        with pytest.raises(ValueError, match="invalid planner name"):
+            registry.register("", StubDriver)
+        with pytest.raises(ValueError, match="invalid planner name"):
+            registry.register("has space", StubDriver)
+
+    def test_decorator_registers_into_a_custom_registry(self):
+        registry = PlannerRegistry()
+
+        @register_planner("stub2", summary="also degenerate", registry=registry)
+        class Another(StubDriver):
+            name = "stub2"
+
+        assert registry.get("stub2").factory is Another
+        # The default registry is untouched.
+        assert "stub2" not in planner_registry()
+
+    def test_aliases_resolve_to_the_canonical_planner(self):
+        registry = PlannerRegistry()
+        registry.register("stub", StubDriver, aliases=("degenerate",))
+        assert registry.get("degenerate").name == "stub"
+        assert registry.names() == ["stub"]
+        assert registry.names(include_aliases=True) == ["degenerate", "stub"]
+
+    def test_registration_is_canonicalized_like_lookup(self):
+        # A mixed-case or dash-separated registration must be reachable.
+        registry = PlannerRegistry()
+        registry.register("My-Algo", StubDriver, aliases=("My-Alias",))
+        assert registry.get("my_algo").factory is StubDriver
+        assert registry.get("MY-ALIAS").name == "my_algo"
+        assert registry.names() == ["my_algo"]
+
+    def test_replace_promotes_an_alias_to_a_planner(self):
+        # Replacing a name that was an alias must drop the stale alias entry;
+        # otherwise get() would keep resolving to the old canonical planner.
+        registry = PlannerRegistry()
+        registry.register("stub", StubDriver, aliases=("degenerate",))
+
+        class Promoted(StubDriver):
+            name = "degenerate"
+
+        registry.register("degenerate", Promoted, replace=True)
+        assert registry.get("degenerate").factory is Promoted
+        assert registry.get("stub").factory is StubDriver

@@ -144,3 +144,29 @@ class TestAnytimeBehaviour:
     def test_select_plan_resolve_empty_frontier(self):
         action = SelectPlan(chooser=lambda frontier: frontier[0])
         assert action.resolve([]) is None
+
+    def test_select_plan_concrete_plan_takes_precedence_over_chooser(self):
+        loop, _ = make_loop()
+        result = loop.step()
+        plans = [p.plan for p in result.frontier]
+        assert len(plans) >= 2
+        action = SelectPlan(plan=plans[-1], chooser=lambda frontier: frontier[0])
+        assert action.resolve(plans) is plans[-1]
+
+    def test_select_plan_chooser_receives_the_visualized_frontier(self):
+        loop, _ = make_loop()
+        result = loop.step()
+        plans = [p.plan for p in result.frontier]
+        seen = []
+
+        def chooser(frontier):
+            seen.extend(frontier)
+            return frontier[0]
+
+        assert SelectPlan(chooser=chooser).resolve(plans) is plans[0]
+        assert seen == plans
+
+    def test_select_plan_without_plan_or_chooser_resolves_to_none(self):
+        loop, _ = make_loop()
+        result = loop.step()
+        assert SelectPlan().resolve([p.plan for p in result.frontier]) is None

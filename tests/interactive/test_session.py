@@ -82,7 +82,60 @@ class TestSession:
         session, _ = make_session(PassiveUser())
         assert session.hypervolume_series() == []
 
+    def test_hypervolume_series_respects_the_selected_metrics(self):
+        session, _ = make_session(PassiveUser(), levels=3)
+        session.run(max_iterations=3)
+        # Projecting onto (time, cores) and (cores, time) measures the same
+        # dominated area, just with the axes swapped.
+        forward = session.hypervolume_series(0, 1)
+        swapped = session.hypervolume_series(1, 0)
+        assert len(forward) == len(swapped) == 3
+        for a, b in zip(forward, swapped):
+            assert a == pytest.approx(b)
+        # A different metric pair measures a genuinely different area.
+        other = session.hypervolume_series(0, 2)
+        assert len(other) == 3
+
+    def test_hypervolume_reference_point_covers_the_whole_timeline(self):
+        # The reference point is the per-metric maximum over *all* iterations
+        # (plus 5%), so every series entry is a finite, non-negative area.
+        session, _ = make_session(
+            BoundTighteningUser(
+                build_factory(build_chain_query()).metric_set,
+                "execution_time",
+                tighten_every=2,
+            ),
+            levels=4,
+        )
+        session.run(max_iterations=4)
+        series = session.hypervolume_series(0, 1)
+        assert len(series) == len(session.timeline)
+        assert all(value >= 0.0 for value in series)
+
+    def test_plan_selecting_user_selection_comes_from_the_frontier(self):
+        metric_set = build_factory(build_chain_query()).metric_set
+        chooser = weighted_sum_chooser(metric_set, {"execution_time": 1.0})
+        session, _ = make_session(PlanSelectingUser(chooser, min_resolution=1), levels=4)
+        selected = session.run(max_iterations=10)
+        assert selected is not None
+        final_costs = list(session.timeline[-1].snapshot.costs)
+        assert selected.cost in final_costs
+        # The weighted-sum chooser picked the cheapest execution time.
+        time_index = metric_set.index_of("execution_time")
+        assert selected.cost[time_index] == min(c[time_index] for c in final_costs)
+
     def test_loop_is_accessible_for_inspection(self):
         session, _ = make_session(PassiveUser(), levels=2)
         session.run(max_iterations=2)
         assert session.loop.iteration == 2
+
+    def test_run_keeps_iterating_at_max_resolution(self):
+        # Algorithm 1 never stops on its own: with a passive user the loop
+        # keeps invoking at the maximal resolution until max_iterations.
+        session, _ = make_session(PassiveUser(), levels=2)
+        session.run(max_iterations=5)
+        assert len(session.timeline) == 5
+        assert [entry.resolution for entry in session.timeline] == [0, 1, 1, 1, 1]
+        # A late-reacting user model therefore still gets its turn.
+        session.step()
+        assert len(session.timeline) == 6

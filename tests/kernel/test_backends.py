@@ -125,7 +125,66 @@ class TestBackendSelection:
         with pytest.raises(ValueError):
             kernel.set_backend("fortran")
 
+    def test_rejection_lists_the_valid_names_and_keeps_the_backend(self):
+        original = kernel.backend_name()
+        with pytest.raises(ValueError, match=r"auto.*python.*numpy"):
+            kernel.set_backend("fortran")
+        assert kernel.backend_name() == original
+
+    def test_non_string_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="must be a string"):
+            kernel.set_backend(None)
+
+    def test_backend_names_are_normalized(self):
+        # set_backend accepts the same spellings as the environment variable.
+        original = kernel.backend_name()
+        try:
+            previous = kernel.set_backend("  Python\n")
+            assert previous == original
+            assert kernel.backend_name() == "python"
+        finally:
+            kernel.set_backend(original)
+
     def test_auto_prefers_numpy_when_available(self):
         with kernel.use_backend("auto"):
             expected = "numpy" if HAVE_NUMPY else "python"
             assert kernel.backend_name() == expected
+
+
+class TestEnvironmentResolution:
+    """The ``REPRO_KERNEL_BACKEND`` resolution path must never fall through
+    silently: unknown values fail at import time, naming the variable and the
+    valid choices."""
+
+    def test_unknown_value_is_rejected_with_candidates(self, monkeypatch):
+        monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match=kernel.BACKEND_ENV_VAR):
+            kernel._initial_backend()
+        with pytest.raises(ValueError, match=r"auto.*python.*numpy"):
+            kernel._initial_backend()
+
+    def test_case_and_whitespace_are_normalized(self, monkeypatch):
+        monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "  PYTHON ")
+        assert kernel._initial_backend().NAME == "python"
+
+    def test_empty_value_means_auto(self, monkeypatch):
+        monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "   ")
+        expected = "numpy" if HAVE_NUMPY else "python"
+        assert kernel._initial_backend().NAME == expected
+
+    def test_unknown_value_fails_at_import_time(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-c", "import repro.kernel"],
+            capture_output=True,
+            text=True,
+            env={
+                **__import__("os").environ,
+                kernel.BACKEND_ENV_VAR: "fortran",
+            },
+        )
+        assert completed.returncode != 0
+        assert kernel.BACKEND_ENV_VAR in completed.stderr
+        assert "fortran" in completed.stderr

@@ -1,8 +1,11 @@
 """Tests for the command-line interface (:mod:`repro.cli`)."""
 
+import json
+
 import pytest
 
 from repro import cli
+from repro.api import OptimizationResult, planner_registry
 
 
 class TestWorkloadCommand:
@@ -30,6 +33,62 @@ class TestOptimizeCommand:
         with pytest.raises(SystemExit, match="unknown query"):
             cli.main(["optimize", "q99", "--scale", "smoke"])
 
+    def test_generated_workload_spec(self, capsys):
+        assert (
+            cli.main(["optimize", "gen:star:4:42", "--levels", "2", "--scale", "tiny"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "4 tables" in output
+        assert "final frontier" in output
+
+    def test_malformed_generated_spec_fails_with_hint(self):
+        with pytest.raises(SystemExit, match="gen:<topology>:<tables>:<seed>"):
+            cli.main(["optimize", "gen:star:oops", "--scale", "tiny"])
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["iama", "memoryless", "oneshot", "exhaustive", "single_objective"],
+    )
+    def test_every_registered_planner_is_selectable(self, capsys, algorithm):
+        argv = [
+            "optimize", "gen:chain:3:0",
+            "--algorithm", algorithm,
+            "--levels", "2",
+            "--scale", "tiny",
+        ]
+        assert cli.main(argv) == 0
+        output = capsys.readouterr().out
+        assert f"algorithm {algorithm}" in output
+
+    def test_unknown_algorithm_fails_with_candidates(self):
+        with pytest.raises(SystemExit, match="unknown planner"):
+            cli.main(["optimize", "q14", "--algorithm", "quantum", "--scale", "tiny"])
+
+    def test_json_output_round_trips_through_the_schema(self, capsys):
+        argv = [
+            "optimize", "gen:chain:3:1",
+            "--algorithm", "oneshot",
+            "--levels", "2",
+            "--scale", "tiny",
+            "--json",
+        ]
+        assert cli.main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        result = OptimizationResult.from_dict(payload)
+        assert result.to_dict() == payload
+        assert result.algorithm == "oneshot"
+        assert result.finish_reason == "exhausted"
+        assert result.frontier_size == len(payload["frontier"])
+
+
+class TestPlannersCommand:
+    def test_lists_every_registered_planner(self, capsys):
+        assert cli.main(["planners"]) == 0
+        output = capsys.readouterr().out
+        for name in planner_registry().names():
+            assert name in output
+
 
 class TestCompareCommand:
     def test_compares_all_algorithms(self, capsys):
@@ -39,6 +98,52 @@ class TestCompareCommand:
         assert "Memoryless" in output
         assert "One-shot" in output
         assert "faster than" in output
+
+    def test_compare_accepts_planner_subset_and_gen_specs(self, capsys):
+        argv = [
+            "compare", "gen:cycle:3:2",
+            "--algorithm", "iama",
+            "--algorithm", "exhaustive",
+            "--levels", "2",
+            "--scale", "tiny",
+        ]
+        assert cli.main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Incremental anytime" in output
+        assert "exhaustive" in output
+        assert "Memoryless" not in output
+
+    def test_compare_json_emits_one_result_per_planner(self, capsys):
+        argv = [
+            "compare", "gen:chain:3:0",
+            "--algorithm", "iama",
+            "--algorithm", "oneshot",
+            "--levels", "2",
+            "--scale", "tiny",
+            "--json",
+        ]
+        assert cli.main(argv) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert [p["algorithm"] for p in payloads] == ["iama", "oneshot"]
+        for payload in payloads:
+            assert OptimizationResult.from_dict(payload).to_dict() == payload
+
+    def test_compare_deduplicates_aliases_of_one_planner(self, capsys):
+        argv = [
+            "compare", "gen:chain:3:0",
+            "--algorithm", "iama",
+            "--algorithm", "incremental_anytime",
+            "--levels", "2",
+            "--scale", "tiny",
+            "--json",
+        ]
+        assert cli.main(argv) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert [p["algorithm"] for p in payloads] == ["iama"]
+
+    def test_compare_unknown_algorithm_fails(self):
+        with pytest.raises(SystemExit, match="unknown planner"):
+            cli.main(["compare", "q14", "--algorithm", "quantum", "--scale", "tiny"])
 
 
 class TestExperimentCommand:
