@@ -11,7 +11,15 @@ uses as baselines.  Differences to IAMA's incremental optimizer:
 
 The plan search space (operators, cost model, cardinalities, cross-product
 policy, interesting-order handling) is identical to IAMA's because both go
-through the same :class:`~repro.plans.factory.PlanFactory`.
+through the same :class:`~repro.plans.factory.PlanFactory`.  Each run owns a
+private scratch :class:`~repro.plans.arena.PlanArena`: the DP regenerates its
+whole plan population per invocation, so pinning those plans into the
+factory's per-query arena would leak one full search space per run.  Join
+combinations are enumerated as (left id, right id, operator) triples and
+costed split by split through the same batched
+:meth:`~repro.plans.factory.PlanFactory.combine_block` kernel path as the
+incremental optimizer, then inserted in generation order -- the population is
+identical to the plan-at-a-time formulation.
 
 By default the DP uses the *same pruning semantics as IAMA* -- a plan is kept
 unless an existing plan alpha-approximates it, and plans that later become
@@ -32,20 +40,20 @@ import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.costs.dominance import approximately_dominates, dominates, within_bounds
 from repro.costs.matrix import CostBlock
 from repro.costs.vector import CostVector
-from repro.core.pruning import order_covers
+from repro.plans.arena import PlanArena
 from repro.plans.factory import PlanFactory
 from repro.plans.plan import Plan
 from repro.plans.query import Query, proper_splits, table_subsets
 
 TableSet = FrozenSet[str]
 
-#: Plans of one table set plus the cost matrix the kernel filters.  The same
-#: batched dominance kernel backs IAMA's plan index (:mod:`repro.core.index`),
-#: so baseline-vs-IAMA comparisons measure the algorithms, not their loops.
-_PlanBlock = CostBlock[Plan]
+#: Plan ids of one table set plus the cost matrix the kernel filters.  The
+#: same batched dominance kernel backs IAMA's plan index
+#: (:mod:`repro.core.index`), so baseline-vs-IAMA comparisons measure the
+#: algorithms, not their loops.
+_PlanBlock = CostBlock[int]
 
 
 @dataclass(frozen=True)
@@ -145,18 +153,27 @@ class ApproximateParetoDP:
         started = time.perf_counter()
         plans_generated = 0
         dims = self._factory.metric_set.dimensions
+        if len(bounds) != dims:
+            raise ValueError(
+                f"bounds have {len(bounds)} components but the cost model uses "
+                f"{dims} metrics"
+            )
+        arena = PlanArena(dims)
+        bounds_row = tuple(bounds)
         blocks: Dict[TableSet, _PlanBlock] = {}
 
         # Base case: scan plans per table.
         for table in sorted(self._query.tables):
             key = frozenset({table})
             blocks[key] = _PlanBlock(dims)
-            for plan in self._factory.scan_plans(table):
+            for plan_id in self._factory.scan_block(table, arena):
                 plans_generated += 1
-                self._insert(blocks[key], plan, bounds, alpha)
+                self._insert(blocks[key], arena, plan_id, bounds_row, alpha)
 
-        # Recursive case: joins over subsets of increasing cardinality.
+        # Recursive case: joins over subsets of increasing cardinality,
+        # enumerated as id triples and costed in one block per split.
         join_operators = self._factory.join_operators()
+        operator_range = range(len(join_operators))
         for subset, splits in self._plan_order:
             target = blocks.setdefault(subset, _PlanBlock(dims))
             for left_tables, right_tables in splits:
@@ -164,19 +181,27 @@ class ApproximateParetoDP:
                 right_block = blocks.get(right_tables)
                 if left_block is None or right_block is None:
                     continue
-                left_plans = left_block.live_items()
-                right_plans = right_block.live_items()
-                if not left_plans or not right_plans:
+                left_ids = left_block.live_items()
+                right_ids = right_block.live_items()
+                if not left_ids or not right_ids:
                     continue
-                for left in left_plans:
-                    for right in right_plans:
-                        for operator in join_operators:
-                            plan = self._factory.join_plan(left, right, operator)
-                            plans_generated += 1
-                            self._insert(target, plan, bounds, alpha)
+                triples = [
+                    (left_id, right_id, operator_index)
+                    for left_id in left_ids
+                    for right_id in right_ids
+                    for operator_index in operator_range
+                ]
+                plan_ids = self._factory.combine_block(
+                    left_tables, right_tables, triples, join_operators, arena
+                )
+                plans_generated += len(plan_ids)
+                for plan_id in plan_ids:
+                    self._insert(target, arena, plan_id, bounds_row, alpha)
 
         duration = time.perf_counter() - started
-        plan_sets = {key: block.live_items() for key, block in blocks.items()}
+        plan_sets = {
+            key: arena.plans(block.live_items()) for key, block in blocks.items()
+        }
         self.last_plan_sets = plan_sets
         frontier = plan_sets.get(self._query.tables, [])
         plans_kept = sum(len(plans) for plans in plan_sets.values())
@@ -195,31 +220,43 @@ class ApproximateParetoDP:
 
     # ------------------------------------------------------------------
     def _insert(
-        self, block: _PlanBlock, plan: Plan, bounds: CostVector, alpha: float
+        self,
+        block: _PlanBlock,
+        arena: PlanArena,
+        plan_id: int,
+        bounds_row: Tuple[float, ...],
+        alpha: float,
     ) -> bool:
         """Insert with approximate pruning; optionally evict dominated incumbents.
 
         The existence check ("some incumbent dominates the scaled cost") and
         the eviction scan ("incumbents the new plan dominates") are single
         batched kernel calls over the block's cost matrix; the interesting-
-        order compatibility is verified per surviving hit only.
+        order compatibility is verified per surviving hit only, as an
+        interned-order-id comparison.
         """
-        if not within_bounds(plan.cost, bounds):
-            return False
-        scaled = plan.cost.scaled(alpha)
+        cost_row = arena.cost_row(plan_id)
+        for value, bound in zip(cost_row, bounds_row):
+            if value > bound:
+                return False
+        order_id = arena.order_id_of(plan_id)
+        scaled = tuple(value * alpha for value in cost_row)
         for slot in block.matrix.dominated_slots(scaled):
-            existing = block.items[slot]
-            if self._respect_orders and not order_covers(existing, plan):
-                continue
+            if self._respect_orders and order_id != 0:
+                # Only plans producing the same tuple order may approximate
+                # this one.
+                if arena.order_id_of(block.items[slot]) != order_id:
+                    continue
             return False
         if self._keep_dominated:
-            block.append(plan.cost, plan)
+            block.append(cost_row, plan_id)
             return True
-        for slot in block.matrix.dominated_by_slots(plan.cost):
-            existing = block.items[slot]
-            if self._respect_orders and not order_covers(plan, existing):
-                continue
+        for slot in block.matrix.dominated_by_slots(cost_row):
+            existing_order = arena.order_id_of(block.items[slot])
+            if self._respect_orders and existing_order != 0:
+                if order_id != existing_order:
+                    continue
             block.kill(slot)
         block.compact_if_needed()
-        block.append(plan.cost, plan)
+        block.append(cost_row, plan_id)
         return True

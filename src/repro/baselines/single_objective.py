@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.costs.vector import CostVector
+from repro.plans.arena import PlanArena
 from repro.plans.factory import PlanFactory
 from repro.plans.plan import Plan
 from repro.plans.query import Query, proper_splits, table_subsets
@@ -76,11 +77,15 @@ class SingleObjectiveOptimizer:
         started = time.perf_counter()
         plans_generated = 0
         best: Dict[TableSet, Dict[Optional[str], Plan]] = {}
+        # From-scratch DP: regenerated plans live in a per-run scratch arena
+        # (joins follow their operands' arena automatically), so repeated runs
+        # don't pile dead plans into the factory's per-query arena.
+        arena = PlanArena(self._factory.metric_set.dimensions)
 
         for table in sorted(self._query.tables):
             key = frozenset({table})
             best[key] = {}
-            for plan in self._factory.scan_plans(table):
+            for plan in self._factory.scan_plans(table, arena=arena):
                 plans_generated += 1
                 self._keep_if_better(best[key], plan)
 

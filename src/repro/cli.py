@@ -160,6 +160,13 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     frontier = result.frontier
     non_dominated = pareto_filter([summary.cost for summary in frontier])
     print(f"final frontier: {len(frontier)} stored, {len(non_dominated)} non-dominated")
+    details = result.invocations[-1].details if result.invocations else {}
+    if "arena_plans_live" in details:
+        print(
+            f"plan arena: {details['arena_plans_live']} live plans, "
+            f"{details['arena_plans_tombstoned']} tombstoned, "
+            f"~{details['arena_peak_bytes'] / 1024.0:.1f} KiB peak"
+        )
     for cost in sorted(non_dominated, key=lambda c: c[0])[: args.show]:
         described = ", ".join(
             f"{name}={value:.4g}" for name, value in metric_set.describe(cost).items()

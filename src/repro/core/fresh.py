@@ -42,18 +42,40 @@ class FreshnessCounters:
 
 
 class FreshnessRegistry:
-    """Hash-table implementation of the ``IsFresh`` predicate."""
+    """Hash-table implementation of the ``IsFresh`` predicate.
+
+    Signatures are *integer triples* ``(min_id, max_id, operator_key)``: plan
+    ids are the arena ids of the operands (canonicalized so ``(p1, p2)`` and
+    ``(p2, p1)`` coincide) and ``operator_key`` is a small integer the
+    registry interns per distinct ``(algorithm, parallelism)`` operator
+    variant.  The object-level API (:meth:`register`) and the id-level hot
+    path (:meth:`register_ids`) share one signature set, so they are
+    interchangeable.
+    """
 
     def __init__(self) -> None:
-        self._seen: Set[Tuple[int, int, str, int]] = set()
+        self._seen: Set[Tuple[int, int, int]] = set()
+        self._operator_keys: dict = {}
         self.counters = FreshnessCounters()
 
     def __len__(self) -> int:
         return len(self._seen)
 
+    def operator_key(self, operator: JoinOperator) -> int:
+        """The interned integer key of a join operator variant."""
+        variant = (operator.algorithm, operator.parallelism)
+        key = self._operator_keys.get(variant)
+        if key is None:
+            key = len(self._operator_keys)
+            self._operator_keys[variant] = key
+        return key
+
     def is_fresh(self, left: Plan, right: Plan, operator: JoinOperator) -> bool:
         """Whether the combination has not been registered yet (no side effect)."""
-        return plan_signature(left, right, operator) not in self._seen
+        return (
+            self._signature(left.plan_id, right.plan_id, self.operator_key(operator))
+            not in self._seen
+        )
 
     def register(self, left: Plan, right: Plan, operator: JoinOperator) -> bool:
         """Register the combination; return whether it was fresh.
@@ -61,7 +83,13 @@ class FreshnessRegistry:
         This is the operation used by the optimizer: check and mark in one
         step, so a combination can never be reported fresh twice.
         """
-        signature = plan_signature(left, right, operator)
+        return self.register_ids(
+            left.plan_id, right.plan_id, self.operator_key(operator)
+        )
+
+    def register_ids(self, left_id: int, right_id: int, operator_key: int) -> bool:
+        """Id-level :meth:`register`: check and mark one integer triple."""
+        signature = self._signature(left_id, right_id, operator_key)
         if signature in self._seen:
             self.counters.repeated_combinations += 1
             return False
@@ -69,9 +97,16 @@ class FreshnessRegistry:
         self.counters.fresh_combinations += 1
         return True
 
+    @staticmethod
+    def _signature(left_id: int, right_id: int, operator_key: int) -> Tuple[int, int, int]:
+        if left_id <= right_id:
+            return (left_id, right_id, operator_key)
+        return (right_id, left_id, operator_key)
+
     def clear(self) -> None:
         """Forget all registered combinations (used only by tests)."""
         self._seen.clear()
+        self._operator_keys.clear()
         self.counters = FreshnessCounters()
 
 
@@ -117,3 +152,39 @@ def fresh_pairs(
     for left in left_new:
         for right in right_new:
             yield left, right
+
+
+def fresh_id_pairs(
+    left_ids: Sequence[int],
+    right_ids: Sequence[int],
+    left_delta: Optional[Sequence[int]] = None,
+    right_delta: Optional[Sequence[int]] = None,
+) -> Iterator[Tuple[int, int]]:
+    """Id-level :func:`fresh_pairs`: the optimizer's arena hot path.
+
+    Identical enumeration order (Δ-new × old, old × Δ-new, Δ-new × Δ-new; or
+    the full cross product when a delta is unknown), but over plain plan ids,
+    so the Δ-set membership tests are integer set lookups.
+    """
+    if not left_ids or not right_ids:
+        return
+    if left_delta is None or right_delta is None:
+        for left_id in left_ids:
+            for right_id in right_ids:
+                yield left_id, right_id
+        return
+    left_delta_ids = set(left_delta)
+    right_delta_ids = set(right_delta)
+    left_old = [i for i in left_ids if i not in left_delta_ids]
+    right_old = [i for i in right_ids if i not in right_delta_ids]
+    left_new = [i for i in left_ids if i in left_delta_ids]
+    right_new = [i for i in right_ids if i in right_delta_ids]
+    for left_id in left_new:
+        for right_id in right_old:
+            yield left_id, right_id
+    for left_id in left_old:
+        for right_id in right_new:
+            yield left_id, right_id
+    for left_id in left_new:
+        for right_id in right_new:
+            yield left_id, right_id

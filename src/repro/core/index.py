@@ -21,6 +21,15 @@ compares *above* every finite bucket, so the bucket-skipping comparisons treat
 them as maximally expensive (they can never satisfy finite bounds) instead of
 accidentally ranking them below the cheapest plans.
 
+Since the arena refactor the index stores *arena plan ids*, not plan objects:
+each bucket is a :class:`~repro.costs.matrix.CostBlock` whose payloads are
+plain integers, and the arena reference (captured from the first inserted
+plan) turns ids back into canonical handles only at the object-API boundary
+(:meth:`retrieve`, :meth:`find_dominating`).  The id-level methods
+(:meth:`retrieve_ids`, :meth:`insert_id`, :meth:`find_dominating_id`) are the
+optimizer's hot path -- no handle materialization, interesting-order filters
+as integer comparisons.
+
 Each bucket stores its plans alongside a
 :class:`~repro.costs.matrix.CostMatrix` of their cost vectors, so the
 surviving buckets of a query are filtered with one batched kernel call each
@@ -29,7 +38,7 @@ tombstones the bucket slot and compacts lazily, preserving insertion order --
 retrieval therefore returns plans in exactly the order the scalar
 implementation did, which keeps frontiers byte-identical.
 
-The index never stores duplicate plan objects and supports removal, which the
+The index never stores duplicate plan ids and supports removal, which the
 candidate set needs (every retrieved candidate is deleted and re-pruned,
 Algorithm 2 lines 8-11).
 """
@@ -37,11 +46,13 @@ Algorithm 2 lines 8-11).
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.costs.matrix import CostBlock
 from repro.costs.vector import CostVector
+from repro.plans.arena import PlanArena
 from repro.plans.plan import Plan
 
 #: Bucket id of plans whose first cost component is ``+inf``.  ``math.inf``
@@ -60,8 +71,8 @@ class IndexedPlan:
     resolution: int
 
 
-#: One (resolution, cell) pair: the plans plus their cost matrix.
-_Bucket = CostBlock[Plan]
+#: One (resolution, cell) pair: the plan ids plus their cost matrix.
+_Bucket = CostBlock[int]
 
 
 class PlanIndex:
@@ -80,67 +91,124 @@ class PlanIndex:
             raise ValueError("cell_base must be greater than 1")
         self._cell_base = cell_base
         self._log_base = math.log(cell_base)
+        #: Arena that resolves the stored ids; captured on first insertion.
+        self._arena: Optional[PlanArena] = None
         # resolution level -> bucket id -> bucket (insertion-ordered dicts)
         self._levels: Dict[int, Dict[_BucketId, _Bucket]] = {}
+        # resolution level -> bucket ids in ascending order (the witness
+        # search scans buckets cheap-to-expensive; kept sorted incrementally
+        # so no per-query sort is needed)
+        self._sorted_ids: Dict[int, List[_BucketId]] = {}
         # plan id -> (resolution, bucket, slot) for O(1) removal bookkeeping
         self._locations: Dict[int, Tuple[int, _BucketId, int]] = {}
 
     # ------------------------------------------------------------------
     # Bucketing
     # ------------------------------------------------------------------
-    def _bucket_of(self, cost: CostVector) -> _BucketId:
-        first = cost[0]
+    def _bucket_of_first(self, first: float) -> _BucketId:
         if math.isinf(first):
             return INFINITE_BUCKET
         return int(math.log(first + 1.0) / self._log_base)
+
+    def _bucket_of(self, cost: Sequence[float]) -> _BucketId:
+        return self._bucket_of_first(cost[0])
+
+    def bucket_of(self, cost: Sequence[float]) -> _BucketId:
+        """Cell bucket id of a cost row (exposed for batch callers that
+        bucket a shared bound vector once per block)."""
+        return self._bucket_of_first(cost[0])
+
+    def _require_arena(self) -> PlanArena:
+        if self._arena is None:
+            raise ValueError("the index is empty; no arena captured yet")
+        return self._arena
+
+    def _adopt_arena(self, arena: PlanArena) -> None:
+        if self._arena is None:
+            self._arena = arena
+        elif self._arena is not arena:
+            raise ValueError(
+                "cannot mix plans from different arenas in one plan index"
+            )
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, plan: Plan, resolution: int) -> None:
         """Register ``plan`` for the given resolution level."""
+        self.insert_id(plan.plan_id, resolution, plan.arena)
+
+    def insert_id(
+        self,
+        plan_id: int,
+        resolution: int,
+        arena: Optional[PlanArena] = None,
+        cost_row: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Register the plan with the given arena id.
+
+        ``cost_row`` may carry the plan's already-gathered cost row (the
+        batched pruning path has it at hand), saving one arena read.
+        """
         if resolution < 0:
             raise ValueError("resolution must be non-negative")
-        if plan.plan_id in self._locations:
+        if arena is not None:
+            self._adopt_arena(arena)
+        owner = self._require_arena()
+        if plan_id in self._locations:
             raise ValueError(
-                f"plan {plan.plan_id} is already registered in this index"
+                f"plan {plan_id} is already registered in this index"
             )
-        bucket_id = self._bucket_of(plan.cost)
+        if cost_row is None:
+            cost_row = owner.cost_row(plan_id)
+        bucket_id = self._bucket_of(cost_row)
         level = self._levels.setdefault(resolution, {})
         bucket = level.get(bucket_id)
         if bucket is None:
-            bucket = _Bucket(plan.cost.dimensions)
+            bucket = _Bucket(owner.dimensions)
             level[bucket_id] = bucket
-        slot = bucket.append(plan.cost, plan)
-        self._locations[plan.plan_id] = (resolution, bucket_id, slot)
+            insort(self._sorted_ids.setdefault(resolution, []), bucket_id)
+        slot = bucket.append(cost_row, plan_id)
+        self._locations[plan_id] = (resolution, bucket_id, slot)
 
     def remove(self, plan: Plan) -> None:
         """Remove a previously registered plan."""
-        location = self._locations.pop(plan.plan_id, None)
+        if plan.arena is not self._arena:
+            raise KeyError(
+                f"plan {plan.plan_id} belongs to a different arena than this index"
+            )
+        self.remove_id(plan.plan_id)
+
+    def remove_id(self, plan_id: int) -> None:
+        """Remove the plan with the given arena id."""
+        location = self._locations.pop(plan_id, None)
         if location is None:
-            raise KeyError(f"plan {plan.plan_id} is not registered in this index")
+            raise KeyError(f"plan {plan_id} is not registered in this index")
         resolution, bucket_id, slot = location
         level = self._levels[resolution]
         bucket = level[bucket_id]
         bucket.kill(slot)
         if bucket.matrix.live_count == 0:
             del level[bucket_id]
+            self._sorted_ids[resolution].remove(bucket_id)
             if not level:
                 del self._levels[resolution]
+                del self._sorted_ids[resolution]
         elif bucket.compact_if_needed() is not None:
             for new_slot, survivor in enumerate(bucket.items):
-                self._locations[survivor.plan_id] = (resolution, bucket_id, new_slot)
+                self._locations[survivor] = (resolution, bucket_id, new_slot)
 
     def discard(self, plan: Plan) -> bool:
         """Remove the plan if present; return whether it was present."""
-        if plan.plan_id not in self._locations:
+        if plan not in self:
             return False
-        self.remove(plan)
+        self.remove_id(plan.plan_id)
         return True
 
     def clear(self) -> None:
         """Remove all plans."""
         self._levels.clear()
+        self._sorted_ids.clear()
         self._locations.clear()
 
     # ------------------------------------------------------------------
@@ -150,32 +218,53 @@ class PlanIndex:
         return len(self._locations)
 
     def __contains__(self, plan: Plan) -> bool:
-        return plan.plan_id in self._locations
+        # Plan ids are only unique per arena, so a handle from a foreign
+        # arena must never match a registered id by coincidence.
+        return plan.arena is self._arena and plan.plan_id in self._locations
+
+    def contains_id(self, plan_id: int) -> bool:
+        return plan_id in self._locations
 
     def resolution_of(self, plan: Plan) -> int:
         """The resolution level the plan is registered for."""
+        if plan.arena is not self._arena:
+            raise KeyError(
+                f"plan {plan.plan_id} belongs to a different arena than this index"
+            )
+        return self.resolution_of_id(plan.plan_id)
+
+    def resolution_of_id(self, plan_id: int) -> int:
         try:
-            return self._locations[plan.plan_id][0]
+            return self._locations[plan_id][0]
         except KeyError:
             raise KeyError(
-                f"plan {plan.plan_id} is not registered in this index"
+                f"plan {plan_id} is not registered in this index"
             ) from None
 
-    def all_plans(self) -> List[Plan]:
-        """Every registered plan, in no particular order."""
-        result: List[Plan] = []
+    def all_ids(self) -> List[int]:
+        """Every registered plan id, in no particular order."""
+        result: List[int] = []
         for buckets in self._levels.values():
             for bucket in buckets.values():
                 result.extend(bucket.live_items())
         return result
 
+    def all_plans(self) -> List[Plan]:
+        """Every registered plan, in no particular order."""
+        arena = self._arena
+        if arena is None:
+            return []
+        return [arena.plan(plan_id) for plan_id in self.all_ids()]
+
     def all_entries(self) -> List[IndexedPlan]:
         """Every registered plan with its resolution level."""
+        arena = self._arena
         result: List[IndexedPlan] = []
         for resolution, buckets in self._levels.items():
             for bucket in buckets.values():
                 result.extend(
-                    IndexedPlan(plan, resolution) for plan in bucket.live_items()
+                    IndexedPlan(arena.plan(plan_id), resolution)
+                    for plan_id in bucket.live_items()
                 )
         return result
 
@@ -184,13 +273,13 @@ class PlanIndex:
         buckets = self._levels.get(resolution, {})
         return sum(bucket.matrix.live_count for bucket in buckets.values())
 
-    def retrieve(
+    def retrieve_ids(
         self,
-        bounds: CostVector,
+        bounds: Sequence[float],
         max_resolution: int,
         min_resolution: int = 0,
-    ) -> List[Plan]:
-        """Plans with cost dominated by ``bounds`` and resolution in range.
+    ) -> List[int]:
+        """Ids of plans with cost dominated by ``bounds``, resolution in range.
 
         This is the range query written ``S^q[0..b, 0..r]`` in the paper
         (optionally with a non-zero lower resolution limit, which the
@@ -200,7 +289,7 @@ class PlanIndex:
         if max_resolution < min_resolution:
             return []
         bound_bucket = self._bucket_of(bounds)
-        result: List[Plan] = []
+        result: List[int] = []
         for resolution in range(min_resolution, max_resolution + 1):
             buckets = self._levels.get(resolution)
             if not buckets:
@@ -208,11 +297,24 @@ class PlanIndex:
             for bucket_id, bucket in buckets.items():
                 if bucket_id > bound_bucket:
                     continue
-                plans = bucket.items
+                plan_ids = bucket.items
                 result.extend(
-                    plans[slot] for slot in bucket.matrix.dominated_slots(bounds)
+                    plan_ids[slot] for slot in bucket.matrix.dominated_slots(bounds)
                 )
         return result
+
+    def retrieve(
+        self,
+        bounds: CostVector,
+        max_resolution: int,
+        min_resolution: int = 0,
+    ) -> List[Plan]:
+        """Like :meth:`retrieve_ids` but returns canonical plan handles."""
+        ids = self.retrieve_ids(bounds, max_resolution, min_resolution)
+        if not ids:
+            return []
+        arena = self._require_arena()
+        return [arena.plan(plan_id) for plan_id in ids]
 
     def retrieve_entries(
         self,
@@ -223,6 +325,7 @@ class PlanIndex:
         """Like :meth:`retrieve` but also returns each plan's resolution."""
         if max_resolution < min_resolution:
             return []
+        arena = self._arena
         bound_bucket = self._bucket_of(bounds)
         result: List[IndexedPlan] = []
         for resolution in range(min_resolution, max_resolution + 1):
@@ -232,12 +335,67 @@ class PlanIndex:
             for bucket_id, bucket in buckets.items():
                 if bucket_id > bound_bucket:
                     continue
-                plans = bucket.items
+                plan_ids = bucket.items
                 result.extend(
-                    IndexedPlan(plans[slot], resolution)
+                    IndexedPlan(arena.plan(plan_ids[slot]), resolution)
                     for slot in bucket.matrix.dominated_slots(bounds)
                 )
         return result
+
+    def find_dominating_id(
+        self,
+        target: Sequence[float],
+        bounds: Sequence[float],
+        max_resolution: int,
+        order_id: Optional[int] = None,
+        bounds_bucket: Optional[float] = None,
+    ) -> int:
+        """Id of some in-range plan whose cost dominates ``target``, or 0.
+
+        The id-level witness search of Algorithm 3 line 7
+        (``∃ p_A ∈ Res^q[0..b, 0..r] : c(p_A) ⪯ alpha_r · c(p)``); the caller
+        passes the already-scaled ``target`` row.  ``order_id`` restricts the
+        comparison to plans with exactly that interned interesting order
+        (Section 4.3); ``None`` accepts any plan.
+
+        Buckets are scanned in ascending first-metric order because
+        dominating plans are cheap plans, which makes the short-circuit
+        trigger early.  A plan dominates both ``bounds`` and ``target``
+        exactly when it dominates their component-wise minimum, so each
+        bucket needs a single batched kernel call.  Batch callers pruning a
+        whole block under one bound vector pass the precomputed
+        ``bounds_bucket`` to skip re-bucketing the bounds per plan.
+        """
+        if len(target) != len(bounds):
+            raise ValueError(
+                "cannot compare cost vectors of different dimensionality"
+            )
+        if bounds_bucket is None:
+            bounds_bucket = self._bucket_of(bounds)
+        bucket_limit = min(bounds_bucket, self._bucket_of(target))
+        combined = tuple(map(min, bounds, target))
+        arena = self._arena
+        for resolution in range(0, max_resolution + 1):
+            buckets = self._levels.get(resolution)
+            if not buckets:
+                continue
+            for bucket_id in self._sorted_ids[resolution]:
+                if bucket_id > bucket_limit:
+                    # Every plan in this (and any later) bucket has a
+                    # first-metric cost above the bounds or the target, so
+                    # none of them can qualify.
+                    break
+                bucket = buckets[bucket_id]
+                if order_id is None:
+                    slot = bucket.matrix.first_dominating(combined)
+                    if slot != -1:
+                        return bucket.items[slot]
+                else:
+                    for slot in bucket.matrix.dominated_slots(combined):
+                        plan_id = bucket.items[slot]
+                        if arena.order_id_of(plan_id) == order_id:
+                            return plan_id
+        return 0
 
     def find_dominating(
         self,
@@ -248,47 +406,36 @@ class PlanIndex:
     ) -> Optional[Plan]:
         """Return some in-range plan whose cost dominates ``target``, if any.
 
-        This is the existence check of Algorithm 3 line 7
-        (``∃ p_A ∈ Res^q[0..b, 0..r] : c(p_A) ⪯ alpha_r · c(p)``); the caller
-        passes the already-scaled ``target`` vector.  ``order_filter`` lets the
-        pruning procedure restrict the comparison to plans with a compatible
-        interesting order (Section 4.3).
-
-        The returned plan is a *witness* of the approximation; the pruning
-        layer caches it so that re-checking a deferred candidate at the next
-        resolution level is usually a single dominance test.  Buckets are
-        scanned in ascending first-metric order because dominating plans are
-        cheap plans, which makes the short-circuit trigger early.  A plan
-        dominates both ``bounds`` and ``target`` exactly when it dominates
-        their component-wise minimum, so each bucket needs a single batched
-        kernel call.
+        Object-level wrapper over :meth:`find_dominating_id` for callers that
+        filter with a plan predicate.  The returned plan is a *witness* of
+        the approximation; the pruning layer caches it so that re-checking a
+        deferred candidate at the next resolution level is usually a single
+        dominance test.
         """
         if len(target) != len(bounds):
             raise ValueError(
                 "cannot compare cost vectors of different dimensionality"
             )
+        arena = self._arena
+        if arena is None:
+            return None
+        if order_filter is None:
+            plan_id = self.find_dominating_id(target, bounds, max_resolution)
+            return arena.plan(plan_id) if plan_id else None
         bucket_limit = min(self._bucket_of(bounds), self._bucket_of(target))
         combined = tuple(min(b, t) for b, t in zip(bounds, target))
         for resolution in range(0, max_resolution + 1):
             buckets = self._levels.get(resolution)
             if not buckets:
                 continue
-            for bucket_id in sorted(buckets):
+            for bucket_id in self._sorted_ids[resolution]:
                 if bucket_id > bucket_limit:
-                    # Every plan in this (and any later) bucket has a
-                    # first-metric cost above the bounds or the target, so
-                    # none of them can qualify.
                     break
                 bucket = buckets[bucket_id]
-                if order_filter is None:
-                    slot = bucket.matrix.first_dominating(combined)
-                    if slot != -1:
-                        return bucket.items[slot]
-                else:
-                    for slot in bucket.matrix.dominated_slots(combined):
-                        plan = bucket.items[slot]
-                        if order_filter(plan):
-                            return plan
+                for slot in bucket.matrix.dominated_slots(combined):
+                    plan = arena.plan(bucket.items[slot])
+                    if order_filter(plan):
+                        return plan
         return None
 
     def any_dominating(

@@ -14,11 +14,14 @@ subset ``q`` (Theorems 1 and 2).  The two phases are:
    of result sub-plans are generated (one per applicable join operator,
    Section 4.3), costed, and pruned.
 
-Seeding, candidate reconsideration and fresh-plan generation all collect plans
-and hand them to :func:`repro.core.pruning.prune_all` in blocks (per table
-set), so every plan's witness search runs through the batched dominance kernel
-of the plan index (:mod:`repro.kernel`); the outcome sequence is identical to
-pruning each plan the moment it is produced.
+The whole loop runs on *arena plan ids*: the plan indexes yield id blocks,
+fresh pairs are enumerated as integer pairs, ``IsFresh`` filters integer
+triples, and every surviving (left, right, operator) block of a table subset
+is costed with one vectorized kernel call per metric
+(:meth:`repro.plans.factory.PlanFactory.combine_block`) and handed to
+:func:`repro.core.pruning.prune_all_ids` in one batch -- the outcome sequence
+is identical to generating, costing and pruning each plan individually, but
+no per-plan Python objects are materialized on the hot path.
 
 Incrementality rests on two pieces of machinery implemented in
 :mod:`repro.core.fresh`: the ``IsFresh`` registry, which guarantees that no
@@ -41,8 +44,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.costs.dominance import dominates
 from repro.costs.vector import CostVector
-from repro.core.fresh import fresh_pairs
-from repro.core.pruning import PruneOutcome, prune_all
+from repro.core.fresh import fresh_id_pairs
+from repro.core.pruning import PruneOutcome, prune_all_ids
 from repro.core.resolution import ResolutionSchedule
 from repro.core.state import OptimizerState
 from repro.plans.factory import PlanFactory
@@ -73,6 +76,10 @@ class InvocationReport:
     result_plans_total: int
     candidate_plans_total: int
     frontier_size: int
+    #: Arena occupancy after the invocation (see ``PlanArena.stats``).
+    arena_plans_live: int = 0
+    arena_plans_tombstoned: int = 0
+    arena_peak_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -144,7 +151,8 @@ class IncrementalOptimizer:
     query:
         The query to optimize.
     factory:
-        Plan factory shared by all invocations for this query.
+        Plan factory shared by all invocations for this query; its arena is
+        the backing store of every plan this optimizer touches.
     schedule:
         Resolution schedule mapping resolution levels to precision factors.
     allow_cross_products:
@@ -206,6 +214,11 @@ class IncrementalOptimizer:
     def factory(self) -> PlanFactory:
         return self._factory
 
+    @property
+    def arena(self):
+        """The per-query plan arena backing this optimizer."""
+        return self._factory.arena
+
     def frontier(self, bounds: CostVector, resolution: int) -> List[Plan]:
         """Completed query plans respecting the bounds at the given resolution.
 
@@ -262,7 +275,7 @@ class IncrementalOptimizer:
         delta_mode = self._use_delta_sets and self._coverage.delta_mode_allowed(
             bounds, resolution
         )
-        inserted_now: Dict[TableSet, List[Plan]] = {}
+        inserted_now: Dict[TableSet, List[int]] = {}
 
         # Seeding: generate and prune scan plans once per query (Algorithm 1,
         # lines 7-10; folded into the first invocation so that the initial
@@ -282,6 +295,12 @@ class IncrementalOptimizer:
 
         self._coverage.record_invocation(bounds, resolution)
         counters.invocations += 1
+        arena_stats = self._factory.arena.stats()
+        counters.arena_plans_live = arena_stats.plans_live
+        counters.arena_plans_tombstoned = arena_stats.plans_tombstoned
+        counters.arena_peak_bytes = max(
+            counters.arena_peak_bytes, arena_stats.approx_bytes
+        )
         duration = time.perf_counter() - started
         after = _CounterSnapshot.capture(counters)
         frontier_size = len(self.frontier(bounds, resolution))
@@ -303,6 +322,9 @@ class IncrementalOptimizer:
             result_plans_total=self._state.total_result_plans(),
             candidate_plans_total=self._state.total_candidate_plans(),
             frontier_size=frontier_size,
+            arena_plans_live=counters.arena_plans_live,
+            arena_plans_tombstoned=counters.arena_plans_tombstoned,
+            arena_peak_bytes=counters.arena_peak_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -314,11 +336,11 @@ class IncrementalOptimizer:
         resolution: int,
         alpha: float,
         max_resolution: int,
-        inserted_now: Dict[TableSet, List[Plan]],
+        inserted_now: Dict[TableSet, List[int]],
     ) -> None:
-        block: List[Plan] = []
+        block: List[int] = []
         for table in sorted(self._query.tables):
-            block.extend(self._factory.scan_plans(table))
+            block.extend(self._factory.scan_block(table))
         self._state.counters.scan_plans_generated += len(block)
         self._prune_block(block, bounds, resolution, alpha, max_resolution, inserted_now)
         self._state.seeded = True
@@ -329,15 +351,15 @@ class IncrementalOptimizer:
         resolution: int,
         alpha: float,
         max_resolution: int,
-        inserted_now: Dict[TableSet, List[Plan]],
+        inserted_now: Dict[TableSet, List[int]],
     ) -> None:
         counters = self._state.counters
         for tables, candidate_index in list(
             self._state.populated_candidate_sets().items()
         ):
-            retrievable = candidate_index.retrieve(bounds, resolution)
-            for plan in retrievable:
-                candidate_index.remove(plan)
+            retrievable = candidate_index.retrieve_ids(bounds, resolution)
+            for plan_id in retrievable:
+                candidate_index.remove_id(plan_id)
             counters.candidate_retrievals += len(retrievable)
             self._prune_block(
                 retrievable, bounds, resolution, alpha, max_resolution, inserted_now
@@ -349,23 +371,29 @@ class IncrementalOptimizer:
         resolution: int,
         alpha: float,
         max_resolution: int,
-        inserted_now: Dict[TableSet, List[Plan]],
+        inserted_now: Dict[TableSet, List[int]],
         delta_mode: bool,
     ) -> None:
         counters = self._state.counters
         freshness = self._state.freshness
         join_operators = self._factory.join_operators()
+        operator_keys = [
+            freshness.operator_key(operator) for operator in join_operators
+        ]
+        operator_range = range(len(join_operators))
         for subset, splits in self._plan_order:
-            # Collect every fresh combination for this table subset, then
-            # prune the whole block at once.  Plans of a subset never feed the
-            # generation of the same subset (splits are strictly smaller), so
-            # deferring the pruning to the block boundary is equivalent to
-            # pruning each plan as it is generated.
-            block: List[Plan] = []
+            # Collect every fresh combination for this table subset as
+            # (left id, right id, operator) triples, cost them split by split
+            # with the batched kernel path, then prune the whole block at
+            # once.  Plans of a subset never feed the generation of the same
+            # subset (splits are strictly smaller), so deferring the pruning
+            # to the block boundary is equivalent to pruning each plan as it
+            # is generated.
+            block: List[int] = []
             for left_tables, right_tables in splits:
                 if delta_mode:
-                    left_delta = inserted_now.get(left_tables, [])
-                    right_delta = inserted_now.get(right_tables, [])
+                    left_delta = inserted_now.get(left_tables, ())
+                    right_delta = inserted_now.get(right_tables, ())
                     if not left_delta and not right_delta:
                         # No fresh sub-plan on either side: every pair of the
                         # retrievable plans has already been combined, so the
@@ -374,24 +402,33 @@ class IncrementalOptimizer:
                 else:
                     left_delta = None
                     right_delta = None
-                left_plans = self._state.result_set(left_tables).retrieve(
+                left_ids = self._state.result_set(left_tables).retrieve_ids(
                     bounds, resolution
                 )
-                if not left_plans:
+                if not left_ids:
                     continue
-                right_plans = self._state.result_set(right_tables).retrieve(
+                right_ids = self._state.result_set(right_tables).retrieve_ids(
                     bounds, resolution
                 )
-                if not right_plans:
+                if not right_ids:
                     continue
-                for left, right in fresh_pairs(
-                    left_plans, right_plans, left_delta, right_delta
+                triples: List[Tuple[int, int, int]] = []
+                for left_id, right_id in fresh_id_pairs(
+                    left_ids, right_ids, left_delta, right_delta
                 ):
                     counters.pairs_enumerated += 1
-                    for operator in join_operators:
-                        if not freshness.register(left, right, operator):
+                    for operator_index in operator_range:
+                        if not freshness.register_ids(
+                            left_id, right_id, operator_keys[operator_index]
+                        ):
                             continue
-                        block.append(self._factory.join_plan(left, right, operator))
+                        triples.append((left_id, right_id, operator_index))
+                if triples:
+                    block.extend(
+                        self._factory.combine_block(
+                            left_tables, right_tables, triples, join_operators
+                        )
+                    )
             counters.join_plans_generated += len(block)
             self._prune_block(
                 block, bounds, resolution, alpha, max_resolution, inserted_now
@@ -399,42 +436,45 @@ class IncrementalOptimizer:
 
     def _prune_block(
         self,
-        plans: List[Plan],
+        plan_ids: List[int],
         bounds: CostVector,
         resolution: int,
         alpha: float,
         max_resolution: int,
-        inserted_now: Dict[TableSet, List[Plan]],
+        inserted_now: Dict[TableSet, List[int]],
     ) -> None:
-        """Prune a block of plans, grouped per table set, preserving order."""
-        if not plans:
+        """Prune a block of plan ids, grouped per table set, preserving order."""
+        if not plan_ids:
             return
+        arena = self._factory.arena
         counters = self._state.counters
-        groups: Dict[TableSet, List[Plan]] = {}
-        for plan in plans:
-            groups.setdefault(plan.tables, []).append(plan)
+        groups: Dict[TableSet, List[int]] = {}
+        for plan_id in plan_ids:
+            groups.setdefault(arena.tables_of(plan_id), []).append(plan_id)
         for tables, group in groups.items():
-            outcomes = prune_all(
+            outcomes = prune_all_ids(
                 result_index=self._state.result_set(tables),
                 candidate_index=self._state.candidate_set(tables),
                 bounds=bounds,
                 resolution=resolution,
                 alpha=alpha,
                 max_resolution=max_resolution,
-                plans=group,
+                arena=arena,
+                plan_ids=group,
                 respect_orders=self._respect_orders,
                 witnesses=self._witnesses,
             )
-            for plan, outcome in zip(group, outcomes):
+            for plan_id, outcome in zip(group, outcomes):
                 if outcome is PruneOutcome.INSERTED:
                     counters.plans_inserted += 1
-                    inserted_now.setdefault(plan.tables, []).append(plan)
+                    inserted_now.setdefault(tables, []).append(plan_id)
                 elif outcome is PruneOutcome.DEFERRED_TO_HIGHER_RESOLUTION:
                     counters.plans_deferred += 1
                 elif outcome is PruneOutcome.OUT_OF_BOUNDS:
                     counters.plans_out_of_bounds += 1
                 else:
                     counters.plans_discarded += 1
+                    arena.tombstone(plan_id)
 
 
 @dataclass(frozen=True)

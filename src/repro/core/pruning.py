@@ -26,16 +26,23 @@ Two deliberate design decisions from Section 4.2 are preserved:
 Following Section 4.3, the cost comparison is restricted to plans producing a
 compatible interesting tuple order: a result plan can only approximate the new
 plan when it provides at least the same ordering guarantee.
+
+Since the arena refactor the decision logic operates on arena primitives (plan
+ids, raw cost rows, interned order ids); :func:`prune_all_ids` is the
+optimizer's batched entry point (one kernel gather + scale per block), while
+:func:`prune` / :func:`prune_all` keep the object-level API over the same
+core, so both paths produce identical outcome sequences by construction.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.costs.dominance import dominates, within_bounds
+from repro import kernel
 from repro.costs.vector import CostVector
 from repro.core.index import PlanIndex
+from repro.plans.arena import PlanArena
 from repro.plans.plan import Plan
 
 
@@ -75,6 +82,14 @@ def order_covers(provider: Plan, consumer: Plan) -> bool:
     if consumer.interesting_order is None:
         return True
     return provider.interesting_order == consumer.interesting_order
+
+
+def _row_leq(row: Sequence[float], bounds: Sequence[float]) -> bool:
+    """Component-wise ``row <= bounds`` (dominance on raw cost rows)."""
+    for value, bound in zip(row, bounds):
+        if value > bound:
+            return False
+    return True
 
 
 def prune(
@@ -123,14 +138,19 @@ def prune(
     """
     if alpha < 1.0:
         raise ValueError("the precision factor alpha_r must be >= 1")
-    return _prune_scaled(
+    arena = plan.arena
+    cost_row = arena.cost_row(plan.plan_id)
+    scaled_row = tuple(value * alpha for value in cost_row)
+    return _prune_core(
         result_index,
         candidate_index,
-        bounds,
+        tuple(bounds),
         resolution,
         max_resolution,
-        plan,
-        plan.cost.scaled(alpha),
+        arena,
+        plan.plan_id,
+        cost_row,
+        scaled_row,
         respect_orders,
         witnesses,
     )
@@ -147,91 +167,144 @@ def prune_all(
     respect_orders: bool = True,
     witnesses: Optional[Dict[int, Plan]] = None,
 ) -> List[PruneOutcome]:
-    """Apply procedure ``Prune`` to a block of plans of one table set.
+    """Apply procedure ``Prune`` to a block of plan handles of one table set.
 
     The plans are processed strictly in order, so the outcome sequence is
     identical to calling :func:`prune` once per plan -- a plan inserted early
-    in the block can approximate (and thereby defer) a later one.  The batch
-    entry point lets callers (seeding, candidate reconsideration and
-    fresh-plan generation in :mod:`repro.core.optimizer`) collect plans and
-    prune in blocks instead of interleaving generation and pruning; each
-    plan's witness search then runs through the batched kernel of the result
-    index.
-
-    All plans must belong to the same table set as the given result and
-    candidate indexes; returns one :class:`PruneOutcome` per plan, in order.
+    in the block can approximate (and thereby defer) a later one.  All plans
+    must belong to the same table set as the given result and candidate
+    indexes and to one arena; returns one :class:`PruneOutcome` per plan.
     """
-    if alpha < 1.0:
-        raise ValueError("the precision factor alpha_r must be >= 1")
     if not plans:
         return []
-    scaled_costs = [plan.cost.scaled(alpha) for plan in plans]
-    return [
-        _prune_scaled(
-            result_index,
-            candidate_index,
-            bounds,
-            resolution,
-            max_resolution,
-            plan,
-            scaled_cost,
-            respect_orders,
-            witnesses,
-        )
-        for plan, scaled_cost in zip(plans, scaled_costs)
-    ]
+    return prune_all_ids(
+        result_index,
+        candidate_index,
+        bounds,
+        resolution,
+        alpha,
+        max_resolution,
+        plans[0].arena,
+        [plan.plan_id for plan in plans],
+        respect_orders,
+        witnesses,
+    )
 
 
-def _prune_scaled(
+def prune_all_ids(
     result_index: PlanIndex,
     candidate_index: PlanIndex,
     bounds: CostVector,
     resolution: int,
+    alpha: float,
     max_resolution: int,
-    plan: Plan,
-    scaled_cost: CostVector,
+    arena: PlanArena,
+    plan_ids: Sequence[int],
+    respect_orders: bool = True,
+    witnesses: Optional[Dict[int, Plan]] = None,
+) -> List[PruneOutcome]:
+    """Apply procedure ``Prune`` to a block of arena plan ids.
+
+    The batch entry point of the optimizer (seeding, candidate
+    reconsideration and fresh-plan generation in :mod:`repro.core.optimizer`):
+    the block's cost rows are gathered from the arena matrix and scaled by
+    ``alpha_r`` with one kernel call each, then every plan's witness search
+    runs through the batched kernel of the result index.  Outcomes are
+    identical to pruning each plan the moment it was produced.
+    """
+    if alpha < 1.0:
+        raise ValueError("the precision factor alpha_r must be >= 1")
+    if not plan_ids:
+        return []
+    slots = [plan_id - 1 for plan_id in plan_ids]
+    columns = kernel.ops.take(arena.costs.columns, slots)
+    scaled_columns = kernel.ops.scale_columns(columns, alpha)
+    cost_rows = list(zip(*columns))
+    scaled_rows = list(zip(*scaled_columns))
+    bounds_row = tuple(bounds)
+    # The whole block shares one bound vector; bucket it once for the
+    # witness searches of every plan in the block.
+    bounds_bucket = result_index.bucket_of(bounds_row)
+    outcomes: List[PruneOutcome] = []
+    for position, plan_id in enumerate(plan_ids):
+        outcomes.append(
+            _prune_core(
+                result_index,
+                candidate_index,
+                bounds_row,
+                resolution,
+                max_resolution,
+                arena,
+                plan_id,
+                cost_rows[position],
+                scaled_rows[position],
+                respect_orders,
+                witnesses,
+                bounds_bucket,
+            )
+        )
+    return outcomes
+
+
+def _prune_core(
+    result_index: PlanIndex,
+    candidate_index: PlanIndex,
+    bounds_row: Tuple[float, ...],
+    resolution: int,
+    max_resolution: int,
+    arena: PlanArena,
+    plan_id: int,
+    cost_row: Tuple[float, ...],
+    scaled_row: Tuple[float, ...],
     respect_orders: bool,
     witnesses: Optional[Dict[int, Plan]],
+    bounds_bucket: Optional[float] = None,
 ) -> PruneOutcome:
-    """Prune one plan whose ``alpha_r``-scaled cost is already computed."""
-    witness: Optional[Plan] = None
+    """Prune one plan given its raw and ``alpha_r``-scaled cost rows."""
+    order_id = arena.order_id_of(plan_id)
+    witness_id = 0
     if witnesses is not None:
-        cached = witnesses.get(plan.plan_id)
-        if (
-            cached is not None
-            and cached in result_index
-            and result_index.resolution_of(cached) <= resolution
-            and (not respect_orders or order_covers(cached, plan))
-            and dominates(cached.cost, bounds)
-            and dominates(cached.cost, scaled_cost)
-        ):
-            witness = cached
-    if witness is None:
-        if respect_orders and plan.interesting_order is not None:
+        cached = witnesses.get(plan_id)
+        if cached is not None:
+            cached_id = cached.plan_id
+            if (
+                result_index.contains_id(cached_id)
+                and result_index.resolution_of_id(cached_id) <= resolution
+                and (
+                    not respect_orders
+                    or order_id == 0
+                    or arena.order_id_of(cached_id) == order_id
+                )
+            ):
+                cached_row = arena.cost_row(cached_id)
+                if _row_leq(cached_row, bounds_row) and _row_leq(
+                    cached_row, scaled_row
+                ):
+                    witness_id = cached_id
+    if witness_id == 0:
+        if respect_orders and order_id != 0:
             # Only plans producing the same tuple order may approximate this one.
-            order_filter = lambda other: order_covers(other, plan)
+            witness_id = result_index.find_dominating_id(
+                scaled_row, bounds_row, resolution, order_id, bounds_bucket
+            )
         else:
             # A plan without ordering requirements is coverable by any plan.
-            order_filter = None
-        witness = result_index.find_dominating(
-            target=scaled_cost,
-            bounds=bounds,
-            max_resolution=resolution,
-            order_filter=order_filter,
-        )
-    if witness is not None:
+            witness_id = result_index.find_dominating_id(
+                scaled_row, bounds_row, resolution, None, bounds_bucket
+            )
+    if witness_id:
         if witnesses is not None:
-            witnesses[plan.plan_id] = witness
+            witnesses[plan_id] = arena.plan(witness_id)
         if resolution < max_resolution:
-            candidate_index.insert(plan, resolution + 1)
+            candidate_index.insert_id(plan_id, resolution + 1, arena, cost_row)
             return PruneOutcome.DEFERRED_TO_HIGHER_RESOLUTION
         if witnesses is not None:
-            witnesses.pop(plan.plan_id, None)
+            witnesses.pop(plan_id, None)
         return PruneOutcome.DISCARDED
-    if not within_bounds(plan.cost, bounds):
-        candidate_index.insert(plan, resolution)
+    if not _row_leq(cost_row, bounds_row):
+        candidate_index.insert_id(plan_id, resolution, arena, cost_row)
         return PruneOutcome.OUT_OF_BOUNDS
-    result_index.insert(plan, resolution)
+    result_index.insert_id(plan_id, resolution, arena, cost_row)
     if witnesses is not None:
-        witnesses.pop(plan.plan_id, None)
+        witnesses.pop(plan_id, None)
     return PruneOutcome.INSERTED

@@ -82,6 +82,15 @@ class CostMatrix:
         return self._dims
 
     @property
+    def columns(self) -> List[array]:
+        """The raw metric columns (``array('d')``), one per dimension.
+
+        Exposed for owners that address rows by slot directly (the plan
+        arena); treat as read-only.
+        """
+        return self._columns
+
+    @property
     def live_count(self) -> int:
         """Number of live (non-tombstoned) rows."""
         return self._live
@@ -142,6 +151,29 @@ class CostMatrix:
         self._alive.append(1)
         self._live += 1
         return len(self._alive) - 1
+
+    def extend_columns(self, columns: Sequence[Sequence[float]], count: int) -> int:
+        """Bulk-append ``count`` live rows given column-wise; returns first slot.
+
+        The batched costing path produces whole metric columns at once; this
+        appends them without the per-row tuple round-trip of :meth:`append`.
+        Every column must hold exactly ``count`` values.
+        """
+        if len(columns) != self._dims:
+            raise ValueError(
+                f"got {len(columns)} cost columns but the matrix stores "
+                f"{self._dims} metrics"
+            )
+        first = len(self._alive)
+        for dest, src in zip(self._columns, columns):
+            if len(src) != count:
+                raise ValueError(
+                    f"cost column holds {len(src)} values, expected {count}"
+                )
+            dest.extend(src)
+        self._alive.extend([1] * count)
+        self._live += count
+        return first
 
     def kill(self, slot: int) -> None:
         """Tombstone the row at ``slot`` (it stops matching every query)."""

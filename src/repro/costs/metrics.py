@@ -26,16 +26,44 @@ produced by the cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.costs.aggregation import (
     AggregationFunction,
     MaxAggregation,
+    MinAggregation,
     PipelineMaxAggregation,
     PrecisionLossAggregation,
+    ScaledSumAggregation,
     SumAggregation,
 )
 from repro.costs.vector import CostVector
+
+
+def aggregation_spec(aggregation: AggregationFunction) -> Optional[Tuple]:
+    """Lower an aggregation function to a kernel-executable spec, if possible.
+
+    The batched costing path (:meth:`MetricSet.combine_columns`) dispatches
+    the shipped aggregation classes to the vectorized
+    ``kernel.ops.combine_columns`` primitives.  Unknown aggregation classes
+    (and subclasses that may override ``combine``) return ``None`` and fall
+    back to the per-element ``Metric.combine`` loop, which is still
+    backend-independent -- just not vectorized.
+    """
+    cls = type(aggregation)
+    if cls is SumAggregation:
+        return ("sum",)
+    if cls is MaxAggregation:
+        return ("max",)
+    if cls is PipelineMaxAggregation:
+        return ("pipeline_max",)
+    if cls is MinAggregation:
+        return ("min",)
+    if cls is ScaledSumAggregation:
+        return ("scaled_sum", aggregation.scale_left, aggregation.scale_right)
+    if cls is PrecisionLossAggregation:
+        return ("precision_loss",)
+    return None
 
 
 @dataclass(frozen=True)
@@ -227,6 +255,47 @@ class MetricSet:
             for i, metric in enumerate(self._metrics)
         ]
         return CostVector(values)
+
+    def combine_columns(
+        self,
+        left_columns: Sequence[Sequence[float]],
+        right_columns: Sequence[Sequence[float]],
+        local: CostVector,
+    ) -> List[Sequence[float]]:
+        """Batched :meth:`combine`: aggregate whole metric columns at once.
+
+        ``left_columns`` / ``right_columns`` hold the metric values of the
+        left and right sub-plans of a combination block (one column per
+        metric, all columns equally long); ``local`` is the single local cost
+        vector shared by the block (all combinations of one block use the
+        same join operator on the same operand table sets).  Returns one
+        combined column per metric, bit-identical to calling :meth:`combine`
+        per row on either kernel backend.
+        """
+        from repro import kernel
+
+        if len(left_columns) != len(self._metrics) or len(right_columns) != len(
+            self._metrics
+        ):
+            raise ValueError("cost columns do not match the metric set")
+        combined: List[Sequence[float]] = []
+        for index, metric in enumerate(self._metrics):
+            spec = aggregation_spec(metric.aggregation)
+            left_col = left_columns[index]
+            right_col = right_columns[index]
+            local_value = local[index]
+            if spec is None:
+                combined.append(
+                    [
+                        metric.combine(l, r, local_value)
+                        for l, r in zip(left_col, right_col)
+                    ]
+                )
+            else:
+                combined.append(
+                    kernel.ops.combine_columns(spec, left_col, right_col, local_value)
+                )
+        return combined
 
     def describe(self, cost: CostVector) -> Dict[str, float]:
         """Return ``{metric name: value}`` for reporting."""

@@ -258,6 +258,20 @@ class MultiObjectiveCostModel:
         """Aggregate two sub-plan cost vectors with a join's local cost."""
         return self._metrics.combine(left, right, local)
 
+    def combine_block(self, left_columns, right_columns, local: CostVector):
+        """Vectorized :meth:`combine` over whole blocks of child cost rows.
+
+        ``left_columns``/``right_columns`` hold one column per metric with the
+        cost values of the left and right sub-plans of every combination in
+        the block; ``local`` is the block's shared local operator cost (the
+        local cost of a join depends only on the operand table sets and the
+        operator, both constant within a block).  Returns one combined column
+        per metric.  The arithmetic is dispatched to the active
+        :mod:`repro.kernel` backend and is bit-identical to the per-plan
+        :meth:`combine` path on both backends.
+        """
+        return self._metrics.combine_columns(left_columns, right_columns, local)
+
 
 def _n_log_n(rows: float) -> float:
     """``rows * log2(rows)`` guarded against tiny inputs."""

@@ -134,6 +134,41 @@ class InteractiveSession:
         return entry
 
     # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """One-shot session summary: progress plus plan-arena occupancy.
+
+        Mirrors the per-invocation arena gauges surfaced through
+        ``repro-moqo optimize --json``: how many plans the session's per-query
+        arena holds, how many of those were tombstoned as dead weight, and
+        the estimated footprint of the arena columns.
+        """
+        stats = self._session.driver.factory.arena.stats()
+        last = self._timeline[-1].snapshot if self._timeline else None
+        return {
+            "iterations": len(self._timeline),
+            "resolution": last.resolution if last is not None else None,
+            "frontier_size": last.size if last is not None else 0,
+            "selected": self._session.selected_plan is not None,
+            "arena_plans_total": stats.plans_total,
+            "arena_plans_live": stats.plans_live,
+            "arena_plans_tombstoned": stats.plans_tombstoned,
+            "arena_approx_bytes": stats.approx_bytes,
+        }
+
+    def format_summary(self) -> str:
+        """Human-readable rendering of :meth:`summary`."""
+        summary = self.summary()
+        status = "plan selected" if summary["selected"] else "no plan selected"
+        return (
+            f"session: {summary['iterations']} iterations, "
+            f"resolution {summary['resolution']}, "
+            f"{summary['frontier_size']} tradeoffs, {status}\n"
+            f"plan arena: {summary['arena_plans_live']} live plans, "
+            f"{summary['arena_plans_tombstoned']} tombstoned, "
+            f"~{summary['arena_approx_bytes'] / 1024.0:.1f} KiB"
+        )
+
+    # ------------------------------------------------------------------
     def hypervolume_series(
         self, x_metric: int = 0, y_metric: int = 1
     ) -> List[float]:

@@ -85,3 +85,53 @@ def scale_columns(columns: Columns, factor: float) -> List[array]:
         out.frombytes((_column_view(col) * factor).tobytes())
         scaled.append(out)
     return scaled
+
+
+def _as_array(values: np.ndarray) -> array:
+    out = array("d")
+    out.frombytes(np.ascontiguousarray(values, dtype=np.float64).tobytes())
+    return out
+
+
+def take(columns: Columns, indices: Sequence[int]) -> List[array]:
+    """Gather the rows at ``indices`` from every column; returns new columns."""
+    if len(indices) < SMALL_BLOCK:
+        return _py.take(columns, indices)
+    idx = np.asarray(indices, dtype=np.intp)
+    return [_as_array(_column_view(col)[idx]) for col in columns]
+
+
+def combine_columns(
+    spec: Sequence, left: Sequence[float], right: Sequence[float], local: float
+) -> array:
+    """Aggregate two equally long metric columns with a scalar local cost.
+
+    Every branch issues exactly the operations of the corresponding
+    :mod:`repro.costs.aggregation` formula in the same association order, so
+    the results are bit-identical to the pure-Python backend (IEEE-754
+    addition/multiplication/min/max are exactly rounded in both).
+    """
+    if len(left) < SMALL_BLOCK:
+        return _py.combine_columns(spec, left, right, local)
+    l = np.frombuffer(left, dtype=np.float64) if isinstance(left, array) else np.asarray(left)
+    r = np.frombuffer(right, dtype=np.float64) if isinstance(right, array) else np.asarray(right)
+    op = spec[0]
+    if op == "sum":
+        return _as_array((l + r) + local)
+    if op == "max":
+        return _as_array(np.maximum(np.maximum(l, r), local))
+    if op == "pipeline_max":
+        return _as_array(np.maximum(l, r) + local)
+    if op == "min":
+        return _as_array(np.minimum(l, r) + local)
+    if op == "scaled_sum":
+        return _as_array((spec[1] * l + spec[2] * r) + local)
+    if op == "precision_loss":
+        x = min(local, 1.0)
+        lc = np.minimum(l, 1.0)
+        rc = np.minimum(r, 1.0)
+        # Same inclusion-exclusion expansion, in the same evaluation order,
+        # as PrecisionLossAggregation.combine.
+        loss = lc + rc + x - lc * rc - lc * x - rc * x + lc * rc * x
+        return _as_array(np.minimum(1.0, np.maximum(0.0, loss)))
+    raise ValueError(f"unknown aggregation spec {spec!r}")

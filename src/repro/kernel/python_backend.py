@@ -90,6 +90,24 @@ def first_leq(columns: Columns, alive: array, vector: Vector) -> int:
     """Slot of the first live row ``<= vector`` component-wise, or ``-1``."""
     n = len(alive)
     dims = len(columns)
+    if dims == 1:
+        c0, (b0,) = columns[0], vector
+        for i in range(n):
+            if alive[i] and c0[i] <= b0:
+                return i
+        return -1
+    if dims == 2:
+        (c0, c1), (b0, b1) = columns, vector
+        for i in range(n):
+            if alive[i] and c0[i] <= b0 and c1[i] <= b1:
+                return i
+        return -1
+    if dims == 3:
+        (c0, c1, c2), (b0, b1, b2) = columns, vector
+        for i in range(n):
+            if alive[i] and c0[i] <= b0 and c1[i] <= b1 and c2[i] <= b2:
+                return i
+        return -1
     for i in range(n):
         if not alive[i]:
             continue
@@ -111,3 +129,53 @@ def any_leq(columns: Columns, alive: array, vector: Vector) -> bool:
 def scale_columns(columns: Columns, factor: float) -> List[array]:
     """Multiply every column by a non-negative scalar; returns new columns."""
     return [array("d", (value * factor for value in col)) for col in columns]
+
+
+def take(columns: Columns, indices: Sequence[int]) -> List[array]:
+    """Gather the rows at ``indices`` from every column; returns new columns.
+
+    The batched costing path uses this to collect the cost rows of the left
+    and right child plans of a combination block from the arena's matrix.
+    """
+    return [array("d", (col[i] for i in indices)) for col in columns]
+
+
+def combine_columns(
+    spec: Sequence, left: Sequence[float], right: Sequence[float], local: float
+) -> array:
+    """Aggregate two equally long metric columns with a scalar local cost.
+
+    ``spec`` is the lowered form of one metric's aggregation function (see
+    :func:`repro.costs.metrics.aggregation_spec`); the arithmetic mirrors
+    :mod:`repro.costs.aggregation` operation for operation, so block costing
+    is bit-identical to the per-plan ``Metric.combine`` path -- in both
+    backends.
+    """
+    op = spec[0]
+    if op == "sum":
+        return array("d", (l + r + local for l, r in zip(left, right)))
+    if op == "max":
+        return array("d", (max(l, r, local) for l, r in zip(left, right)))
+    if op == "pipeline_max":
+        return array("d", (max(l, r) + local for l, r in zip(left, right)))
+    if op == "min":
+        return array("d", (min(l, r) + local for l, r in zip(left, right)))
+    if op == "scaled_sum":
+        scale_left, scale_right = spec[1], spec[2]
+        return array(
+            "d",
+            (
+                scale_left * l + scale_right * r + local
+                for l, r in zip(left, right)
+            ),
+        )
+    if op == "precision_loss":
+        x = min(local, 1.0)
+        out = array("d")
+        for raw_l, raw_r in zip(left, right):
+            l = min(raw_l, 1.0)
+            r = min(raw_r, 1.0)
+            loss = l + r + x - l * r - l * x - r * x + l * r * x
+            out.append(min(1.0, max(0.0, loss)))
+        return out
+    raise ValueError(f"unknown aggregation spec {spec!r}")

@@ -10,11 +10,15 @@ pushed into the join tree.  This package provides:
   used for cardinality estimation),
 * :mod:`repro.plans.operators` -- physical scan and join operators with their
   parameters (sampling rate, parallelism, algorithm),
-* :mod:`repro.plans.plan` -- immutable plan trees carrying cost vectors and
-  interesting orders,
+* :mod:`repro.plans.arena` -- the per-query :class:`PlanArena` interning every
+  plan as a dense integer id over parallel arrays (child ids, operator id,
+  table-set id, interesting-order id) with one contiguous cost-matrix row per
+  plan,
+* :mod:`repro.plans.plan` -- immutable plan trees as thin handles over arena
+  slots, carrying cost vectors and interesting orders,
 * :mod:`repro.plans.factory` -- the :class:`PlanFactory` that builds costed
-  scan and join plans from operators, the cardinality estimator and the
-  multi-objective cost model.
+  scan and join plans (individually or in batched id blocks) from operators,
+  the cardinality estimator and the multi-objective cost model.
 """
 
 from repro.plans.query import Query, table_subsets, proper_splits
@@ -24,10 +28,12 @@ from repro.plans.operators import (
     OperatorRegistry,
     default_operator_registry,
 )
+from repro.plans.arena import ArenaStats, PlanArena, default_arena
 from repro.plans.plan import Plan, ScanPlan, JoinPlan, plan_signature
 from repro.plans.factory import PlanFactory
 from repro.plans.explain import (
     explain_plan,
+    explain_plan_id,
     compare_plans,
     frontier_summary,
     format_frontier_summary,
@@ -41,12 +47,16 @@ __all__ = [
     "JoinOperator",
     "OperatorRegistry",
     "default_operator_registry",
+    "ArenaStats",
+    "PlanArena",
+    "default_arena",
     "Plan",
     "ScanPlan",
     "JoinPlan",
     "plan_signature",
     "PlanFactory",
     "explain_plan",
+    "explain_plan_id",
     "compare_plans",
     "frontier_summary",
     "format_frontier_summary",

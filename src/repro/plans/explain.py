@@ -27,11 +27,26 @@ def explain_plan(plan: Plan, metric_set: MetricSet, indent: str = "  ") -> str:
     """Render a plan tree as indented, EXPLAIN-style text.
 
     Each line shows the operator, the tables it covers and its cumulative cost
-    vector; children are indented below their parent.
+    vector; children are indented below their parent.  The tree itself is
+    reconstructed from the plan's arena ids: a :class:`~repro.plans.plan.Plan`
+    is a handle over an arena slot, and walking ``plan.left``/``plan.right``
+    resolves the child-id columns back into (cached) handles.
     """
     lines: List[str] = []
     _explain_into(plan, metric_set, lines, depth=0, indent=indent)
     return "\n".join(lines)
+
+
+def explain_plan_id(
+    arena, plan_id: int, metric_set: MetricSet, indent: str = "  "
+) -> str:
+    """Render the plan with the given arena id (see :func:`explain_plan`).
+
+    Convenience entry point for consumers that carry bare ids (the optimizer
+    hot paths, serialized traces): the tree is rebuilt from the arena's
+    left/right child columns before rendering.
+    """
+    return explain_plan(arena.plan(plan_id), metric_set, indent=indent)
 
 
 def _explain_into(

@@ -1,4 +1,4 @@
-"""Plan construction: turning operators plus estimates into costed plan nodes.
+"""Plan construction: turning operators plus estimates into costed arena plans.
 
 The :class:`PlanFactory` is the single place where scan and join plans are
 built and costed.  Every optimization algorithm in this repository (IAMA, the
@@ -8,6 +8,21 @@ on exactly the same plan search space -- a prerequisite for a fair comparison,
 and also how the paper's implementation works (all algorithms share the
 extended Postgres plan generation).
 
+Since the arena refactor the factory owns a per-query
+:class:`~repro.plans.arena.PlanArena` and offers two construction surfaces:
+
+* the scalar handle API (:meth:`scan_plan`, :meth:`join_plan`) used by tests
+  and the single-objective baseline, and
+* the batched id API (:meth:`scan_block`, :meth:`combine_block`) used by the
+  optimizer hot paths: a whole block of (left id, right id, operator)
+  combinations is costed with one vectorized kernel call per metric and
+  bulk-appended to the arena -- no per-plan Python objects, no per-plan cost
+  dictionaries.  Both surfaces produce bit-identical cost values.
+
+Algorithms that regenerate their plans from scratch on every run (the DP
+baselines) pass a private scratch ``arena`` so their dead plans don't pile up
+in the factory's per-query arena.
+
 The factory also counts how many plans it builds; the incremental-behaviour
 tests and the ablation benchmarks use these counters to verify, e.g., that
 IAMA never builds the same join twice across invocations (Lemma 5).
@@ -15,11 +30,13 @@ IAMA never builds the same join twice across invocations (Lemma 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import kernel
 from repro.catalog.cardinality import CardinalityEstimator
 from repro.costs.model import MultiObjectiveCostModel
+from repro.plans.arena import PlanArena
 from repro.plans.operators import JoinOperator, OperatorRegistry, ScanOperator
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
 
@@ -65,6 +82,7 @@ class PlanFactory:
         self._estimator = estimator
         self._cost_model = cost_model
         self._operators = operators
+        self._arena = PlanArena(cost_model.metric_set.dimensions)
         self.counters = PlanFactoryCounters()
 
     # ------------------------------------------------------------------
@@ -85,23 +103,49 @@ class PlanFactory:
         """The metric set of the underlying cost model."""
         return self._cost_model.metric_set
 
+    @property
+    def arena(self) -> PlanArena:
+        """The factory's per-query plan arena."""
+        return self._arena
+
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------
-    def scan_plans(self, table: str) -> List[ScanPlan]:
-        """All scan plan alternatives for a base table.
+    def scan_plans(
+        self, table: str, arena: Optional[PlanArena] = None
+    ) -> List[ScanPlan]:
+        """All scan plan alternatives for a base table, as handles.
 
         This is the ``ScanPlans(q)`` function used when Algorithm 1 seeds the
         plan sets before entering the main control loop.
         """
-        rows = self._estimator.base_cardinality(table)
-        return [
-            self.scan_plan(table, operator)
-            for operator in self._operators.scan_operators(rows)
-        ]
+        target = self._arena if arena is None else arena
+        return [target.plan(plan_id) for plan_id in self.scan_block(table, target)]
 
-    def scan_plan(self, table: str, operator: ScanOperator) -> ScanPlan:
+    def scan_block(
+        self, table: str, arena: Optional[PlanArena] = None
+    ) -> List[int]:
+        """Ids of all costed scan alternatives for a base table."""
+        target = self._arena if arena is None else arena
+        rows = self._estimator.base_cardinality(table)
+        pages = self._estimator.page_count(table)
+        ids: List[int] = []
+        for operator in self._operators.scan_operators(rows):
+            cost = self._cost_model.scan_cost(
+                row_count=rows,
+                page_count=pages,
+                sampling_rate=operator.sampling_rate,
+                parallelism=operator.parallelism,
+            )
+            ids.append(target.allocate_scan(table, operator, cost))
+            self.counters.scan_plans_built += 1
+        return ids
+
+    def scan_plan(
+        self, table: str, operator: ScanOperator, arena: Optional[PlanArena] = None
+    ) -> ScanPlan:
         """Build and cost a single scan plan."""
+        target = self._arena if arena is None else arena
         rows = self._estimator.base_cardinality(table)
         pages = self._estimator.page_count(table)
         cost = self._cost_model.scan_cost(
@@ -111,7 +155,7 @@ class PlanFactory:
             parallelism=operator.parallelism,
         )
         self.counters.scan_plans_built += 1
-        return ScanPlan(table, operator, cost)
+        return target.plan(target.allocate_scan(table, operator, cost))
 
     # ------------------------------------------------------------------
     # Joins
@@ -123,7 +167,12 @@ class PlanFactory:
     def join_plan(
         self, left: Plan, right: Plan, operator: JoinOperator
     ) -> JoinPlan:
-        """Build and cost a join of two sub-plans with the given operator."""
+        """Build and cost a join of two sub-plans with the given operator.
+
+        The scalar reference path: one plan at a time, through the same cost
+        formulas as :meth:`combine_block` (the arena micro-benchmark asserts
+        the block path is faster *and* bit-identical).
+        """
         left_rows = self._estimator.cardinality(left.tables)
         right_rows = self._estimator.cardinality(right.tables)
         output_rows = self._estimator.join_cardinality(left.tables, right.tables)
@@ -138,7 +187,7 @@ class PlanFactory:
         self.counters.join_plans_built += 1
         interesting_order = None
         if operator.produces_order:
-            interesting_order = _join_order_tag(left, right)
+            interesting_order = _join_order_tag(left.tables, right.tables)
         return JoinPlan(left, right, operator, cost, interesting_order)
 
     def join_plans(self, left: Plan, right: Plan) -> List[JoinPlan]:
@@ -148,12 +197,110 @@ class PlanFactory:
             for operator in self.join_operators()
         ]
 
+    # ------------------------------------------------------------------
+    # Batched construction (the generate → cost hot path)
+    # ------------------------------------------------------------------
+    def combine_block(
+        self,
+        left_tables: FrozenSet[str],
+        right_tables: FrozenSet[str],
+        triples: Sequence[Tuple[int, int, int]],
+        operators: Sequence[JoinOperator],
+        arena: Optional[PlanArena] = None,
+    ) -> List[int]:
+        """Cost and intern a block of join combinations; returns their ids.
 
-def _join_order_tag(left: Plan, right: Plan) -> str:
+        ``triples`` is a sequence of ``(left_id, right_id, operator_index)``
+        whose operands all join ``left_tables`` with ``right_tables`` (one
+        split of one table subset); ``operator_index`` points into
+        ``operators``.  Because the estimator inputs are constant per split,
+        the local operator cost is computed once per operator, and the child
+        cost rows of the whole block are gathered and aggregated with one
+        kernel call per (operator, metric) -- this is where the arena path
+        beats per-plan costing.  Ids are assigned in ``triples`` order, which
+        is exactly the order the scalar path would have created the plans in.
+        """
+        if not triples:
+            return []
+        target = self._arena if arena is None else arena
+        overlap = left_tables & right_tables
+        if overlap:
+            raise ValueError(
+                f"join operands overlap on tables {sorted(overlap)}"
+            )
+        left_rows = self._estimator.cardinality(left_tables)
+        right_rows = self._estimator.cardinality(right_tables)
+        output_rows = self._estimator.join_cardinality(left_tables, right_tables)
+        tables_id = target.intern_tables(left_tables | right_tables)
+        order_tag = _join_order_tag(left_tables, right_tables)
+        count = len(triples)
+        dims = target.dimensions
+        arena_columns = target.costs.columns
+
+        # Group block positions by operator (the only per-plan variation that
+        # affects the local cost), preserving the original order within each
+        # group so gathered rows line up with the triple positions.
+        positions_by_operator: Dict[int, List[int]] = {}
+        for position, (_, _, operator_index) in enumerate(triples):
+            positions_by_operator.setdefault(operator_index, []).append(position)
+
+        operator_ids = [0] * count
+        order_ids = [0] * count
+        cost_columns: List[Sequence[float]] = [None] * dims  # type: ignore[list-item]
+        single_group = len(positions_by_operator) == 1
+        if not single_group:
+            cost_columns = [[0.0] * count for _ in range(dims)]
+
+        for operator_index, positions in positions_by_operator.items():
+            operator = operators[operator_index]
+            local = self._cost_model.join_local_cost(
+                left_rows=left_rows,
+                right_rows=right_rows,
+                output_rows=output_rows,
+                algorithm=operator.algorithm,
+                parallelism=operator.parallelism,
+            )
+            operator_arena_id = target.intern_operator(operator)
+            order_id = (
+                target.intern_order(order_tag) if operator.produces_order else 0
+            )
+            left_slots = [triples[p][0] - 1 for p in positions]
+            right_slots = [triples[p][1] - 1 for p in positions]
+            left_columns = kernel.ops.take(arena_columns, left_slots)
+            right_columns = kernel.ops.take(arena_columns, right_slots)
+            combined = self._cost_model.combine_block(
+                left_columns, right_columns, local
+            )
+            if single_group:
+                cost_columns = combined
+            else:
+                for dim in range(dims):
+                    dest = cost_columns[dim]
+                    src = combined[dim]
+                    for offset, position in enumerate(positions):
+                        dest[position] = src[offset]
+            for position in positions:
+                operator_ids[position] = operator_arena_id
+                order_ids[position] = order_id
+
+        self.counters.join_plans_built += count
+        return target.extend_joins(
+            left_ids=[t[0] for t in triples],
+            right_ids=[t[1] for t in triples],
+            operator_ids=operator_ids,
+            tables_ids=[tables_id] * count,
+            order_ids=order_ids,
+            cost_columns=cost_columns,
+        )
+
+
+def _join_order_tag(
+    left_tables: FrozenSet[str], right_tables: FrozenSet[str]
+) -> str:
     """Interesting-order tag for a sort-merge join of the given operands.
 
     We tag the output order by the smaller operand's table set, a simplified
     but deterministic stand-in for "sorted on the join column".
     """
-    smaller = min((left.tables, right.tables), key=lambda ts: (len(ts), sorted(ts)))
+    smaller = min((left_tables, right_tables), key=lambda ts: (len(ts), sorted(ts)))
     return "sorted:" + ",".join(sorted(smaller))

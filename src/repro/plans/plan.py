@@ -1,37 +1,43 @@
-"""Immutable query plan trees.
+"""Query plans as thin handles over an arena slot.
 
-A plan either scans a single table or joins the results of two sub-plans
-(Section 3: ``p = p1 ⋈ p2``).  Plans carry:
+A plan either scans a single base table or joins the results of two sub-plans
+(Section 3: ``p = p1 ⋈ p2``).  Since the arena refactor, the plan data -- the
+table set, the cost row, the physical operator, the optional *interesting
+order* tag (Section 4.3) and the child plan ids -- lives in the parallel
+columns of a :class:`~repro.plans.arena.PlanArena` ("plans are represented by
+pointers to their sub-plans", Section 5.2).  A :class:`Plan` object is a
+*handle*: an ``(arena, plan_id)`` pair whose properties read straight from the
+arena columns.
 
-* the set of tables they join (``frozenset`` of table names),
-* their multi-objective cost vector,
-* the physical operator that produced them,
-* an optional *interesting order* tag (Section 4.3: plans producing different
-  interesting tuple orders are pruned separately),
-* a process-unique integer id, used to represent plans compactly ("plans are
-  represented by pointers to their sub-plans", Section 5.2) and to build the
-  freshness signature used by ``IsFresh``.
-
-Plans are immutable; equality is identity-based (two structurally identical
-plans created independently are distinct objects with distinct ids), which is
-what the incremental bookkeeping requires.
+Handles are canonical: the arena caches one handle per plan id, so equality
+remains identity-based exactly as before the refactor (two structurally
+identical plans created independently are distinct objects with distinct
+ids) -- which is what the incremental bookkeeping requires.  ``plan_id`` is a
+dense, 1-based integer unique *per arena*: every plan factory owns a private
+arena, so id assignment is a deterministic function of the query's own
+optimization history.  Plans constructed directly (``ScanPlan(...)``,
+``JoinPlan(...)``; used by tests and examples) are interned into a shared
+per-dimensionality default arena.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.costs.vector import CostVector
 from repro.plans.operators import JoinOperator, ScanOperator
 
-_plan_id_counter = itertools.count(1)
+
+def _as_cost_vector(cost) -> CostVector:
+    return cost if isinstance(cost, CostVector) else CostVector(cost)
 
 
 class Plan:
-    """Base class for query plans."""
+    """Base class for query plans: a handle over one arena slot."""
 
-    __slots__ = ("plan_id", "tables", "cost", "interesting_order")
+    # __weakref__ lets weak-handle arenas (the per-dimensionality default
+    # arenas) cache handles without keeping them alive.
+    __slots__ = ("_arena", "plan_id", "__weakref__")
 
     def __init__(
         self,
@@ -39,15 +45,45 @@ class Plan:
         cost: CostVector,
         interesting_order: Optional[str] = None,
     ):
-        if not tables:
-            raise ValueError("a plan must join at least one table")
-        self.plan_id: int = next(_plan_id_counter)
-        self.tables: FrozenSet[str] = frozenset(tables)
-        self.cost: CostVector = cost
-        #: Name of the column/order the plan's output is sorted on, or None.
-        self.interesting_order: Optional[str] = interesting_order
+        from repro.plans.arena import default_arena
+
+        cost = _as_cost_vector(cost)
+        arena = default_arena(cost.dimensions)
+        self._arena = arena
+        self.plan_id: int = arena.allocate_generic(
+            frozenset(tables), cost, interesting_order, handle=self
+        )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_arena(cls, arena, plan_id: int) -> "Plan":
+        """Materialize a handle for an already-allocated arena slot."""
+        handle = object.__new__(cls)
+        handle._arena = arena
+        handle.plan_id = plan_id
+        return handle
+
+    # ------------------------------------------------------------------
+    @property
+    def arena(self):
+        """The :class:`~repro.plans.arena.PlanArena` owning this plan."""
+        return self._arena
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        """The (interned) set of tables joined by this plan."""
+        return self._arena.tables_of(self.plan_id)
+
+    @property
+    def cost(self) -> CostVector:
+        """The plan's multi-objective cost vector (cached arena row view)."""
+        return self._arena.cost_of(self.plan_id)
+
+    @property
+    def interesting_order(self) -> Optional[str]:
+        """Name of the column/order the plan's output is sorted on, or None."""
+        return self._arena.order_of(self.plan_id)
+
     @property
     def table_count(self) -> int:
         """Number of tables joined by this plan."""
@@ -82,7 +118,7 @@ class Plan:
 class ScanPlan(Plan):
     """A plan that scans a single base table."""
 
-    __slots__ = ("table", "operator")
+    __slots__ = ()
 
     def __init__(
         self,
@@ -91,9 +127,23 @@ class ScanPlan(Plan):
         cost: CostVector,
         interesting_order: Optional[str] = None,
     ):
-        super().__init__(frozenset({table}), cost, interesting_order)
-        self.table = table
-        self.operator = operator
+        from repro.plans.arena import default_arena
+
+        cost = _as_cost_vector(cost)
+        arena = default_arena(cost.dimensions)
+        self._arena = arena
+        self.plan_id = arena.allocate_scan(
+            table, operator, cost, interesting_order, handle=self
+        )
+
+    @property
+    def table(self) -> str:
+        tables = self._arena.tables_of(self.plan_id)
+        return next(iter(tables))
+
+    @property
+    def operator(self) -> ScanOperator:
+        return self._arena.operator_of(self.plan_id)
 
     def leaves(self) -> List["ScanPlan"]:
         return [self]
@@ -111,7 +161,7 @@ class ScanPlan(Plan):
 class JoinPlan(Plan):
     """A plan joining the results of two sub-plans."""
 
-    __slots__ = ("left", "right", "operator")
+    __slots__ = ()
 
     def __init__(
         self,
@@ -121,15 +171,34 @@ class JoinPlan(Plan):
         cost: CostVector,
         interesting_order: Optional[str] = None,
     ):
-        overlap = left.tables & right.tables
-        if overlap:
+        cost = _as_cost_vector(cost)
+        arena = left.arena
+        if right.arena is not arena:
             raise ValueError(
-                f"join operands overlap on tables {sorted(overlap)}"
+                "join operands must be interned in the same plan arena"
             )
-        super().__init__(left.tables | right.tables, cost, interesting_order)
-        self.left = left
-        self.right = right
-        self.operator = operator
+        if arena.dimensions != cost.dimensions:
+            raise ValueError(
+                f"join cost has {cost.dimensions} components but the operands' "
+                f"arena stores {arena.dimensions} metrics"
+            )
+        self._arena = arena
+        self.plan_id = arena.allocate_join(
+            left.plan_id, right.plan_id, operator, cost, interesting_order,
+            handle=self,
+        )
+
+    @property
+    def left(self) -> Plan:
+        return self._arena.plan(self._arena.left_of(self.plan_id))
+
+    @property
+    def right(self) -> Plan:
+        return self._arena.plan(self._arena.right_of(self.plan_id))
+
+    @property
+    def operator(self) -> JoinOperator:
+        return self._arena.operator_of(self.plan_id)
 
     def leaves(self) -> List[ScanPlan]:
         return self.left.leaves() + self.right.leaves()
@@ -154,7 +223,9 @@ def plan_signature(
     ``IsFresh`` (Algorithm 3) must evaluate to true exactly once per sub-plan
     pair and join operator; the signature is the hash-table key used for that
     check.  The operand order is canonicalized by plan id so that the pair
-    ``(p1, p2)`` and ``(p2, p1)`` map to the same signature.
+    ``(p1, p2)`` and ``(p2, p1)`` map to the same signature.  The optimizer's
+    hot path uses the equivalent integer-triple form of
+    :meth:`repro.core.fresh.FreshnessRegistry.register_ids`.
     """
     first, second = (left, right) if left.plan_id <= right.plan_id else (right, left)
     return (first.plan_id, second.plan_id, operator.algorithm, operator.parallelism)

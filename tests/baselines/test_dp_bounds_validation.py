@@ -1,0 +1,25 @@
+"""Regression test: the DP must reject bounds of the wrong dimensionality.
+
+The pre-arena implementation failed fast inside ``within_bounds`` (a
+``dominates`` call raising on mismatched vector lengths); the arena port's
+row comparisons are plain ``zip`` loops that would silently truncate, so the
+validation now happens once per run.
+"""
+
+import pytest
+
+from repro.api import OptimizeRequest, resolve_request
+from repro.baselines.common import ApproximateParetoDP
+from repro.costs.vector import CostVector
+
+
+def test_run_rejects_mismatched_bounds():
+    resolved = resolve_request(
+        OptimizeRequest(workload="gen:chain:3:0", algorithm="oneshot", scale="tiny")
+    )
+    dp = ApproximateParetoDP(resolved.query, resolved.factory)
+    assert resolved.factory.metric_set.dimensions == 3
+    with pytest.raises(ValueError, match="3 metrics"):
+        dp.run(CostVector([10.0]), alpha=1.5)
+    with pytest.raises(ValueError, match="3 metrics"):
+        dp.run(CostVector([10.0, 10.0, 10.0, 10.0]), alpha=1.5)

@@ -1,0 +1,97 @@
+"""Golden-frontier capture for the arena differential suite.
+
+``capture_cell`` runs one (algorithm, topology, tables, seed) cell through the
+unified planner API and returns everything the external contract promises to
+keep bit-identical: the ordered frontier cost rows (hex-encoded floats, so the
+JSON fixture is exact to the last bit), the total number of plans generated,
+and the per-invocation counter deltas of the incremental optimizer.
+
+``python -m tests.core.golden_capture`` regenerates
+``tests/core/golden_frontiers.json``.  The committed fixture was produced by
+the pre-arena implementation; ``tests/core/test_arena_golden.py`` asserts that
+the arena-backed stack reproduces it exactly on both kernel backends.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+FIXTURE_PATH = Path(__file__).resolve().parent / "golden_frontiers.json"
+
+ALGORITHMS = ("iama", "memoryless", "oneshot", "exhaustive", "single_objective")
+TOPOLOGIES = ("chain", "star", "cycle", "clique")
+SEEDS = (0, 1)
+TABLE_COUNTS = (3, 4)
+LEVELS = 3
+
+#: InvocationReport counter fields pinned per invocation for the iama cells.
+IAMA_COUNTER_FIELDS = (
+    "candidates_retrieved",
+    "pairs_enumerated",
+    "join_plans_generated",
+    "scan_plans_generated",
+    "plans_inserted",
+    "plans_deferred",
+    "plans_out_of_bounds",
+    "plans_discarded",
+    "result_plans_total",
+    "candidate_plans_total",
+    "frontier_size",
+)
+
+
+def cell_key(algorithm: str, topology: str, tables: int, seed: int) -> str:
+    return f"{algorithm}/{topology}/{tables}/{seed}"
+
+
+def capture_cell(algorithm: str, topology: str, tables: int, seed: int) -> Dict:
+    """Run one cell and return its contract-relevant facts (floats hex-encoded)."""
+    from repro.api import OptimizeRequest, open_session
+
+    request = OptimizeRequest(
+        workload=f"gen:{topology}:{tables}:{seed}",
+        algorithm=algorithm,
+        scale="tiny",
+        levels=LEVELS,
+    )
+    result = open_session(request).run()
+    cell: Dict = {
+        "frontier": [
+            [value.hex() for value in summary.cost] for summary in result.frontier
+        ],
+        "plans_generated": result.plans_generated,
+        "frontier_size": result.frontier_size,
+    }
+    if algorithm == "iama":
+        counters: List[Dict[str, int]] = []
+        for invocation in result.invocations:
+            details = invocation.details
+            counters.append(
+                {name: details[name] for name in IAMA_COUNTER_FIELDS if name in details}
+            )
+        cell["invocation_counters"] = counters
+    return cell
+
+
+def capture_all() -> Dict[str, Dict]:
+    cells: Dict[str, Dict] = {}
+    for algorithm in ALGORITHMS:
+        for topology in TOPOLOGIES:
+            for tables in TABLE_COUNTS:
+                for seed in SEEDS:
+                    cells[cell_key(algorithm, topology, tables, seed)] = capture_cell(
+                        algorithm, topology, tables, seed
+                    )
+    return cells
+
+
+def main() -> None:
+    cells = capture_all()
+    FIXTURE_PATH.write_text(json.dumps(cells, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(cells)} cells to {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

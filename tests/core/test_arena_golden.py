@@ -1,0 +1,87 @@
+"""Differential suite: the arena-backed stack vs the pre-refactor golden run.
+
+``tests/core/golden_frontiers.json`` was captured by running the *pre-arena*
+implementation (heap ``Plan`` objects, per-plan costing) over every algorithm
+× topology (chain/star/cycle/clique) × table count × seed cell; the frontier
+cost rows are stored as hex-encoded floats, so equality here is equality to
+the last bit.  The arena refactor rewired plan storage, costing and pruning —
+these tests prove the external contract did not move: frontier costs (in
+retrieval order), total plans generated, and IAMA's per-invocation counters
+are all bit-identical on both kernel backends.
+"""
+
+import json
+
+import pytest
+
+from repro import kernel
+from tests.core.golden_capture import (
+    ALGORITHMS,
+    FIXTURE_PATH,
+    IAMA_COUNTER_FIELDS,
+    SEEDS,
+    TABLE_COUNTS,
+    TOPOLOGIES,
+    capture_cell,
+    cell_key,
+)
+
+try:
+    import numpy  # noqa: F401
+
+    BACKENDS = ("python", "numpy")
+except ImportError:  # pragma: no cover - depends on environment
+    BACKENDS = ("python",)
+
+GOLDEN = json.loads(FIXTURE_PATH.read_text())
+
+#: One representative cell per algorithm runs on BOTH backends; the full grid
+#: runs on the active default backend (the suite is executed under both
+#: backends in CI, so the full grid is covered on each).
+CELLS = [
+    (algorithm, topology, tables, seed)
+    for algorithm in ALGORITHMS
+    for topology in TOPOLOGIES
+    for tables in TABLE_COUNTS
+    for seed in SEEDS
+]
+
+
+def _assert_matches_golden(algorithm, topology, tables, seed):
+    expected = GOLDEN[cell_key(algorithm, topology, tables, seed)]
+    actual = capture_cell(algorithm, topology, tables, seed)
+    assert actual["frontier"] == expected["frontier"], (
+        f"{algorithm}/{topology}/{tables}/{seed}: frontier costs diverged "
+        "from the pre-arena implementation"
+    )
+    assert actual["plans_generated"] == expected["plans_generated"]
+    assert actual["frontier_size"] == expected["frontier_size"]
+    if algorithm == "iama":
+        assert actual["invocation_counters"] == expected["invocation_counters"]
+
+
+@pytest.mark.parametrize("algorithm,topology,tables,seed", CELLS)
+def test_cell_matches_pre_arena_golden(algorithm, topology, tables, seed):
+    _assert_matches_golden(algorithm, topology, tables, seed)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_representative_cell_matches_on_both_backends(backend, algorithm):
+    with kernel.use_backend(backend):
+        _assert_matches_golden(algorithm, "star", 4, 0)
+        _assert_matches_golden(algorithm, "chain", 4, 1)
+
+
+def test_fixture_covers_the_full_grid():
+    assert len(GOLDEN) == (
+        len(ALGORITHMS) * len(TOPOLOGIES) * len(TABLE_COUNTS) * len(SEEDS)
+    )
+    assert all("frontier" in cell for cell in GOLDEN.values())
+
+
+def test_iama_counters_present_in_fixture():
+    cell = GOLDEN[cell_key("iama", "chain", 3, 0)]
+    assert cell["invocation_counters"], "fixture must pin per-invocation counters"
+    for counters in cell["invocation_counters"]:
+        assert set(counters) == set(IAMA_COUNTER_FIELDS)

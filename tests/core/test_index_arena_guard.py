@@ -1,0 +1,53 @@
+"""Regression tests: PlanIndex must not confuse ids from different arenas.
+
+Plan ids are dense *per arena*, so a handle from a foreign arena can carry an
+id that happens to be registered in an index.  The object-level API must treat
+such handles as "not present" (or refuse the operation) instead of silently
+reading or removing the wrong plan.
+"""
+
+import pytest
+
+from repro.core.index import PlanIndex
+from repro.costs.vector import CostVector
+from repro.plans.arena import PlanArena
+from repro.plans.operators import ScanOperator
+
+
+def make_plan(arena, cost=(1.0, 1.0)):
+    return arena.plan(
+        arena.allocate_scan("t", ScanOperator("seq_scan"), CostVector(cost))
+    )
+
+
+class TestForeignArenaHandles:
+    def setup_method(self):
+        self.arena_a = PlanArena(2)
+        self.arena_b = PlanArena(2)
+        self.plan_a = make_plan(self.arena_a)
+        self.plan_b = make_plan(self.arena_b)  # same plan_id, different arena
+        assert self.plan_a.plan_id == self.plan_b.plan_id
+        self.index = PlanIndex()
+        self.index.insert(self.plan_a, 0)
+
+    def test_contains_rejects_foreign_handle(self):
+        assert self.plan_a in self.index
+        assert self.plan_b not in self.index
+
+    def test_discard_does_not_remove_the_wrong_plan(self):
+        assert self.index.discard(self.plan_b) is False
+        assert len(self.index) == 1
+        assert self.plan_a in self.index
+
+    def test_remove_raises_for_foreign_handle(self):
+        with pytest.raises(KeyError):
+            self.index.remove(self.plan_b)
+        assert self.plan_a in self.index
+
+    def test_resolution_of_raises_for_foreign_handle(self):
+        with pytest.raises(KeyError):
+            self.index.resolution_of(self.plan_b)
+
+    def test_insert_rejects_foreign_handle(self):
+        with pytest.raises(ValueError, match="different arenas"):
+            self.index.insert(self.plan_b, 0)

@@ -1,0 +1,47 @@
+"""Tests for the interactive session summary (arena occupancy surface)."""
+
+from repro.api import OptimizeRequest, resolve_request
+from repro.interactive.session import InteractiveSession
+
+
+def make_session():
+    resolved = resolve_request(
+        OptimizeRequest(workload="gen:star:3:0", algorithm="iama", scale="tiny", levels=3)
+    )
+    return InteractiveSession(resolved.query, resolved.factory, resolved.schedule)
+
+
+class TestSessionSummary:
+    def test_summary_before_any_iteration(self):
+        session = make_session()
+        summary = session.summary()
+        assert summary["iterations"] == 0
+        assert summary["resolution"] is None
+        assert summary["frontier_size"] == 0
+        assert summary["selected"] is False
+        assert summary["arena_plans_total"] == 0
+
+    def test_summary_reflects_arena_occupancy_after_run(self):
+        session = make_session()
+        session.run(max_iterations=4)
+        summary = session.summary()
+        assert summary["iterations"] == 4
+        assert summary["frontier_size"] > 0
+        assert summary["arena_plans_total"] > 0
+        assert (
+            summary["arena_plans_live"] + summary["arena_plans_tombstoned"]
+            == summary["arena_plans_total"]
+        )
+        assert summary["arena_approx_bytes"] > 0
+        # The summary gauges match the arena the session actually uses.
+        stats = session.loop.driver.factory.arena.stats()
+        assert summary["arena_plans_total"] == stats.plans_total
+        assert summary["arena_plans_live"] == stats.plans_live
+
+    def test_formatted_summary_mentions_arena(self):
+        session = make_session()
+        session.run(max_iterations=2)
+        text = session.format_summary()
+        assert "plan arena:" in text
+        assert "live plans" in text
+        assert "KiB" in text

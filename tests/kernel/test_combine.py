@@ -1,0 +1,185 @@
+"""Backend equivalence of the block-costing kernel ops (take / combine).
+
+The arena's batched costing path stands on two kernel primitives added with
+the plan-arena refactor: ``take`` (gather child cost rows by slot) and
+``combine_columns`` (vectorized per-metric aggregation).  Like the dominance
+ops, both must be bit-identical across the pure-Python and numpy backends and
+bit-identical to the scalar reference (``AggregationFunction.combine`` /
+plain indexing), including ``+inf`` components and the clamping edge cases of
+the precision-loss formula.
+"""
+
+import math
+import random
+from array import array
+
+import pytest
+
+from repro import kernel
+from repro.costs import aggregation as agg
+from repro.costs.metrics import (
+    MetricSet,
+    aggregation_spec,
+    extended_metric_set,
+    paper_metric_set,
+)
+from repro.costs.vector import CostVector
+
+try:
+    import numpy  # noqa: F401
+
+    BACKENDS = ("python", "numpy")
+except ImportError:  # pragma: no cover - depends on environment
+    BACKENDS = ("python",)
+
+AGGREGATIONS = [
+    agg.SumAggregation(),
+    agg.MaxAggregation(),
+    agg.PipelineMaxAggregation(),
+    agg.MinAggregation(),
+    agg.ScaledSumAggregation(1.5, 2.0),
+    agg.PrecisionLossAggregation(),
+]
+
+SIZES = (3, 17, 300)  # below and above the numpy SMALL_BLOCK cutoff
+
+
+def make_column(size, seed, with_inf=False, upper=100.0):
+    rng = random.Random(seed)
+    values = [rng.uniform(0.0, upper) for _ in range(size)]
+    if with_inf and size >= 4:
+        values[1] = math.inf
+        values[-2] = math.inf
+    return array("d", values)
+
+
+class TestCombineColumns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("aggregation", AGGREGATIONS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_matches_scalar_reference(self, backend, aggregation, size):
+        upper = 2.0 if isinstance(aggregation, agg.PrecisionLossAggregation) else 100.0
+        left = make_column(size, seed=1, upper=upper)
+        right = make_column(size, seed=2, upper=upper)
+        local = 0.75
+        spec = aggregation_spec(aggregation)
+        assert spec is not None
+        expected = [aggregation.combine(l, r, local) for l, r in zip(left, right)]
+        with kernel.use_backend(backend):
+            result = list(kernel.ops.combine_columns(spec, left, right, local))
+        assert result == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "aggregation",
+        [a for a in AGGREGATIONS if not isinstance(a, agg.PrecisionLossAggregation)],
+        ids=lambda a: a.name,
+    )
+    def test_infinite_components(self, backend, aggregation):
+        left = make_column(32, seed=3, with_inf=True)
+        right = make_column(32, seed=4, with_inf=True)
+        spec = aggregation_spec(aggregation)
+        expected = [aggregation.combine(l, r, 1.0) for l, r in zip(left, right)]
+        with kernel.use_backend(backend):
+            result = list(kernel.ops.combine_columns(spec, left, right, 1.0))
+        assert result == expected
+
+    def test_backends_bit_identical(self):
+        if len(BACKENDS) < 2:
+            pytest.skip("numpy not available")
+        for aggregation in AGGREGATIONS:
+            upper = 3.0 if isinstance(aggregation, agg.PrecisionLossAggregation) else 1e9
+            left = make_column(257, seed=5, upper=upper)
+            right = make_column(257, seed=6, upper=upper)
+            spec = aggregation_spec(aggregation)
+            with kernel.use_backend("python"):
+                py = kernel.ops.combine_columns(spec, left, right, 0.125).tobytes()
+            with kernel.use_backend("numpy"):
+                np_ = kernel.ops.combine_columns(spec, left, right, 0.125).tobytes()
+            assert py == np_, aggregation.name
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_spec_rejected(self, backend):
+        with kernel.use_backend(backend):
+            with pytest.raises(ValueError):
+                kernel.ops.combine_columns(
+                    ("bogus",), array("d", [1.0]), array("d", [1.0]), 0.0
+                )
+
+
+class TestTake:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gathers_rows_in_order(self, backend, size):
+        columns = [make_column(size, seed=d, with_inf=True) for d in range(3)]
+        rng = random.Random(9)
+        indices = [rng.randrange(size) for _ in range(size * 2)]
+        with kernel.use_backend(backend):
+            gathered = kernel.ops.take(columns, indices)
+        assert [list(col) for col in gathered] == [
+            [col[i] for i in indices] for col in columns
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_indices(self, backend):
+        columns = [make_column(8, seed=1)]
+        with kernel.use_backend(backend):
+            assert [list(c) for c in kernel.ops.take(columns, [])] == [[]]
+
+
+class TestMetricSetCombineColumns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "metric_set",
+        [paper_metric_set(), extended_metric_set(7)],
+        ids=["paper", "extended7"],
+    )
+    def test_matches_per_row_combine(self, backend, metric_set):
+        dims = metric_set.dimensions
+        rng = random.Random(11)
+        rows = 40
+        left_rows = [
+            CostVector([rng.uniform(0.0, 50.0) for _ in range(dims)])
+            for _ in range(rows)
+        ]
+        right_rows = [
+            CostVector([rng.uniform(0.0, 50.0) for _ in range(dims)])
+            for _ in range(rows)
+        ]
+        local = CostVector([rng.uniform(0.0, 5.0) for _ in range(dims)])
+        left_columns = [
+            array("d", (row[d] for row in left_rows)) for d in range(dims)
+        ]
+        right_columns = [
+            array("d", (row[d] for row in right_rows)) for d in range(dims)
+        ]
+        with kernel.use_backend(backend):
+            combined = metric_set.combine_columns(left_columns, right_columns, local)
+        for index in range(rows):
+            expected = metric_set.combine(left_rows[index], right_rows[index], local)
+            actual = tuple(combined[d][index] for d in range(dims))
+            assert actual == tuple(expected)
+
+    def test_unknown_aggregation_falls_back_to_per_element_loop(self):
+        class Weird(agg.AggregationFunction):
+            name = "weird"
+
+            def combine(self, left, right, local):
+                return left + 2.0 * right + local
+
+        metric = __import__("repro.costs.metrics", fromlist=["Metric"]).Metric(
+            name="weird", unit="u", aggregation=Weird()
+        )
+        assert aggregation_spec(Weird()) is None
+        metric_set = MetricSet([metric])
+        combined = metric_set.combine_columns(
+            [array("d", [1.0, 2.0])], [array("d", [3.0, 4.0])], CostVector([0.5])
+        )
+        assert list(combined[0]) == [1.0 + 6.0 + 0.5, 2.0 + 8.0 + 0.5]
+
+    def test_dimension_mismatch_rejected(self):
+        metric_set = paper_metric_set()
+        with pytest.raises(ValueError):
+            metric_set.combine_columns(
+                [array("d", [1.0])], [array("d", [1.0])], CostVector([0.0, 0.0, 0.0])
+            )

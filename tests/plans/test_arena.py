@@ -1,0 +1,318 @@
+"""Unit tests for :mod:`repro.plans.arena`."""
+
+import pytest
+
+from repro import kernel
+from repro.api import OptimizeRequest, resolve_request
+from repro.costs.vector import CostVector
+from repro.plans.arena import (
+    KIND_GENERIC,
+    KIND_JOIN,
+    KIND_SCAN,
+    NO_CHILD,
+    PlanArena,
+    default_arena,
+)
+from repro.plans.operators import JoinOperator, ScanOperator
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+try:
+    import numpy  # noqa: F401
+
+    BACKENDS = ("python", "numpy")
+except ImportError:  # pragma: no cover - depends on environment
+    BACKENDS = ("python",)
+
+
+def scan_id(arena, table="t", cost=(1.0, 2.0)):
+    return arena.allocate_scan(table, ScanOperator("seq_scan"), CostVector(cost))
+
+
+class TestAllocation:
+    def test_ids_are_dense_and_one_based(self):
+        arena = PlanArena(2)
+        assert scan_id(arena, "a") == 1
+        assert scan_id(arena, "b") == 2
+        assert len(arena) == 2
+
+    def test_scan_columns(self):
+        arena = PlanArena(2)
+        plan_id = scan_id(arena, "orders", (3.0, 4.0))
+        assert arena.kind_of(plan_id) == KIND_SCAN
+        assert arena.left_of(plan_id) == NO_CHILD
+        assert arena.right_of(plan_id) == NO_CHILD
+        assert arena.tables_of(plan_id) == frozenset({"orders"})
+        assert arena.cost_row(plan_id) == (3.0, 4.0)
+        assert arena.first_cost(plan_id) == 3.0
+        assert arena.order_of(plan_id) is None
+        assert arena.order_id_of(plan_id) == 0
+
+    def test_join_records_children_and_union_tables(self):
+        arena = PlanArena(2)
+        left = scan_id(arena, "a")
+        right = scan_id(arena, "b")
+        join = arena.allocate_join(
+            left, right, JoinOperator("hash_join"), CostVector([5.0, 5.0])
+        )
+        assert arena.kind_of(join) == KIND_JOIN
+        assert arena.left_of(join) == left
+        assert arena.right_of(join) == right
+        assert arena.tables_of(join) == frozenset({"a", "b"})
+
+    def test_overlapping_join_operands_rejected(self):
+        arena = PlanArena(2)
+        left = scan_id(arena, "a")
+        right = scan_id(arena, "a")
+        with pytest.raises(ValueError):
+            arena.allocate_join(
+                left, right, JoinOperator("hash_join"), CostVector([1.0, 1.0])
+            )
+
+    def test_generic_requires_tables(self):
+        arena = PlanArena(1)
+        with pytest.raises(ValueError):
+            arena.allocate_generic(frozenset(), CostVector([1.0]))
+
+    def test_extend_joins_bulk_allocates_in_order(self):
+        arena = PlanArena(2)
+        left = scan_id(arena, "a")
+        right = scan_id(arena, "b")
+        operator_id = arena.intern_operator(JoinOperator("hash_join"))
+        tables_id = arena.intern_tables(frozenset({"a", "b"}))
+        ids = arena.extend_joins(
+            left_ids=[left, left],
+            right_ids=[right, right],
+            operator_ids=[operator_id, operator_id],
+            tables_ids=[tables_id, tables_id],
+            order_ids=[0, 0],
+            cost_columns=[[10.0, 11.0], [20.0, 21.0]],
+        )
+        assert ids == [3, 4]
+        assert arena.cost_row(3) == (10.0, 20.0)
+        assert arena.cost_row(4) == (11.0, 21.0)
+        assert arena.left_of(4) == left and arena.right_of(4) == right
+
+    def test_extend_joins_empty_is_noop(self):
+        arena = PlanArena(2)
+        assert arena.extend_joins([], [], [], [], [], [[], []]) == []
+        assert len(arena) == 0
+
+
+class TestInterning:
+    def test_table_sets_interned_once(self):
+        arena = PlanArena(1)
+        first = arena.intern_tables(frozenset({"a", "b"}))
+        second = arena.intern_tables(frozenset({"b", "a"}))
+        assert first == second
+        assert arena.tables_for_id(first) == frozenset({"a", "b"})
+
+    def test_tables_of_returns_the_interned_object(self):
+        arena = PlanArena(1)
+        a = arena.allocate_scan("t", ScanOperator("seq_scan"), CostVector([1.0]))
+        b = arena.allocate_scan("t", ScanOperator("seq_scan", parallelism=2), CostVector([2.0]))
+        assert arena.tables_of(a) is arena.tables_of(b)
+
+    def test_operators_and_orders_interned(self):
+        arena = PlanArena(1)
+        operator = JoinOperator("sort_merge_join")
+        assert arena.intern_operator(operator) == arena.intern_operator(operator)
+        assert arena.intern_order(None) == 0
+        assert arena.intern_order("sorted:a") == arena.intern_order("sorted:a")
+        assert arena.intern_order("sorted:b") != arena.intern_order("sorted:a")
+
+
+class TestHandles:
+    def test_handles_are_canonical(self):
+        arena = PlanArena(2)
+        plan_id = scan_id(arena)
+        assert arena.plan(plan_id) is arena.plan(plan_id)
+
+    def test_handle_classes_follow_node_kind(self):
+        arena = PlanArena(2)
+        s = scan_id(arena, "a")
+        j = arena.allocate_join(
+            s, scan_id(arena, "b"), JoinOperator("hash_join"), CostVector([1.0, 1.0])
+        )
+        g = arena.allocate_generic(frozenset({"x"}), CostVector([1.0, 1.0]))
+        assert isinstance(arena.plan(s), ScanPlan)
+        assert isinstance(arena.plan(j), JoinPlan)
+        assert type(arena.plan(g)) is Plan
+        assert arena.kind_of(g) == KIND_GENERIC
+
+    def test_directly_constructed_plans_are_their_own_handles(self):
+        plan = ScanPlan("t", ScanOperator("seq_scan"), CostVector([1.0, 2.0]))
+        assert plan.arena.plan(plan.plan_id) is plan
+
+    def test_join_handle_resolves_children_to_original_objects(self):
+        left = ScanPlan("a", ScanOperator("seq_scan"), CostVector([1.0]))
+        right = ScanPlan("b", ScanOperator("seq_scan"), CostVector([1.0]))
+        join = JoinPlan(left, right, JoinOperator("hash_join"), CostVector([2.0]))
+        assert join.left is left
+        assert join.right is right
+
+    def test_cost_vector_is_cached(self):
+        arena = PlanArena(2)
+        plan = arena.plan(scan_id(arena))
+        assert plan.cost is plan.cost
+        assert plan.cost == CostVector([1.0, 2.0])
+
+    def test_default_arena_is_per_dimensionality(self):
+        assert default_arena(2) is default_arena(2)
+        assert default_arena(2) is not default_arena(3)
+        one = ScanPlan("t", ScanOperator("seq_scan"), CostVector([1.0, 1.0]))
+        two = ScanPlan("t", ScanOperator("seq_scan"), CostVector([1.0, 1.0]))
+        assert one.arena is two.arena
+        assert one.plan_id != two.plan_id
+
+
+class TestTombstoning:
+    def test_tombstone_updates_stats_but_keeps_row_addressable(self):
+        arena = PlanArena(2)
+        plan_id = scan_id(arena)
+        keep_id = scan_id(arena, "u")
+        arena.tombstone(plan_id)
+        stats = arena.stats()
+        assert stats.plans_total == 2
+        assert stats.plans_live == 1
+        assert stats.plans_tombstoned == 1
+        assert arena.is_tombstoned(plan_id)
+        assert not arena.is_tombstoned(keep_id)
+        # Ids are never recycled and the row stays readable.
+        assert arena.cost_row(plan_id) == (1.0, 2.0)
+        assert scan_id(arena, "v") == 3
+
+    def test_tombstone_is_idempotent(self):
+        arena = PlanArena(1)
+        plan_id = arena.allocate_scan("t", ScanOperator("seq_scan"), CostVector([1.0]))
+        arena.tombstone(plan_id)
+        arena.tombstone(plan_id)
+        assert arena.stats().plans_tombstoned == 1
+
+
+class TestWeakDefaultArena:
+    """Directly constructed plans must stay garbage-collectable."""
+
+    def test_dropped_direct_plans_are_collected(self):
+        import gc
+        import weakref
+
+        plan = ScanPlan("gc_probe", ScanOperator("seq_scan"), CostVector([1.0, 1.0]))
+        probe = weakref.ref(plan)
+        arena, plan_id = plan.arena, plan.plan_id
+        del plan
+        gc.collect()
+        assert probe() is None, "default arena kept a dropped plan alive"
+        # The row stays addressable and a fresh canonical handle materializes.
+        rematerialized = arena.plan(plan_id)
+        assert rematerialized.table == "gc_probe"
+        assert rematerialized is arena.plan(plan_id)
+
+    def test_identity_preserved_while_handle_is_held(self):
+        plan = ScanPlan("held", ScanOperator("seq_scan"), CostVector([1.0, 1.0]))
+        assert plan.arena.plan(plan.plan_id) is plan
+
+    def test_join_children_collectable_after_tree_dropped(self):
+        import gc
+        import weakref
+
+        left = ScanPlan("l", ScanOperator("seq_scan"), CostVector([1.0]))
+        right = ScanPlan("r", ScanOperator("seq_scan"), CostVector([1.0]))
+        join = JoinPlan(left, right, JoinOperator("hash_join"), CostVector([2.0]))
+        probes = [weakref.ref(obj) for obj in (left, right, join)]
+        del left, right, join
+        gc.collect()
+        assert all(probe() is None for probe in probes)
+
+
+class TestStats:
+    def test_byte_estimate_grows_with_allocation(self):
+        arena = PlanArena(3)
+        empty = arena.stats().approx_bytes
+        for _ in range(10):
+            scan_id(arena, "t", (1.0, 2.0, 3.0))
+        assert arena.stats().approx_bytes > empty
+
+    def test_interning_counts(self):
+        arena = PlanArena(1)
+        scan_id(arena, "a", (1.0,))
+        scan_id(arena, "b", (1.0,))
+        stats = arena.stats()
+        assert stats.table_sets_interned == 2
+        assert stats.operators_interned == 1
+        assert stats.orders_interned == 0
+
+
+class TestCombineBlockEquivalence:
+    """The batched factory path must equal the scalar path bit for bit."""
+
+    @pytest.fixture
+    def factory(self):
+        return resolve_request(
+            OptimizeRequest(workload="gen:star:3:5", algorithm="iama", scale="tiny")
+        ).factory
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_combine_block_matches_join_plan(self, factory, backend):
+        arena = factory.arena
+        tables = sorted(
+            {
+                table
+                for table in resolve_request(
+                    OptimizeRequest(
+                        workload="gen:star:3:5", algorithm="iama", scale="tiny"
+                    )
+                ).query.tables
+            }
+        )
+        left_ids = factory.scan_block(tables[0])
+        right_ids = factory.scan_block(tables[1])
+        operators = factory.join_operators()
+        triples = [
+            (left_id, right_id, k)
+            for left_id in left_ids
+            for right_id in right_ids
+            for k in range(len(operators))
+        ]
+        with kernel.use_backend(backend):
+            block_ids = factory.combine_block(
+                arena.tables_of(left_ids[0]),
+                arena.tables_of(right_ids[0]),
+                triples,
+                operators,
+            )
+            scalar_plans = [
+                factory.join_plan(
+                    arena.plan(left_id), arena.plan(right_id), operators[k]
+                )
+                for left_id, right_id, k in triples
+            ]
+        for block_id, scalar in zip(block_ids, scalar_plans):
+            assert arena.cost_row(block_id) == tuple(scalar.cost)
+            assert arena.order_of(block_id) == scalar.interesting_order
+            assert arena.operator_of(block_id) == scalar.operator
+            assert arena.left_of(block_id) == arena.left_of(scalar.plan_id)
+            assert arena.right_of(block_id) == arena.right_of(scalar.plan_id)
+
+    def test_combine_block_rejects_overlapping_splits(self, factory):
+        arena = factory.arena
+        table = sorted(
+            resolve_request(
+                OptimizeRequest(workload="gen:star:3:5", algorithm="iama", scale="tiny")
+            ).query.tables
+        )[0]
+        ids = factory.scan_block(table)
+        with pytest.raises(ValueError):
+            factory.combine_block(
+                arena.tables_of(ids[0]),
+                arena.tables_of(ids[0]),
+                [(ids[0], ids[0], 0)],
+                factory.join_operators(),
+            )
+
+    def test_combine_block_empty(self, factory):
+        assert (
+            factory.combine_block(
+                frozenset({"a"}), frozenset({"b"}), [], factory.join_operators()
+            )
+            == []
+        )

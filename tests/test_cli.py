@@ -81,6 +81,29 @@ class TestOptimizeCommand:
         assert result.finish_reason == "exhausted"
         assert result.frontier_size == len(payload["frontier"])
 
+    def test_text_output_reports_arena_occupancy(self, capsys):
+        argv = ["optimize", "gen:star:4:42", "--levels", "2", "--scale", "tiny"]
+        assert cli.main(argv) == 0
+        output = capsys.readouterr().out
+        assert "plan arena:" in output
+        assert "live plans" in output
+        assert "tombstoned" in output
+
+    def test_json_output_carries_arena_occupancy_stats(self, capsys):
+        argv = [
+            "optimize", "gen:star:4:42",
+            "--algorithm", "iama",
+            "--levels", "2",
+            "--scale", "tiny",
+            "--json",
+        ]
+        assert cli.main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        details = payload["invocations"][-1]["details"]
+        assert details["arena_plans_live"] > 0
+        assert details["arena_plans_tombstoned"] >= 0
+        assert details["arena_peak_bytes"] > 0
+
 
 class TestPlannersCommand:
     def test_lists_every_registered_planner(self, capsys):

@@ -1,0 +1,127 @@
+"""Cross-process determinism of per-arena plan-id assignment.
+
+Plan ids used to come from a process-global counter, so the id a plan got
+depended on every optimization that ran earlier in the process -- under
+pytest-xdist (or any test reordering) the same query produced different ids.
+Since the arena refactor every :class:`~repro.plans.factory.PlanFactory` owns
+a private :class:`~repro.plans.arena.PlanArena` whose ids are assigned in
+allocation order, so the full id structure of an optimization -- which id each
+plan got, which child ids each join points to, which interned table-set id
+each plan carries -- must be a pure function of the workload spec, across
+processes and hash seeds (``PYTHONHASHSEED`` differs between interpreters, so
+any hash-order dependence would surface here, exactly like in the generator
+determinism suite next door).
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SPECS = [
+    "gen:chain:3:0",
+    "gen:star:4:7",
+    "gen:cycle:4:1",
+    "gen:clique:3:42",
+]
+
+_FINGERPRINT_SCRIPT = """
+import hashlib
+import sys
+
+from repro.api import OptimizeRequest, open_session
+
+def fingerprint(spec):
+    session = open_session(
+        OptimizeRequest(workload=spec, algorithm="iama", scale="tiny", levels=3)
+    )
+    session.run()
+    arena = session.driver.optimizer.arena
+    digest = hashlib.sha256()
+    for plan_id in range(1, len(arena) + 1):
+        digest.update(
+            (
+                f"{plan_id}:{arena.kind_of(plan_id)}:{arena.left_of(plan_id)}:"
+                f"{arena.right_of(plan_id)}:{sorted(arena.tables_of(plan_id))}:"
+                f"{arena.order_of(plan_id)}:"
+                f"{[v.hex() for v in arena.cost_row(plan_id)]}"
+            ).encode()
+        )
+    return digest.hexdigest()
+
+for line in sys.stdin.read().split():
+    print(fingerprint(line))
+"""
+
+
+def _fingerprints_in_fresh_process(hash_seed: str) -> list:
+    src_root = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    completed = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        input="\n".join(SPECS),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return completed.stdout.split()
+
+
+def _fingerprints_in_this_process() -> list:
+    from repro.api import OptimizeRequest, open_session
+
+    results = []
+    for spec in SPECS:
+        session = open_session(
+            OptimizeRequest(workload=spec, algorithm="iama", scale="tiny", levels=3)
+        )
+        session.run()
+        arena = session.driver.optimizer.arena
+        digest = hashlib.sha256()
+        for plan_id in range(1, len(arena) + 1):
+            digest.update(
+                (
+                    f"{plan_id}:{arena.kind_of(plan_id)}:{arena.left_of(plan_id)}:"
+                    f"{arena.right_of(plan_id)}:{sorted(arena.tables_of(plan_id))}:"
+                    f"{arena.order_of(plan_id)}:"
+                    f"{[v.hex() for v in arena.cost_row(plan_id)]}"
+                ).encode()
+            )
+        results.append(digest.hexdigest())
+    return results
+
+
+class TestArenaIdDeterminism:
+    def test_id_assignment_is_identical_across_processes_and_hash_seeds(self):
+        """The arena id structure matches between this process and fresh
+        interpreters with two different hash seeds."""
+        local = _fingerprints_in_this_process()
+        assert _fingerprints_in_fresh_process("0") == local
+        assert _fingerprints_in_fresh_process("4242") == local
+
+    def test_repeated_runs_in_one_process_are_identical(self):
+        """Re-optimizing the same spec yields the same ids: nothing leaks
+        between factories (the old process-global counter would fail this
+        by shifting every id of the second run)."""
+        assert _fingerprints_in_this_process() == _fingerprints_in_this_process()
+
+    def test_ids_are_dense_and_one_based(self):
+        from repro.api import OptimizeRequest, open_session
+
+        session = open_session(
+            OptimizeRequest(
+                workload="gen:star:3:0", algorithm="iama", scale="tiny", levels=2
+            )
+        )
+        session.run()
+        arena = session.driver.optimizer.arena
+        stats = arena.stats()
+        assert stats.plans_total == len(arena)
+        assert stats.plans_live + stats.plans_tombstoned == stats.plans_total
+        # Every id in 1..N resolves; 0 is reserved as the no-child sentinel.
+        for plan_id in range(1, len(arena) + 1):
+            assert arena.cost_row(plan_id)
