@@ -1,0 +1,92 @@
+"""Load benchmark for the concurrent planning service.
+
+Regenerates ``results/service_load.txt``: open-loop arrival of generated
+workloads against the planning service, comparing scheduling policies
+(``fair`` / ``edf`` / ``alpha_greedy``) and cold vs. warm frontier cache.
+Reported per row: throughput and p50/p95/p99 of time-to-first-frontier and
+time-to-target-alpha.
+
+Hard assertions (the acceptance bar of the service subsystem):
+
+* at least 4 sessions were concurrently live under every policy,
+* every warm-phase request is answered from the frontier cache by replay —
+  zero optimizer invocations are re-run,
+* warm-phase time-to-first-frontier does not regress against the cold phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import persist_result
+from repro.bench.service_load import DEFAULT_POLICIES, run_service_load
+
+
+@pytest.fixture(scope="module")
+def load_result(bench_config):
+    return run_service_load(bench_config)
+
+
+def test_every_policy_ran_both_phases(load_result):
+    phases = {(row["policy"], row["phase"]) for row in load_result.rows}
+    expected = {
+        (policy, phase)
+        for policy in DEFAULT_POLICIES
+        for phase in ("cold", "warm")
+    }
+    assert phases == expected
+
+
+def test_sessions_ran_concurrently(load_result):
+    for row in load_result.filtered(phase="cold"):
+        assert row["max_live_sessions"] >= 4, (
+            f"policy {row['policy']}: only {row['max_live_sessions']} "
+            "sessions were concurrently live"
+        )
+
+
+def test_warm_phase_runs_zero_invocations(load_result):
+    for row in load_result.filtered(phase="warm"):
+        assert row["invocations_run"] == 0, (
+            f"policy {row['policy']}: warm phase re-ran "
+            f"{row['invocations_run']} invocations"
+        )
+        assert row["cache_hit"] == row["jobs"], (
+            f"policy {row['policy']}: {row['cache_hit']}/{row['jobs']} "
+            "warm requests were cache hits"
+        )
+        assert row["max_live_sessions"] == 0, (
+            f"policy {row['policy']}: warm replays opened live sessions"
+        )
+
+
+def test_cold_phase_computes_everything(load_result):
+    for row in load_result.filtered(phase="cold"):
+        assert row["cache_miss"] > 0
+        assert row["invocations_run"] > 0
+
+
+def test_latency_percentiles_are_well_formed(load_result):
+    for row in load_result.rows:
+        p50, p95, p99 = row["ttff_p50_ms"], row["ttff_p95_ms"], row["ttff_p99_ms"]
+        assert not math.isnan(p50)
+        assert p50 <= p95 <= p99
+        assert row["tta_p50_ms"] <= row["tta_p95_ms"] <= row["tta_p99_ms"]
+
+
+def test_warm_ttff_not_worse_than_cold(load_result):
+    for policy in DEFAULT_POLICIES:
+        cold = load_result.filtered(policy=policy, phase="cold")[0]
+        warm = load_result.filtered(policy=policy, phase="warm")[0]
+        # Replays answer from memory; allow generous slack for timer noise.
+        assert warm["ttff_p50_ms"] <= cold["ttff_p50_ms"] + 50.0
+
+
+def test_persist_service_load(load_result):
+    path = persist_result(load_result)
+    text = path.read_text()
+    assert "service_load" in text
+    for policy in DEFAULT_POLICIES:
+        assert policy in text

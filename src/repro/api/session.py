@@ -48,6 +48,22 @@ from repro.costs.vector import CostVector
 from repro.plans.plan import Plan
 from repro.plans.query import Query
 
+#: The session clock.  Budget deadlines and elapsed times are measured on the
+#: monotonic clock, never on wall-clock ``time.time()``: sessions parked and
+#: resumed by the planning service (or simply running while NTP steps the
+#: system clock) must not over- or under-run their deadline when the
+#: wall-clock jumps.  Kept as a module attribute so tests can fake the clock.
+_now = time.monotonic
+
+#: Finish reasons a warm-started session may recover from: every budget limit
+#: is resumable (a bigger budget simply continues the refinement), whereas a
+#: plan selection or an exhausted refinement sweep is final.
+RESUMABLE_FINISH_REASONS = (
+    FINISH_DEADLINE,
+    FINISH_INVOCATION_CAP,
+    FINISH_TARGET_ALPHA,
+)
+
 
 class PlannerSession:
     """One optimization session: invoke, stream updates, steer, finish.
@@ -100,6 +116,7 @@ class PlannerSession:
         self._finish_reason: Optional[str] = None
         self._selected_plan: Optional[Plan] = None
         self._started: Optional[float] = None
+        self._steered = False
 
     # ------------------------------------------------------------------
     # Read-only state
@@ -165,6 +182,21 @@ class PlannerSession:
     def finish_reason(self) -> Optional[str]:
         return self._finish_reason
 
+    @property
+    def steered(self) -> bool:
+        """Whether any non-Continue action was ever applied.
+
+        A steered session's invocation sequence diverges from the pure
+        refinement sweep a fresh session would run, so the planning service's
+        frontier cache only reuses never-steered sessions.
+        """
+        return self._steered
+
+    @property
+    def resumable(self) -> bool:
+        """Whether :meth:`resume` can reopen this session."""
+        return self._finish_reason in RESUMABLE_FINISH_REASONS
+
     # ------------------------------------------------------------------
     # The two phases of one iteration
     # ------------------------------------------------------------------
@@ -181,7 +213,7 @@ class PlannerSession:
                 "open a new session to continue"
             )
         if self._started is None:
-            self._started = time.perf_counter()
+            self._started = _now()
         resolution = (
             self._resolution
             if self._driver.refines
@@ -202,7 +234,7 @@ class PlannerSession:
             algorithm=self._algorithm,
             invocation=summary,
             frontier=frontier_summaries(step.plans),
-            elapsed_seconds=time.perf_counter() - self._started,
+            elapsed_seconds=_now() - self._started,
             plans=tuple(step.plans),
             native=step.native,
         )
@@ -227,6 +259,7 @@ class PlannerSession:
         if action is None:
             action = queued if queued is not None else Continue()
         if isinstance(action, SelectPlan):
+            self._steered = True
             self._selected_plan = action.resolve(list(self._last_plans))
             self._finish_reason = FINISH_SELECTED
         elif isinstance(action, ChangeBounds):
@@ -235,6 +268,7 @@ class PlannerSession:
                     f"bounds have {len(action.bounds)} components but the "
                     f"metric set has {self._metric_set.dimensions}"
                 )
+            self._steered = True
             self._bounds = action.bounds
             self._resolution = 0
         else:  # Continue
@@ -267,6 +301,36 @@ class PlannerSession:
     ) -> None:
         """Queue a plan selection (a concrete plan or a frontier chooser)."""
         self.steer(SelectPlan(plan=plan, chooser=chooser))
+
+    def resume(self, budget: Optional[Budget] = None) -> None:
+        """Reopen a budget-finished session under a fresh budget (warm start).
+
+        Only budget-induced finish reasons (:data:`RESUMABLE_FINISH_REASONS`)
+        can be cleared: a bigger budget simply continues the deterministic
+        refinement sweep exactly where it stopped, so the resumed session's
+        frontier is bit-identical to a fresh session run under the combined
+        budget.  Sessions finished by plan selection or by exhausting the
+        resolution schedule cannot be resumed.
+
+        Deadline accounting restarts at the next invocation — the new budget
+        pays for new work only, not for the time the session sat parked in
+        the planning service's frontier cache.
+        """
+        if (
+            self._finish_reason is not None
+            and self._finish_reason not in RESUMABLE_FINISH_REASONS
+        ):
+            raise RuntimeError(
+                f"cannot resume a session finished by {self._finish_reason!r}; "
+                f"only {', '.join(RESUMABLE_FINISH_REASONS)} are resumable"
+            )
+        if budget is not None:
+            self._budget = budget
+        self._finish_reason = None
+        # Restart the deadline/elapsed accounting even when the session never
+        # finished (e.g. re-parked after a cancellation): time spent parked
+        # must never count against the new budget.
+        self._started = None
 
     # ------------------------------------------------------------------
     # Drivers
@@ -342,7 +406,7 @@ class PlannerSession:
             self._finish_reason = FINISH_INVOCATION_CAP
             return
         if budget.deadline_seconds is not None and self._started is not None:
-            if time.perf_counter() - self._started >= budget.deadline_seconds:
+            if _now() - self._started >= budget.deadline_seconds:
                 self._finish_reason = FINISH_DEADLINE
                 return
         if (

@@ -80,9 +80,19 @@ def _digest(payload: object) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def content_digest(obj: object) -> str:
+    """SHA-256 over the canonical JSON form of an arbitrary object tree.
+
+    The generic content-addressing primitive behind every cache key in the
+    repository: the bench cell cache keys cells with it, and the planning
+    service's frontier cache keys requests with it.
+    """
+    return _digest(canonicalize(obj))
+
+
 def config_fingerprint(config) -> str:
     """Stable hex fingerprint of an experiment configuration."""
-    return _digest(canonicalize(config))
+    return content_digest(config)
 
 
 def cell_key(cell: Cell, config) -> str:
@@ -98,10 +108,18 @@ def cell_key(cell: Cell, config) -> str:
 
 
 # ----------------------------------------------------------------------
-# The store
+# The stores
 # ----------------------------------------------------------------------
-class ResultCache:
-    """Config-hash keyed JSON store of cell payloads under one root directory."""
+class JsonStore:
+    """One-JSON-file-per-key store with atomic writes under one root directory.
+
+    The raw persistence layer shared by the content-addressed caches: the
+    bench :class:`ResultCache` keeps cell payloads in one, and the planning
+    service's frontier cache persists finished frontiers through one.  Keys
+    are relative paths (``<namespace>/<hexdigest>.json``); writes go through a
+    temp file plus ``os.replace`` so concurrent writers sharing a directory at
+    worst waste a recomputation, never corrupt an entry.
+    """
 
     def __init__(self, root: PathLike):
         self._root = Path(root)
@@ -110,46 +128,29 @@ class ResultCache:
     def root(self) -> Path:
         return self._root
 
-    def path_for(self, cell: Cell, config) -> Path:
-        return self._root / cell.experiment / f"{cell_key(cell, config)}.json"
+    def path_for(self, relative: PathLike) -> Path:
+        return self._root / relative
 
-    # ------------------------------------------------------------------
-    def load(self, cell: Cell, config) -> Optional[CellPayload]:
-        """The cached payload for this cell, or ``None`` on miss/corruption."""
-        path = self.path_for(cell, config)
+    def load(self, relative: PathLike) -> Optional[dict]:
+        """The stored entry, or ``None`` on miss or corruption."""
         try:
-            entry = json.loads(path.read_text())
+            entry = json.loads(self.path_for(relative).read_text())
         except (OSError, ValueError):
             return None
-        if (
-            entry.get("version") != CACHE_FORMAT_VERSION
-            or entry.get("experiment") != cell.experiment
-            or entry.get("params") != canonicalize(cell.params_dict)
-        ):
-            return None
-        payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        return entry if isinstance(entry, dict) else None
 
-    def store(self, cell: Cell, config, payload: CellPayload) -> Path:
-        """Atomically persist one cell payload; returns the entry path."""
-        path = self.path_for(cell, config)
+    def store(self, relative: PathLike, entry: dict) -> Path:
+        """Atomically persist one entry; returns the entry path."""
+        path = self.path_for(relative)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "version": CACHE_FORMAT_VERSION,
-            "experiment": cell.experiment,
-            "params": canonicalize(cell.params_dict),
-            "config_fingerprint": config_fingerprint(config),
-            "config_name": getattr(config, "name", None),
-            "payload": payload,
-        }
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.stem, suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "w") as handle:
                 # No sort_keys: payload key order is data (it fixes the column
-                # order of the merged report), so it must survive the round
-                # trip unchanged.
+                # order of merged reports), so it must survive the round trip
+                # unchanged.
                 json.dump(entry, handle, indent=2)
             os.replace(tmp_name, path)
         except BaseException:
@@ -160,12 +161,63 @@ class ResultCache:
             raise
         return path
 
+    def entries(self, pattern: str = "*/*.json") -> List[Path]:
+        """All entry files currently on disk matching ``pattern``."""
+        if not self._root.exists():
+            return []
+        return sorted(self._root.glob(pattern))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+class ResultCache:
+    """Config-hash keyed JSON store of cell payloads under one root directory."""
+
+    def __init__(self, root: PathLike):
+        self._store = JsonStore(root)
+
+    @property
+    def root(self) -> Path:
+        return self._store.root
+
+    @staticmethod
+    def _relative(cell: Cell, config) -> Path:
+        return Path(cell.experiment) / f"{cell_key(cell, config)}.json"
+
+    def path_for(self, cell: Cell, config) -> Path:
+        return self._store.path_for(self._relative(cell, config))
+
+    # ------------------------------------------------------------------
+    def load(self, cell: Cell, config) -> Optional[CellPayload]:
+        """The cached payload for this cell, or ``None`` on miss/corruption."""
+        entry = self._store.load(self._relative(cell, config))
+        if (
+            entry is None
+            or entry.get("version") != CACHE_FORMAT_VERSION
+            or entry.get("experiment") != cell.experiment
+            or entry.get("params") != canonicalize(cell.params_dict)
+        ):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, cell: Cell, config, payload: CellPayload) -> Path:
+        """Atomically persist one cell payload; returns the entry path."""
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "experiment": cell.experiment,
+            "params": canonicalize(cell.params_dict),
+            "config_fingerprint": config_fingerprint(config),
+            "config_name": getattr(config, "name", None),
+            "payload": payload,
+        }
+        return self._store.store(self._relative(cell, config), entry)
+
     # ------------------------------------------------------------------
     def entries(self) -> List[Path]:
         """All cache entry files currently on disk."""
-        if not self._root.exists():
-            return []
-        return sorted(self._root.glob("*/*.json"))
+        return self._store.entries()
 
     def __len__(self) -> int:
         return len(self.entries())

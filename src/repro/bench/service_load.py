@@ -1,0 +1,191 @@
+"""Load generator for the concurrent planning service.
+
+Open-loop experiment: ``jobs`` generated workloads arrive on a fixed schedule
+(arrivals are independent of completions, the standard closed-vs-open-loop
+distinction for tail latencies) against one :class:`PlanningService`.  Each
+policy runs two phases over the *same* arrival sequence:
+
+* **cold** — empty frontier cache: every invocation is computed, concurrency
+  and scheduling policy dominate the latency profile;
+* **warm** — the same requests again: every job must be answered from the
+  frontier cache by replay, re-running zero optimizer invocations.
+
+Reported per ``(policy, phase)`` row: throughput, p50/p95/p99 of
+time-to-first-frontier (submission until the first visualized frontier — the
+anytime promise) and of time-to-target-alpha (submission until the frontier
+first reaches the schedule's target precision factor), cache hit/warm/miss
+counts, optimizer invocations executed, and the peak number of concurrently
+live sessions.
+
+The results land in ``results/service_load.txt`` through the same
+:class:`~repro.bench.experiments.ExperimentResult` + text-report writer as
+every other benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.config import ExperimentConfig, config_from_environment
+from repro.bench.experiments import ExperimentResult
+from repro.api.request import OptimizeRequest
+from repro.service.frontier_cache import FrontierCache
+from repro.service.protocol import CACHE_HIT, CACHE_MISS, CACHE_WARM
+from repro.service.service import PlanningService
+
+#: Policies compared by the default experiment.
+DEFAULT_POLICIES = ("fair", "edf", "alpha_greedy")
+
+TOPOLOGIES = ("chain", "star", "cycle", "clique")
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (the convention of the figure experiments)."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def generated_request_specs(
+    jobs: int,
+    tables: int = 4,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[str]:
+    """An arrival sequence cycling topologies and seeds (deterministic)."""
+    specs = []
+    for index in range(jobs):
+        topology = TOPOLOGIES[index % len(TOPOLOGIES)]
+        seed = seeds[(index // len(TOPOLOGIES)) % len(seeds)]
+        specs.append(f"gen:{topology}:{tables}:{seed}")
+    return specs
+
+
+def _submit_open_loop(
+    service: PlanningService,
+    requests: Sequence[OptimizeRequest],
+    arrival_interval: float,
+    deadlines: Optional[Sequence[float]] = None,
+) -> List[str]:
+    """Submit on a fixed arrival schedule; returns the tickets in order."""
+    tickets: List[str] = []
+    start = time.monotonic()
+    for index, request in enumerate(requests):
+        arrival = start + index * arrival_interval
+        delay = arrival - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        deadline = deadlines[index] if deadlines is not None else None
+        tickets.append(service.submit(request, deadline_seconds=deadline))
+    return tickets
+
+
+def _phase_metrics(
+    service: PlanningService,
+    tickets: Sequence[str],
+    target_alpha: float,
+    invocations_before: int,
+) -> Dict[str, object]:
+    ttff: List[float] = []
+    tta: List[float] = []
+    statuses = {CACHE_MISS: 0, CACHE_HIT: 0, CACHE_WARM: 0}
+    first_submit = math.inf
+    last_finish = 0.0
+    for ticket in tickets:
+        service.wait(ticket, timeout=300.0)
+        job = service.job(ticket)
+        statuses[job.cache_status] = statuses.get(job.cache_status, 0) + 1
+        first_submit = min(first_submit, job.submitted_at)
+        last_finish = max(last_finish, job.finished_at or job.submitted_at)
+        if job.first_update_at is not None:
+            ttff.append(job.first_update_at - job.submitted_at)
+        for alpha, stamp in zip(job.alphas, job.update_times):
+            if alpha <= target_alpha:
+                tta.append(stamp - job.submitted_at)
+                break
+    makespan = max(last_finish - first_submit, 1e-9)
+    invocations = service.scheduler.invocations_run - invocations_before
+    return {
+        "jobs": len(tickets),
+        "throughput_jobs_per_s": len(tickets) / makespan,
+        "ttff_p50_ms": percentile(ttff, 0.50) * 1000.0,
+        "ttff_p95_ms": percentile(ttff, 0.95) * 1000.0,
+        "ttff_p99_ms": percentile(ttff, 0.99) * 1000.0,
+        "tta_p50_ms": percentile(tta, 0.50) * 1000.0,
+        "tta_p95_ms": percentile(tta, 0.95) * 1000.0,
+        "tta_p99_ms": percentile(tta, 0.99) * 1000.0,
+        "cache_miss": statuses.get(CACHE_MISS, 0),
+        "cache_hit": statuses.get(CACHE_HIT, 0),
+        "cache_warm": statuses.get(CACHE_WARM, 0),
+        "invocations_run": invocations,
+        "max_live_sessions": service.scheduler.max_live_seen,
+    }
+
+
+def run_service_load(
+    config: Optional[ExperimentConfig] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    jobs: int = 12,
+    workers: int = 4,
+    max_sessions: int = 8,
+    levels: int = 3,
+    tables: int = 4,
+    arrival_interval: float = 0.002,
+) -> ExperimentResult:
+    """Run the open-loop load experiment; one row per (policy, phase).
+
+    Every policy sees the identical arrival sequence; the cold and warm phase
+    of one policy share one service instance (and therefore one frontier
+    cache), so the warm phase measures pure cache replay.
+    """
+    config = config or config_from_environment()
+    specs = generated_request_specs(jobs, tables=tables)
+    requests = [
+        OptimizeRequest(workload=spec, levels=levels, scale=config.name)
+        for spec in specs
+    ]
+    # Staggered scheduling deadlines exercise the EDF ordering; they never
+    # terminate sessions (only the request Budget can do that).
+    deadlines = [0.5 + 0.05 * index for index in range(jobs)]
+    target_alpha = requests[0].budget.target_alpha or _schedule_target(requests[0])
+    rows: List[Dict[str, object]] = []
+    for policy in policies:
+        with PlanningService(
+            policy=policy,
+            workers=workers,
+            max_sessions=max_sessions,
+            max_queue=max(jobs, 16),
+            cache=FrontierCache(),
+        ) as service:
+            for phase in ("cold", "warm"):
+                before = service.scheduler.invocations_run
+                # Per-phase concurrency high-water mark: warm-phase replays
+                # never open live sessions and must report 0, not the cold
+                # phase's peak.
+                service.scheduler.reset_max_live_seen()
+                tickets = _submit_open_loop(
+                    service, requests, arrival_interval, deadlines
+                )
+                metrics = _phase_metrics(service, tickets, target_alpha, before)
+                rows.append({"policy": policy, "phase": phase, **metrics})
+    return ExperimentResult(
+        name="service_load",
+        description=(
+            "Open-loop load against the concurrent planning service: "
+            f"{jobs} generated workloads ({tables} tables), {workers} scheduler "
+            f"worker(s), {max_sessions} max live sessions, levels={levels}, "
+            f"scale={config.name}.  Cold = empty frontier cache; warm = same "
+            "requests again, answered by cache replay without re-running any "
+            "optimizer invocation."
+        ),
+        rows=rows,
+    )
+
+
+def _schedule_target(request: OptimizeRequest) -> float:
+    from repro.api.request import PRECISION_SETTINGS
+
+    return PRECISION_SETTINGS[request.precision].target_precision

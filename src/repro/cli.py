@@ -11,7 +11,11 @@ The CLI exposes the most common workflows without writing Python:
 * ``python -m repro.cli bench --jobs 4``      -- run registered experiments
   through the sharded scheduler, with per-cell caching and ``--resume``,
 * ``python -m repro.cli compare tpch_q05``    -- compare IAMA against the two
-  baselines on one block.
+  baselines on one block,
+* ``python -m repro.cli serve --port 8723``   -- run the concurrent planning
+  service (scheduler + frontier cache + JSON wire protocol),
+* ``python -m repro.cli submit gen:star:6:42 --stream`` -- submit a workload
+  to a running planning service and stream its frontier updates.
 
 ``optimize`` and ``compare`` run through the unified planner API
 (:mod:`repro.api`): any registered algorithm is selectable with
@@ -31,7 +35,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.api import OptimizeRequest, open_session, planner_registry
+from repro.api import Budget, OptimizeRequest, open_session, planner_registry
 from repro.bench.cache import ResultCache
 from repro.bench.config import (
     CONFIG_PRESETS,
@@ -300,6 +304,117 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Planning service
+# ----------------------------------------------------------------------
+def build_server(args: argparse.Namespace):
+    """Build (but do not run) the planning server for a ``serve`` invocation.
+
+    Factored out of :func:`cmd_serve` so tests can run the server on an
+    ephemeral port in-process and shut it down cleanly.
+    """
+    from repro.service import PlanningService, PlanningServer
+
+    service = PlanningService(
+        policy=args.policy,
+        workers=args.jobs,
+        max_sessions=args.max_sessions,
+        max_queue=args.queue_size,
+        cache=False if args.no_cache else None,
+        cache_bytes=args.cache_mb << 20,
+        cache_dir=args.cache_dir,
+    )
+    return PlanningServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the concurrent planning service until interrupted."""
+    try:
+        server = build_server(args)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot start planning service: {exc}")
+    host, port = server.address
+    print(
+        f"planning service listening on http://{host}:{port} "
+        f"(policy {args.policy}, {args.jobs} worker(s), "
+        f"max {args.max_sessions} live sessions, "
+        f"cache {'off' if args.no_cache else f'{args.cache_mb} MiB'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one workload to a running planning service."""
+    from repro.interactive.visualize import format_stream_line
+    from repro.service import ServiceClient, ServiceClientError
+
+    try:
+        request = OptimizeRequest(
+            workload=args.query,
+            algorithm=args.algorithm,
+            scale=args.scale,
+            levels=args.levels,
+            precision=args.precision,
+            budget=Budget(
+                deadline_seconds=args.budget_seconds,
+                max_invocations=args.max_invocations,
+                target_alpha=args.target_alpha,
+            ),
+        )
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+    client = ServiceClient(args.host, args.port)
+    try:
+        status = client.submit(
+            request, priority=args.priority, deadline_seconds=args.deadline
+        )
+        ticket = status["ticket"]
+        if not args.json:
+            print(f"submitted {args.query} as {ticket} (state {status['state']})")
+        if args.stream:
+            for payload in client.stream(ticket):
+                if payload.get("kind") != "frontier_update":
+                    continue  # the trailing job_status line
+                if args.json:
+                    print(json_module.dumps(payload))
+                else:
+                    print(format_stream_line(payload))
+        result = client.result(ticket, timeout=args.timeout)
+        final = client.poll(ticket)
+    except ServiceClientError as exc:
+        raise SystemExit(str(exc))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach a planning service at "
+            f"http://{args.host}:{args.port} ({exc}); start one with "
+            "'repro-moqo serve'"
+        )
+    if args.json:
+        print(json_module.dumps(result.to_dict(), indent=2))
+        return 0
+    print(
+        f"cache: {final['cache_status']}; finish reason: {result.finish_reason}; "
+        f"{len(result.invocations)} invocations, "
+        f"{result.frontier_size} tradeoffs"
+    )
+    for summary in sorted(result.frontier, key=lambda s: s.cost[0])[: args.show]:
+        described = ", ".join(
+            f"{name}={value:.4g}"
+            for name, value in zip(result.metric_names, summary.cost)
+        )
+        print(f"    {described}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -408,6 +523,128 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", choices=SCALE_CHOICES, default=None)
     bench.set_defaults(handler=cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the concurrent planning service (scheduler + frontier "
+        "cache + JSON wire protocol)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8723)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="scheduler worker threads sharing invocation timeslices (default: 2)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("fair", "edf", "alpha_greedy"),
+        default="fair",
+        help="timeslice policy: fair round-robin, earliest-deadline-first, "
+        "or largest expected precision gain (default: fair)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="admission control: maximum concurrently live sessions (default: 8)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="backlog length before submissions get HTTP 503 (default: 64)",
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=int,
+        default=64,
+        help="frontier cache byte budget in MiB (default: 64)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist cached frontiers under this directory (default: memory only)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-request frontier cache",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one workload to a running planning service"
+    )
+    submit.add_argument("query", help=workload_help)
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8723)
+    submit.add_argument(
+        "--algorithm",
+        default="iama",
+        help="registered planner name (see the 'planners' command)",
+    )
+    submit.add_argument("--levels", type=int, default=5)
+    submit.add_argument(
+        "--precision", choices=("moderate", "fine"), default="moderate"
+    )
+    submit.add_argument("--scale", choices=SCALE_CHOICES, default=None)
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="admission priority (larger = admitted earlier; default: 0)",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="scheduling deadline for the earliest-deadline-first policy",
+    )
+    submit.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="session wall-clock budget (Budget.deadline_seconds)",
+    )
+    submit.add_argument(
+        "--max-invocations",
+        type=int,
+        default=None,
+        help="session invocation budget (Budget.max_invocations)",
+    )
+    submit.add_argument(
+        "--target-alpha",
+        type=float,
+        default=None,
+        help="stop once this precision factor is reached (Budget.target_alpha)",
+    )
+    submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="print one line (or JSON payload) per frontier update as it arrives",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="give up waiting for the result after this many seconds",
+    )
+    submit.add_argument(
+        "--show", type=int, default=10, help="frontier points to print"
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned OptimizationResult JSON payload",
+    )
+    submit.set_defaults(handler=cmd_submit)
 
     return parser
 

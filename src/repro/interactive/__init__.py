@@ -18,6 +18,7 @@ instead this package provides
 from repro.interactive.visualize import (
     FrontierSnapshot,
     ascii_scatter,
+    format_stream_line,
     frontier_series,
 )
 from repro.interactive.user_models import (
@@ -34,6 +35,7 @@ from repro.interactive.session import InteractiveSession, SessionTimelineEntry
 __all__ = [
     "FrontierSnapshot",
     "ascii_scatter",
+    "format_stream_line",
     "frontier_series",
     "UserModel",
     "PassiveUser",

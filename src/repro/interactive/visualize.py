@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.costs.metrics import MetricSet
 from repro.costs.vector import CostVector
@@ -104,3 +104,20 @@ def ascii_scatter(
     lines.append("-" * width)
     lines.append(f"{'':>{max(0, width - len(x_label) - 12)}}{x_label} (max {x_max:.3g})")
     return "\n".join(lines)
+
+
+def format_stream_line(payload: Mapping) -> str:
+    """One-line rendering of a wire ``frontier_update`` payload.
+
+    Shared by ``repro-moqo submit --stream`` and the service examples so that
+    remotely streamed invocations print exactly like a local interactive
+    session's timeline: invocation index, resolution level, precision factor,
+    duration and frontier size.
+    """
+    invocation = payload["invocation"]
+    duration_ms = float(invocation["duration_seconds"]) * 1000.0
+    return (
+        f"  [{invocation['index']:>3}] resolution {invocation['resolution']}  "
+        f"alpha {float(invocation['alpha']):.4g}  "
+        f"{duration_ms:8.1f} ms  {len(payload['frontier'])} tradeoffs"
+    )

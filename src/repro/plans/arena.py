@@ -32,6 +32,7 @@ dead weight and estimate the arena's memory footprint.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from array import array
 from dataclasses import dataclass
@@ -445,6 +446,7 @@ class PlanArena:
 #: never touches these: every :class:`~repro.plans.factory.PlanFactory` owns a
 #: private arena, which is what makes id assignment deterministic per query.
 _DEFAULT_ARENAS: Dict[int, PlanArena] = {}
+_DEFAULT_ARENAS_LOCK = threading.Lock()
 
 
 def default_arena(dimensions: int) -> PlanArena:
@@ -453,9 +455,18 @@ def default_arena(dimensions: int) -> PlanArena:
     Default arenas run in weak-handle mode: they never keep plan objects (or
     cost-vector views) alive, so directly constructed plans remain ordinary
     garbage-collectable objects; only their raw column rows stay resident.
+
+    Creation is locked: the planning service runs sessions on scheduler
+    worker threads, and two threads racing the first direct plan construction
+    for a dimensionality must agree on one shared arena instead of silently
+    splitting their interning tables.  (Sessions themselves never touch the
+    default arenas — every :class:`~repro.plans.factory.PlanFactory` owns a
+    private per-query arena, which is what keeps concurrent sessions free of
+    shared mutable plan state.)
     """
-    arena = _DEFAULT_ARENAS.get(dimensions)
-    if arena is None:
-        arena = PlanArena(dimensions, weak_handles=True)
-        _DEFAULT_ARENAS[dimensions] = arena
-    return arena
+    with _DEFAULT_ARENAS_LOCK:
+        arena = _DEFAULT_ARENAS.get(dimensions)
+        if arena is None:
+            arena = PlanArena(dimensions, weak_handles=True)
+            _DEFAULT_ARENAS[dimensions] = arena
+        return arena

@@ -1,0 +1,463 @@
+"""Cross-request frontier cache: serve repeat requests, warm-start refinement.
+
+The paper's anytime loop makes optimization state *reusable*: the frontier
+after ``k`` invocations is a deterministic function of the request (workload,
+algorithm, metrics, levels, precision, initial bounds) and ``k`` alone.  The
+planning service exploits that in two ways:
+
+* **Replay (hit).**  If a cached run of the same request fingerprint already
+  executed at least as many invocations as the incoming budget admits, the
+  serial stopping point is *computed* from the cached precision trace
+  (:func:`serial_stop`) and the answer is assembled from the cached frontier
+  updates — zero optimizer invocations run, and the frontier is bit-identical
+  to running the request from scratch.
+* **Warm start.**  If the incoming budget admits *more* work than the cached
+  run performed and the finished session was parked (budget-finished, never
+  steered), the cached prefix is replayed and the parked session is resumed
+  (:meth:`~repro.api.session.PlannerSession.resume`), so only the missing
+  invocations are computed.  Because the incremental optimizer's state after
+  ``k`` invocations is exactly the state a fresh run reaches after the same
+  ``k`` invocations, the combined result is again bit-identical to a cold run.
+
+Requests whose own :class:`~repro.api.request.Budget` carries a wall-clock
+deadline bypass the cache — their stopping point is timing-dependent, so no
+deterministic replay exists (the service still *records* their prefix, which
+is a valid deterministic trace regardless of why it stopped).
+
+Keys are content digests (:func:`repro.bench.cache.content_digest`, the PR-2
+primitive) over the canonical workload fingerprint
+(:func:`repro.workloads.generator.workload_fingerprint` for generated specs)
+crossed with everything else that determines the invocation sequence.  Entries
+live in an LRU bounded by a byte budget (frontier payload bytes plus parked
+arena bytes) and can optionally persist through the same atomic
+:class:`~repro.bench.cache.JsonStore` the bench cell cache uses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.request import Budget, ResolvedRequest
+from repro.api.schema import (
+    FINISH_EXHAUSTED,
+    FINISH_INVOCATION_CAP,
+    FINISH_TARGET_ALPHA,
+    cost_to_jsonable,
+)
+from repro.api.session import PlannerSession
+from repro.bench.cache import JsonStore, config_fingerprint, content_digest
+from repro.service.protocol import CACHE_HIT, CACHE_MISS, CACHE_WARM
+from repro.workloads.generator import GeneratedQuery, workload_fingerprint
+
+#: Bump when the persisted entry layout changes incompatibly.
+FRONTIER_CACHE_VERSION = 1
+
+#: Disk namespace under the persist directory.
+_DISK_NAMESPACE = "frontiers"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def canonical_workload_id(resolved: ResolvedRequest) -> str:
+    """A spelling-independent identifier of the resolved workload.
+
+    Generated specs (``gen:star:6:42``) are identified by the full
+    :func:`workload_fingerprint` — the digest over schema, statistics and
+    join predicates that the bench cell cache already trusts for
+    cross-process determinism — computed over the *already resolved* query
+    and statistics (submit is a hot path; the workload is never regenerated
+    just to fingerprint it).  TPC-H specs (``q03`` == ``tpch:q03`` ==
+    ``tpch_q03``) are identified by the resolved block name plus the
+    statistics scale factor.
+    """
+    spec = resolved.request.workload.strip()
+    if spec.startswith("gen:"):
+        generated = GeneratedQuery(
+            query=resolved.query,
+            schema=resolved.statistics.schema,
+            statistics=resolved.statistics,
+        )
+        return f"gen:{workload_fingerprint(generated)}"
+    return f"tpch:{resolved.query.name}:{resolved.config.tpch_scale_factor}"
+
+
+def request_fingerprint(resolved: ResolvedRequest, algorithm: str) -> str:
+    """Content digest over everything that determines the invocation sequence.
+
+    ``algorithm`` must be the *canonical* registry name (aliases collapse to
+    one fingerprint).  The request budget is deliberately excluded: the budget
+    decides where the deterministic sequence *stops*, not what it computes, so
+    one cache entry answers every budget of the same request.
+    """
+    return content_digest(
+        {
+            "workload": canonical_workload_id(resolved),
+            "algorithm": algorithm,
+            "metrics": list(resolved.metric_set.names),
+            "levels": resolved.request.levels,
+            "precision": resolved.request.precision,
+            "bounds": cost_to_jsonable(resolved.bounds),
+            "objective": resolved.request.objective,
+            "config": config_fingerprint(resolved.config),
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# The serial stopping rule
+# ----------------------------------------------------------------------
+def serial_stop(
+    alphas: List[float],
+    refines: bool,
+    levels: int,
+    budget: Budget,
+) -> Optional[Tuple[int, str]]:
+    """Where a fresh, never-steered session under ``budget`` would stop.
+
+    Given the cached precision trace (``alphas[i]`` = precision factor of
+    invocation ``i + 1``), returns ``(invocations_executed, finish_reason)``
+    if the stopping point falls inside the trace, or ``None`` if a serial run
+    would execute beyond it.  Mirrors the exact check order of
+    :meth:`PlannerSession.apply`: exhaustion (the refinement sweep completing)
+    takes precedence over the budget, then the invocation cap, then the
+    target-alpha limit.  Budgets with wall-clock deadlines must never reach
+    this function — their stopping point is not a function of the trace.
+    """
+    if budget.deadline_seconds is not None:
+        raise ValueError("serial_stop is undefined for wall-clock deadline budgets")
+    exhaustion = levels if refines else 1
+    for i in range(1, len(alphas) + 1):
+        if i >= exhaustion:
+            return i, FINISH_EXHAUSTED
+        if budget.max_invocations is not None and i >= budget.max_invocations:
+            return i, FINISH_INVOCATION_CAP
+        if budget.target_alpha is not None and alphas[i - 1] <= budget.target_alpha:
+            return i, FINISH_TARGET_ALPHA
+    return None
+
+
+# ----------------------------------------------------------------------
+# Entries and decisions
+# ----------------------------------------------------------------------
+@dataclass
+class CacheEntry:
+    """One cached request: its deterministic trace plus an optional session."""
+
+    key: str
+    workload: str
+    algorithm: str
+    query_name: str
+    table_count: int
+    metric_names: Tuple[str, ...]
+    levels: int
+    refines: bool
+    #: Precision factor of each cached invocation, in execution order.
+    alphas: List[float]
+    #: ``frontier_update`` payloads, one per cached invocation.
+    updates: List[dict]
+    #: Cumulative ``plans_generated`` after each cached invocation.
+    plans_after: List[int]
+    #: Parked live session for warm starts; ``None`` once popped or evicted.
+    session: Optional[PlannerSession] = field(default=None, repr=False)
+    payload_bytes: int = 0
+
+    @property
+    def invocations(self) -> int:
+        return len(self.alphas)
+
+    def result_payload(self, stop_index: int, finish_reason: str) -> dict:
+        """Assemble the ``optimization_result`` payload of a replayed prefix."""
+        if not 1 <= stop_index <= self.invocations:
+            raise ValueError(
+                f"stop index {stop_index} outside cached trace of "
+                f"{self.invocations} invocations"
+            )
+        prefix = self.updates[:stop_index]
+        invocations = [update["invocation"] for update in prefix]
+        return {
+            "schema_version": prefix[0]["schema_version"],
+            "kind": "optimization_result",
+            "algorithm": self.algorithm,
+            "query": {"name": self.query_name, "table_count": self.table_count},
+            "metrics": list(self.metric_names),
+            "finish_reason": finish_reason,
+            "total_seconds": sum(
+                inv["duration_seconds"] for inv in invocations
+            ),
+            "plans_generated": self.plans_after[stop_index - 1],
+            "invocations": invocations,
+            "frontier": list(prefix[-1]["frontier"]),
+            "selected_plan": None,
+        }
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What the cache decided for one incoming request."""
+
+    status: str                    # CACHE_HIT / CACHE_WARM / CACHE_MISS
+    entry: Optional[CacheEntry] = None
+    stop_index: int = 0            # hit: invocations the serial run executes
+    finish_reason: Optional[str] = None
+    session: Optional[PlannerSession] = None  # warm: the popped parked session
+
+
+def _payload_bytes(updates: List[dict]) -> int:
+    return sum(
+        len(json.dumps(update, separators=(",", ":"))) for update in updates
+    )
+
+
+def _session_bytes(session: Optional[PlannerSession]) -> int:
+    if session is None:
+        return 0
+    try:
+        return session.driver.factory.arena.stats().approx_bytes
+    except Exception:  # pragma: no cover - stats are best-effort gauges
+        return 0
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class FrontierCache:
+    """LRU frontier store with replay/warm-start decisions and gauges.
+
+    Thread-safe: the planning service consults it from the submit path while
+    scheduler workers record finished runs.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = 64 << 20,
+        persist_dir: Optional[Path] = None,
+    ):
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self._max_bytes = max_bytes
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._disk = JsonStore(persist_dir) if persist_dir is not None else None
+        self.hits = 0
+        self.warm_starts = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes_in_use": self._bytes,
+                "max_bytes": self._max_bytes,
+                "hits": self.hits,
+                "warm_starts": self.warm_starts,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
+
+    # ------------------------------------------------------------------
+    def match(self, key: str, budget: Budget) -> Decision:
+        """Decide how to serve a request with this fingerprint and budget.
+
+        Replay beats warm start beats miss; gauges are bumped accordingly.  A
+        warm decision *pops* the parked session — the caller owns it and is
+        expected to re-record the extended trace when the resumed run ends.
+        """
+        with self._lock:
+            entry = self._lookup_locked(key)
+            if entry is None:
+                self.misses += 1
+                return Decision(status=CACHE_MISS)
+            stop = serial_stop(entry.alphas, entry.refines, entry.levels, budget)
+            if stop is not None:
+                stop_index, finish_reason = stop
+                self.hits += 1
+                return Decision(
+                    status=CACHE_HIT,
+                    entry=entry,
+                    stop_index=stop_index,
+                    finish_reason=finish_reason,
+                )
+            if entry.session is not None:
+                session = entry.session
+                entry.session = None
+                self._bytes -= entry.payload_bytes
+                entry.payload_bytes = _payload_bytes(entry.updates)
+                self._bytes += entry.payload_bytes
+                self.warm_starts += 1
+                return Decision(status=CACHE_WARM, entry=entry, session=session)
+            self.misses += 1
+            return Decision(status=CACHE_MISS)
+
+    def _lookup_locked(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        if self._disk is None:
+            return None
+        stored = self._disk.load(Path(_DISK_NAMESPACE) / f"{key}.json")
+        if (
+            stored is None
+            or stored.get("version") != FRONTIER_CACHE_VERSION
+            or stored.get("key") != key
+        ):
+            return None
+        entry = CacheEntry(
+            key=key,
+            workload=stored["workload"],
+            algorithm=stored["algorithm"],
+            query_name=stored["query_name"],
+            table_count=int(stored["table_count"]),
+            metric_names=tuple(stored["metric_names"]),
+            levels=int(stored["levels"]),
+            refines=bool(stored["refines"]),
+            alphas=[float(a) for a in stored["alphas"]],
+            updates=list(stored["updates"]),
+            plans_after=[int(n) for n in stored["plans_after"]],
+        )
+        self._insert_locked(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        key: str,
+        *,
+        workload: str,
+        algorithm: str,
+        query_name: str,
+        table_count: int,
+        metric_names: Tuple[str, ...],
+        levels: int,
+        refines: bool,
+        alphas: List[float],
+        updates: List[dict],
+        plans_after: List[int],
+        session: Optional[PlannerSession] = None,
+    ) -> Optional[CacheEntry]:
+        """Record a finished, never-steered run (and optionally park its session).
+
+        A shorter trace never replaces a longer one for the same key; an
+        equally long trace adopts the parked session if the resident entry
+        lost its own.  Returns the resident entry (or ``None`` when the trace
+        was rejected or immediately evicted by the byte budget).
+        """
+        if not alphas or not (len(alphas) == len(updates) == len(plans_after)):
+            raise ValueError("alphas, updates and plans_after must align and be non-empty")
+        # Park only sessions that can accept further invocations: finished by
+        # a budget limit (resumable) or not finished at all (a popped warm
+        # session re-parked because admission failed).  Selection/exhaustion
+        # is final — the trace is still worth caching, the session is not.
+        if session is not None and session.finished and not session.resumable:
+            session = None
+        # Serialize once, outside the lock: the byte accounting reuses this
+        # size, so concurrent match() calls never wait on JSON encoding.
+        payload_size = _payload_bytes(updates)
+        persist_entry: Optional[CacheEntry] = None
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                if existing.invocations > len(alphas):
+                    return existing
+                if existing.invocations == len(alphas):
+                    if session is not None and existing.session is None:
+                        self._bytes -= existing.payload_bytes
+                        existing.session = session
+                        existing.payload_bytes = payload_size + _session_bytes(
+                            session
+                        )
+                        self._bytes += existing.payload_bytes
+                        self._entries.move_to_end(key)
+                        self._evict_locked()
+                    else:
+                        self._entries.move_to_end(key)
+                    return self._entries.get(key)
+                self._remove_locked(key, count_eviction=False)
+            entry = CacheEntry(
+                key=key,
+                workload=workload,
+                algorithm=algorithm,
+                query_name=query_name,
+                table_count=table_count,
+                metric_names=tuple(metric_names),
+                levels=levels,
+                refines=refines,
+                alphas=list(alphas),
+                updates=list(updates),
+                plans_after=list(plans_after),
+                session=session,
+            )
+            self._insert_locked(entry, payload_size=payload_size)
+            self.stores += 1
+            if self._disk is not None:
+                persist_entry = entry
+            resident = self._entries.get(key)
+        # Disk persistence happens outside the lock: JsonStore's atomic
+        # os.replace tolerates concurrent writers, and a slow disk must not
+        # stall every concurrent match() on the submit hot path.
+        if persist_entry is not None:
+            self._persist(persist_entry)
+        return resident
+
+    def _insert_locked(
+        self, entry: CacheEntry, payload_size: Optional[int] = None
+    ) -> None:
+        if payload_size is None:
+            payload_size = _payload_bytes(entry.updates)
+        entry.payload_bytes = payload_size + _session_bytes(entry.session)
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        self._bytes += entry.payload_bytes
+        self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while self._bytes > self._max_bytes and self._entries:
+            oldest = next(iter(self._entries))
+            self._remove_locked(oldest, count_eviction=True)
+
+    def _remove_locked(self, key: str, count_eviction: bool) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self._bytes -= entry.payload_bytes
+        entry.session = None
+        if count_eviction:
+            self.evictions += 1
+
+    def _persist(self, entry: CacheEntry) -> None:
+        self._disk.store(
+            Path(_DISK_NAMESPACE) / f"{entry.key}.json",
+            {
+                "version": FRONTIER_CACHE_VERSION,
+                "key": entry.key,
+                "workload": entry.workload,
+                "algorithm": entry.algorithm,
+                "query_name": entry.query_name,
+                "table_count": entry.table_count,
+                "metric_names": list(entry.metric_names),
+                "levels": entry.levels,
+                "refines": entry.refines,
+                "alphas": entry.alphas,
+                "updates": entry.updates,
+                "plans_after": entry.plans_after,
+            },
+        )

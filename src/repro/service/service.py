@@ -1,0 +1,415 @@
+"""The in-process planning service façade.
+
+:class:`PlanningService` is the one object behind every serving surface: the
+CLI ``serve`` command wraps it with the HTTP wire layer, the load benchmark
+drives it directly, and tests/examples embed it in-process.  It composes
+
+* a :class:`~repro.service.scheduler.Scheduler` multiplexing live
+  :class:`~repro.api.session.PlannerSession` objects at invocation
+  granularity, and
+* a :class:`~repro.service.frontier_cache.FrontierCache` that answers repeat
+  requests by replay and warm-starts refinement of cached-but-coarser
+  frontiers,
+
+behind five verbs: ``submit``, ``poll``, ``stream``, ``steer``, ``cancel``.
+
+The differential contract: for every scheduling policy and worker count, the
+frontier a request receives is bit-identical to running the same
+``OptimizeRequest`` through :func:`repro.api.open_session` serially — sessions
+never share plan arenas or optimizer state, each session's invocations run one
+at a time in order, and cache replays/warm starts reuse only deterministic
+prefixes of the identical invocation sequence.  (Requests whose *budget*
+carries a wall-clock deadline are inherently timing-dependent; they bypass the
+cache and carry ``cache_status="bypass"``.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.api.registry import PlannerRegistry, planner_registry
+from repro.api.request import OptimizeRequest, resolve_request
+from repro.api.schema import OptimizationResult
+from repro.core.control import UserAction
+from repro.service.frontier_cache import (
+    FrontierCache,
+    request_fingerprint,
+)
+from repro.service.protocol import (
+    CACHE_BYPASS,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_WARM,
+    JOB_FAILED,
+    JOB_FINISHED,
+    parse_steer,
+    stats_payload,
+)
+from repro.service.scheduler import AdmissionError, Job, Scheduler
+
+
+class ServiceError(RuntimeError):
+    """A job failed or a service verb was used incorrectly."""
+
+
+class UnknownTicketError(KeyError):
+    """No job is registered under this ticket."""
+
+
+class PlanningService:
+    """Multiplex many concurrent planner sessions over one process.
+
+    Parameters
+    ----------
+    policy:
+        Scheduling policy (``fair``, ``edf``, ``alpha_greedy``).
+    workers:
+        Scheduler worker threads; ``0`` selects manual mode, where the caller
+        drives execution with :meth:`step_once`/:meth:`run_until_idle` (used
+        by the deterministic interleaving tests).
+    max_sessions:
+        Admission control: maximum concurrently live sessions.
+    max_queue:
+        Backlog length before :meth:`submit` raises
+        :class:`~repro.service.scheduler.AdmissionError`.
+    cache:
+        A :class:`FrontierCache`, ``None`` to build a default in-memory one,
+        or ``False`` to disable cross-request caching entirely.
+    cache_bytes / cache_dir:
+        Budget and optional persistence directory of the default cache.
+    registry:
+        Planner registry (defaults to the process-wide registry).
+    max_retained_jobs:
+        Terminal job records kept for poll/stream/result before the oldest
+        are dropped (a long-running server must not accumulate one record
+        per request forever); live and queued jobs are never dropped.
+    """
+
+    def __init__(
+        self,
+        policy: str = "fair",
+        workers: int = 1,
+        max_sessions: int = 8,
+        max_queue: int = 64,
+        cache: Union[FrontierCache, None, bool] = None,
+        cache_bytes: int = 64 << 20,
+        cache_dir: Optional[Path] = None,
+        registry: Optional[PlannerRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_retained_jobs: int = 1024,
+    ):
+        if max_retained_jobs < 1:
+            raise ValueError("max_retained_jobs must be at least 1")
+        if cache is False:
+            self._cache: Optional[FrontierCache] = None
+        elif cache is None or cache is True:
+            self._cache = FrontierCache(max_bytes=cache_bytes, persist_dir=cache_dir)
+        else:
+            self._cache = cache
+        self._registry = registry if registry is not None else planner_registry()
+        self._scheduler = Scheduler(
+            policy=policy,
+            max_sessions=max_sessions,
+            max_queue=max_queue,
+            workers=workers,
+            clock=clock,
+            on_finish=self._on_job_finish,
+        )
+        self._clock = clock
+        self._jobs: Dict[str, Job] = {}
+        self._max_retained_jobs = max_retained_jobs
+        self._tickets = itertools.count(1)
+        self._closed = False
+        if workers > 0:
+            self._scheduler.start()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._closed = True
+        self._scheduler.close()
+
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def cache(self) -> Optional[FrontierCache]:
+        return self._cache
+
+    @property
+    def registry(self) -> PlannerRegistry:
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # The five verbs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: OptimizeRequest,
+        priority: int = 0,
+        deadline_seconds: Optional[float] = None,
+        use_cache: bool = True,
+    ) -> str:
+        """Admit one request; returns its ticket.
+
+        Raises ``ValueError``/``KeyError`` for malformed requests and
+        :class:`AdmissionError` when the backlog is full.
+        """
+        if self._closed:
+            raise ServiceError("planning service is closed")
+        with self._scheduler.condition:
+            self._prune_retained_locked()
+        canonical = self._registry.get(request.algorithm).name
+        resolved = resolve_request(request)
+        key: Optional[str] = None
+        decision = None
+        cache_status = CACHE_MISS
+        if self._cache is not None:
+            key = request_fingerprint(resolved, canonical)
+            if request.budget.deadline_seconds is not None:
+                cache_status = CACHE_BYPASS
+            elif use_cache:
+                decision = self._cache.match(key, request.budget)
+                cache_status = decision.status
+
+        ticket = f"job-{next(self._tickets):06d}"
+        job = Job(
+            ticket,
+            request,
+            session=None,
+            priority=priority,
+            deadline_seconds=deadline_seconds,
+            clock=self._clock,
+        )
+        job.cache_status = cache_status
+        job.cache_key = key
+
+        if decision is not None and decision.status == CACHE_HIT:
+            self._finish_replay(job, decision)
+            self._jobs[ticket] = job
+            return ticket
+
+        if decision is not None and decision.status == CACHE_WARM:
+            session = decision.session
+            session.resume(request.budget)
+            job.session = session
+            entry = decision.entry
+            for index in range(entry.invocations):
+                job.record_update(
+                    entry.updates[index],
+                    entry.alphas[index],
+                    entry.plans_after[index],
+                )
+            job.replayed = entry.invocations
+        else:
+            job.session = self._registry.open_resolved(resolved)
+
+        self._jobs[ticket] = job
+        try:
+            self._scheduler.submit(job)
+        except AdmissionError:
+            # Never lose a parked session to backpressure: re-park it.
+            self._jobs.pop(ticket, None)
+            if decision is not None and decision.status == CACHE_WARM:
+                self._repark(job)
+            raise
+        return ticket
+
+    def poll(self, ticket: str, include_result: bool = True) -> dict:
+        """The job's ``job_status`` payload."""
+        job = self._job(ticket)
+        with self._scheduler.condition:
+            return job.status_payload(include_result=include_result)
+
+    def stream(
+        self, ticket: str, timeout: Optional[float] = None
+    ) -> Iterator[dict]:
+        """Yield ``frontier_update`` payloads until the job is terminal.
+
+        Replayed prefixes stream instantly; live updates stream as the
+        scheduler produces them.  The stream ends when the job reaches a
+        terminal state and every update has been yielded.
+        """
+        job = self._job(ticket)
+        condition = self._scheduler.condition
+        deadline = self._clock() + timeout if timeout is not None else None
+        index = 0
+        while True:
+            with condition:
+                while index >= len(job.updates) and not job.terminal:
+                    if self._closed:
+                        return
+                    remaining = 0.25
+                    if deadline is not None:
+                        remaining = min(remaining, deadline - self._clock())
+                        if remaining <= 0:
+                            raise TimeoutError(
+                                f"no update from {ticket} within {timeout} s"
+                            )
+                    condition.wait(timeout=remaining)
+                if index < len(job.updates):
+                    payload = job.updates[index]
+                    index += 1
+                else:
+                    return
+            yield payload
+
+    def steer(self, ticket: str, action: Union[UserAction, dict]) -> dict:
+        """Apply remote steering (a ``steer_request`` payload or an action)."""
+        if isinstance(action, dict):
+            action = parse_steer(action)
+        job = self._job(ticket)
+        self._scheduler.steer(job, action)
+        return self.poll(ticket, include_result=False)
+
+    def cancel(self, ticket: str) -> dict:
+        """Cancel a job (the slice currently executing completes first)."""
+        job = self._job(ticket)
+        self._scheduler.cancel(job)
+        return self.poll(ticket)
+
+    # ------------------------------------------------------------------
+    # Results and introspection
+    # ------------------------------------------------------------------
+    def wait(self, ticket: str, timeout: Optional[float] = None) -> dict:
+        """Block until the job is terminal; returns its status payload."""
+        job = self._job(ticket)
+        condition = self._scheduler.condition
+        deadline = self._clock() + timeout if timeout is not None else None
+        with condition:
+            while not job.terminal:
+                if self._closed:
+                    raise ServiceError(
+                        f"planning service closed while {ticket} was {job.state}"
+                    )
+                remaining = 0.25
+                if deadline is not None:
+                    remaining = min(remaining, deadline - self._clock())
+                    if remaining <= 0:
+                        raise TimeoutError(f"{ticket} not finished within {timeout} s")
+                condition.wait(timeout=remaining)
+            return job.status_payload()
+
+    def result(self, ticket: str, timeout: Optional[float] = None) -> OptimizationResult:
+        """Block for and return the typed :class:`OptimizationResult`."""
+        status = self.wait(ticket, timeout=timeout)
+        if status["state"] == JOB_FAILED:
+            raise ServiceError(
+                f"job {ticket} failed: {status.get('error') or 'unknown error'}"
+            )
+        payload = status.get("result")
+        if payload is None:
+            raise ServiceError(f"job {ticket} ended {status['state']} without a result")
+        return OptimizationResult.from_dict(payload)
+
+    def job(self, ticket: str) -> Job:
+        """The live :class:`Job` record (tests and benchmarks introspect it)."""
+        return self._job(ticket)
+
+    def tickets(self) -> List[str]:
+        return list(self._jobs)
+
+    def stats(self) -> dict:
+        """Scheduler and cache gauges as a ``service_stats`` payload."""
+        cache_stats = self._cache.stats() if self._cache is not None else {}
+        return stats_payload(self._scheduler.stats(), cache_stats)
+
+    # ------------------------------------------------------------------
+    # Manual-mode stepping (workers=0)
+    # ------------------------------------------------------------------
+    def step_once(self) -> Optional[str]:
+        return self._scheduler.step_once()
+
+    def run_until_idle(self) -> int:
+        return self._scheduler.run_until_idle()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _job(self, ticket: str) -> Job:
+        job = self._jobs.get(ticket)
+        if job is None:
+            raise UnknownTicketError(f"unknown ticket {ticket!r}")
+        return job
+
+    def _prune_retained_locked(self) -> None:
+        """Drop the oldest terminal job records beyond the retention cap."""
+        if len(self._jobs) <= self._max_retained_jobs:
+            return
+        for ticket in list(self._jobs):
+            if len(self._jobs) <= self._max_retained_jobs:
+                break
+            if self._jobs[ticket].terminal:
+                del self._jobs[ticket]
+
+    def _finish_replay(self, job: Job, decision) -> None:
+        entry = decision.entry
+        for index in range(decision.stop_index):
+            job.record_update(
+                entry.updates[index],
+                entry.alphas[index],
+                entry.plans_after[index],
+            )
+        job.replayed = decision.stop_index
+        job.result_payload = entry.result_payload(
+            decision.stop_index, decision.finish_reason
+        )
+        with self._scheduler.condition:
+            job.state = JOB_FINISHED
+            job.started_at = job.submitted_at
+            job.finished_at = self._clock()
+            self._scheduler.condition.notify_all()
+
+    def _on_job_finish(self, job: Job) -> None:
+        """Scheduler callback: record terminating runs in the frontier cache.
+
+        For successfully finishing jobs the scheduler invokes this *before*
+        the job becomes observably terminal, so a client that sees
+        ``finished`` and immediately resubmits is guaranteed to hit the
+        cache.  Cancelled jobs land here after finalization: their trace is a
+        valid deterministic prefix and their (unfinished) session — possibly
+        a popped warm-start session — is re-parked rather than lost.  Failed
+        and steered runs are never recorded.
+        """
+        if self._cache is None or job.cache_key is None:
+            return
+        session = job.session
+        if (
+            session is None
+            or session.steered
+            or not job.alphas
+            or job.error is not None
+        ):
+            return
+        self._record_job(job, session)
+
+    def _repark(self, job: Job) -> None:
+        if self._cache is None or job.cache_key is None or job.session is None:
+            return
+        self._record_job(job, job.session)
+
+    def _record_job(self, job: Job, session) -> None:
+        factory = session.driver.factory
+        self._cache.record(
+            job.cache_key,
+            workload=job.request.workload,
+            algorithm=session.algorithm,
+            query_name=session.driver.query.name,
+            table_count=session.driver.query.table_count,
+            metric_names=tuple(factory.metric_set.names),
+            levels=session.driver.schedule.levels,
+            refines=session.driver.refines,
+            alphas=list(job.alphas),
+            updates=list(job.updates),
+            plans_after=list(job.plans_after),
+            session=session,
+        )

@@ -1,0 +1,158 @@
+"""Regression tests: budget deadlines run on the monotonic clock.
+
+Sessions under the planning service's scheduler can be parked, resumed, and
+timesliced across threads; if the deadline accounting read wall-clock
+``time.time()``, an NTP step or DST adjustment would make sessions over- or
+under-run their budget.  The session module therefore measures all elapsed
+time through ``repro.api.session._now`` (= ``time.monotonic``), and these
+tests pin that contract down with fake clocks.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.api.session as session_module
+from repro.api import Budget, OptimizeRequest, open_session
+from repro.api.schema import FINISH_DEADLINE, FINISH_EXHAUSTED
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, start: float = 1_000.0):
+        self.value = start
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, seconds: float) -> None:
+        self.value += seconds
+
+
+@pytest.fixture()
+def fake_clock(monkeypatch):
+    clock = FakeClock()
+    monkeypatch.setattr(session_module, "_now", clock)
+    return clock
+
+
+def _session(deadline: float, levels: int = 5):
+    request = OptimizeRequest(
+        workload="gen:chain:3:0",
+        levels=levels,
+        scale="tiny",
+        budget=Budget(deadline_seconds=deadline),
+    )
+    return open_session(request)
+
+
+class TestMonotonicDeadlines:
+    def test_deadline_fires_on_monotonic_elapsed_time(self, fake_clock):
+        session = _session(deadline=10.0)
+        session.step()
+        assert not session.finished
+        fake_clock.advance(10.0)
+        session.step()
+        assert session.finished
+        assert session.finish_reason == FINISH_DEADLINE
+
+    def test_wall_clock_jumps_do_not_affect_the_deadline(
+        self, fake_clock, monkeypatch
+    ):
+        import time as time_module
+
+        session = _session(deadline=60.0, levels=3)
+        # A wall clock jumping hours backwards and forwards between
+        # invocations must be invisible: only the fake monotonic clock
+        # (which stands still here) feeds the deadline accounting.
+        jumps = iter([-7200.0, 7200.0, -86400.0, 86400.0, 0.0, 0.0])
+        real_time = time_module.time
+
+        def jumping_wall_clock():
+            return real_time() + next(jumps, 0.0)
+
+        monkeypatch.setattr(time_module, "time", jumping_wall_clock)
+        result = session.run()
+        assert result.finish_reason == FINISH_EXHAUSTED  # never the deadline
+
+    def test_deadline_zero_still_admits_one_invocation(self, fake_clock):
+        session = _session(deadline=0.0)
+        update = session.step()
+        assert update.invocation.index == 1
+        assert session.finish_reason == FINISH_DEADLINE
+
+    def test_resume_restarts_deadline_accounting(self, fake_clock):
+        session = _session(deadline=10.0, levels=6)
+        session.step()
+        fake_clock.advance(10.0)
+        session.step()
+        assert session.finish_reason == FINISH_DEADLINE
+        # Parked for a long time, then resumed: the new budget pays for new
+        # work only — the parked hours must not count against it.
+        fake_clock.advance(3600.0)
+        session.resume(Budget(deadline_seconds=10.0))
+        assert not session.finished
+        session.step()
+        assert not session.finished
+        fake_clock.advance(10.0)
+        session.step()
+        assert session.finish_reason == FINISH_DEADLINE
+
+    def test_session_module_never_reads_the_wall_clock(self):
+        # AST-level check: no call or reference to time.time/time.perf_counter
+        # anywhere in the session module (comments may mention them).
+        import ast
+
+        tree = ast.parse(inspect.getsource(session_module))
+        offenders = [
+            node.attr
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in ("time", "perf_counter")
+        ]
+        assert not offenders, f"session module reads non-monotonic clocks: {offenders}"
+
+
+class TestResumeHook:
+    def test_resume_clears_budget_finish_reasons(self):
+        request = OptimizeRequest(
+            workload="gen:chain:3:0",
+            levels=3,
+            scale="tiny",
+            budget=Budget(max_invocations=1),
+        )
+        session = open_session(request)
+        session.step()
+        assert session.finish_reason == "invocation_cap"
+        assert session.resumable
+        session.resume(Budget())
+        result = session.run()
+        assert result.finish_reason == FINISH_EXHAUSTED
+        # Bit-identical to an uncapped serial run.
+        serial = open_session(request.with_overrides(budget=Budget())).run()
+        assert [tuple(s.cost) for s in result.frontier] == [
+            tuple(s.cost) for s in serial.frontier
+        ]
+
+    def test_resume_rejects_terminal_finish_reasons(self):
+        request = OptimizeRequest(workload="gen:chain:3:0", levels=2, scale="tiny")
+        session = open_session(request)
+        session.run()
+        assert session.finish_reason == FINISH_EXHAUSTED
+        assert not session.resumable
+        with pytest.raises(RuntimeError):
+            session.resume(Budget())
+
+    def test_resume_before_finishing_just_swaps_the_budget(self):
+        request = OptimizeRequest(workload="gen:chain:3:0", levels=3, scale="tiny")
+        session = open_session(request)
+        session.step()
+        session.resume(Budget(max_invocations=2))
+        result = session.run()
+        assert result.finish_reason == "invocation_cap"
+        assert len(result.invocations) == 2

@@ -1,0 +1,282 @@
+"""Unit tests for the cross-request frontier cache."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import Budget, OptimizeRequest, open_session, resolve_request
+from repro.api.schema import (
+    FINISH_EXHAUSTED,
+    FINISH_INVOCATION_CAP,
+    FINISH_TARGET_ALPHA,
+    OptimizationResult,
+)
+from repro.service import CACHE_HIT, CACHE_MISS, CACHE_WARM, FrontierCache
+from repro.service.frontier_cache import (
+    canonical_workload_id,
+    request_fingerprint,
+    serial_stop,
+)
+
+TINY = dict(levels=3, scale="tiny")
+
+
+def _run_and_trace(request: OptimizeRequest):
+    """Run a request serially and return (alphas, update payloads, plans_after)."""
+    session = open_session(request)
+    alphas, updates, plans_after = [], [], []
+    while not session.finished:
+        update = session.step()
+        alphas.append(update.invocation.alpha)
+        updates.append(update.to_dict())
+        plans_after.append(session.driver.factory.counters.total_plans_built)
+    return session, alphas, updates, plans_after
+
+
+def _record(cache: FrontierCache, key: str, request, session, alphas, updates, plans_after):
+    return cache.record(
+        key,
+        workload=request.workload,
+        algorithm=session.algorithm,
+        query_name=session.driver.query.name,
+        table_count=session.driver.query.table_count,
+        metric_names=tuple(session.driver.factory.metric_set.names),
+        levels=session.driver.schedule.levels,
+        refines=session.driver.refines,
+        alphas=alphas,
+        updates=updates,
+        plans_after=plans_after,
+        session=session,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_spelling_independent_tpch_ids(self):
+        for spec in ("q03", "tpch:q03", "tpch_q03"):
+            resolved = resolve_request(OptimizeRequest(workload=spec, scale="tiny"))
+            assert canonical_workload_id(resolved).startswith("tpch:")
+        ids = {
+            canonical_workload_id(
+                resolve_request(OptimizeRequest(workload=spec, scale="tiny"))
+            )
+            for spec in ("q03", "tpch:q03")
+        }
+        assert len(ids) == 1
+
+    def test_generated_ids_use_workload_fingerprint(self):
+        resolved = resolve_request(
+            OptimizeRequest(workload="gen:star:4:7", scale="tiny")
+        )
+        identifier = canonical_workload_id(resolved)
+        assert identifier.startswith("gen:")
+        assert len(identifier) > len("gen:") + 32  # a real digest, not the spec
+        # The resolved-objects fingerprint is the exact workload_fingerprint
+        # of the regenerated workload (the bench cell cache's digest).
+        from repro.workloads.generator import generated_workload, workload_fingerprint
+
+        regenerated = workload_fingerprint(generated_workload(7, 4, "star"))
+        assert identifier == f"gen:{regenerated}"
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"workload": "gen:star:4:8"},
+            {"levels": 4},
+            {"precision": "fine"},
+            {"metrics": ("execution_time", "monetary_fees")},
+            {"algorithm": "memoryless"},
+        ],
+    )
+    def test_fingerprint_sensitivity(self, changes):
+        base = OptimizeRequest(workload="gen:star:4:7", **TINY)
+        varied = base.with_overrides(**changes)
+        algo_a = base.algorithm
+        algo_b = varied.algorithm
+        fp_a = request_fingerprint(resolve_request(base), algo_a)
+        fp_b = request_fingerprint(resolve_request(varied), algo_b)
+        assert fp_a != fp_b
+
+    def test_budget_is_excluded_from_the_fingerprint(self):
+        base = OptimizeRequest(workload="gen:star:4:7", **TINY)
+        capped = base.with_overrides(budget=Budget(max_invocations=1))
+        assert request_fingerprint(
+            resolve_request(base), "iama"
+        ) == request_fingerprint(resolve_request(capped), "iama")
+
+
+# ----------------------------------------------------------------------
+# The serial stopping rule
+# ----------------------------------------------------------------------
+class TestSerialStop:
+    ALPHAS = [1.06, 1.035, 1.01]
+
+    def test_unlimited_budget_stops_at_exhaustion(self):
+        assert serial_stop(self.ALPHAS, True, 3, Budget()) == (3, FINISH_EXHAUSTED)
+
+    def test_invocation_cap_stops_early(self):
+        stop = serial_stop(self.ALPHAS, True, 3, Budget(max_invocations=2))
+        assert stop == (2, FINISH_INVOCATION_CAP)
+
+    def test_target_alpha_stops_when_reached(self):
+        stop = serial_stop(self.ALPHAS, True, 3, Budget(target_alpha=1.04))
+        assert stop == (2, FINISH_TARGET_ALPHA)
+
+    def test_exhaustion_takes_precedence_over_budget(self):
+        # The session's apply() marks exhaustion before checking the budget.
+        stop = serial_stop(self.ALPHAS, True, 3, Budget(max_invocations=3))
+        assert stop == (3, FINISH_EXHAUSTED)
+
+    def test_non_refining_planners_exhaust_after_one_invocation(self):
+        assert serial_stop([1.0], False, 5, Budget()) == (1, FINISH_EXHAUSTED)
+
+    def test_budget_beyond_trace_returns_none(self):
+        assert serial_stop(self.ALPHAS[:1], True, 3, Budget()) is None
+
+    def test_deadline_budgets_are_rejected(self):
+        with pytest.raises(ValueError):
+            serial_stop(self.ALPHAS, True, 3, Budget(deadline_seconds=1.0))
+
+
+# ----------------------------------------------------------------------
+# Match / record / evict
+# ----------------------------------------------------------------------
+class TestFrontierCache:
+    def test_miss_then_hit_roundtrip(self):
+        request = OptimizeRequest(workload="gen:chain:4:0", **TINY)
+        resolved = resolve_request(request)
+        key = request_fingerprint(resolved, "iama")
+        cache = FrontierCache()
+        assert cache.match(key, request.budget).status == CACHE_MISS
+
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+
+        decision = cache.match(key, request.budget)
+        assert decision.status == CACHE_HIT
+        assert decision.stop_index == len(alphas)
+        payload = decision.entry.result_payload(
+            decision.stop_index, decision.finish_reason
+        )
+        result = OptimizationResult.from_dict(payload)
+        assert result.finish_reason == FINISH_EXHAUSTED
+        assert result.frontier_size > 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_replay_of_a_shorter_budget_prefix(self):
+        request = OptimizeRequest(workload="gen:chain:4:0", **TINY)
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache()
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+
+        capped = Budget(max_invocations=2)
+        decision = cache.match(key, capped)
+        assert decision.status == CACHE_HIT
+        assert decision.stop_index == 2
+        payload = decision.entry.result_payload(2, decision.finish_reason)
+        # The replayed prefix is bit-identical to a serial capped run.
+        serial = open_session(request.with_overrides(budget=capped)).run()
+        replay = OptimizationResult.from_dict(payload)
+        assert [tuple(s.cost) for s in replay.frontier] == [
+            tuple(s.cost) for s in serial.frontier
+        ]
+        assert replay.finish_reason == serial.finish_reason
+        assert replay.plans_generated == serial.plans_generated
+
+    def test_warm_start_pops_the_parked_session(self):
+        request = OptimizeRequest(
+            workload="gen:chain:4:0", budget=Budget(max_invocations=1), **TINY
+        )
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache()
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        assert session.resumable
+        _record(cache, key, request, session, alphas, updates, plans_after)
+
+        decision = cache.match(key, Budget())
+        assert decision.status == CACHE_WARM
+        assert decision.session is session
+        # The session was popped: a second unlimited request has no session
+        # left to resume and must run cold.
+        assert cache.match(key, Budget()).status == CACHE_MISS
+        assert cache.stats()["warm_starts"] == 1
+
+    def test_shorter_trace_never_replaces_longer(self):
+        request = OptimizeRequest(workload="gen:chain:4:0", **TINY)
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache()
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+        entry = cache.record(
+            key,
+            workload=request.workload,
+            algorithm="iama",
+            query_name="x",
+            table_count=4,
+            metric_names=("a",),
+            levels=3,
+            refines=True,
+            alphas=alphas[:1],
+            updates=updates[:1],
+            plans_after=plans_after[:1],
+        )
+        assert entry.invocations == len(alphas)
+
+    def test_lru_eviction_respects_the_byte_budget(self):
+        import json
+
+        request_a = OptimizeRequest(workload="gen:chain:4:0", **TINY)
+        request_b = OptimizeRequest(workload="gen:star:4:0", **TINY)
+        session_a, alphas_a, updates_a, plans_a = _run_and_trace(request_a)
+        session_b, alphas_b, updates_b, plans_b = _run_and_trace(request_b)
+        one_entry_bytes = sum(
+            len(json.dumps(u, separators=(",", ":"))) for u in updates_a
+        )
+        cache = FrontierCache(max_bytes=one_entry_bytes + one_entry_bytes // 2)
+        key_a = request_fingerprint(resolve_request(request_a), "iama")
+        key_b = request_fingerprint(resolve_request(request_b), "iama")
+        _record(cache, key_a, request_a, session_a, alphas_a, updates_a, plans_a)
+        _record(cache, key_b, request_b, session_b, alphas_b, updates_b, plans_b)
+        stats = cache.stats()
+        assert stats["entries"] < 2
+        assert stats["evictions"] >= 1
+        assert stats["bytes_in_use"] <= cache.max_bytes
+
+    def test_disk_persistence_survives_a_new_cache(self, tmp_path):
+        request = OptimizeRequest(workload="gen:chain:4:0", **TINY)
+        key = request_fingerprint(resolve_request(request), "iama")
+        first = FrontierCache(persist_dir=tmp_path)
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(first, key, request, session, alphas, updates, plans_after)
+
+        second = FrontierCache(persist_dir=tmp_path)
+        decision = second.match(key, request.budget)
+        assert decision.status == CACHE_HIT
+        assert decision.entry.session is None  # live sessions never persist
+        payload = decision.entry.result_payload(
+            decision.stop_index, decision.finish_reason
+        )
+        assert OptimizationResult.from_dict(payload).frontier_size > 0
+
+    def test_record_rejects_misaligned_traces(self):
+        cache = FrontierCache()
+        with pytest.raises(ValueError):
+            cache.record(
+                "k",
+                workload="w",
+                algorithm="iama",
+                query_name="q",
+                table_count=2,
+                metric_names=("a",),
+                levels=3,
+                refines=True,
+                alphas=[1.0],
+                updates=[],
+                plans_after=[1],
+            )
+
