@@ -20,11 +20,18 @@ live sessions.
 The results land in ``results/service_load.txt`` through the same
 :class:`~repro.bench.experiments.ExperimentResult` + text-report writer as
 every other benchmark.
+
+A second experiment, :func:`run_service_scaling`, sweeps the *sharded* tier
+(``WorkerPoolService``) over worker counts and reports cold-phase throughput
+scaling plus warm-phase replay behaviour; runnable standalone::
+
+    python -m repro.bench.service_load --workers-sweep 1,2,4
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +41,7 @@ from repro.api.request import OptimizeRequest
 from repro.service.frontier_cache import FrontierCache
 from repro.service.protocol import CACHE_HIT, CACHE_MISS, CACHE_WARM
 from repro.service.service import PlanningService
+from repro.service.shard import WorkerPoolService
 
 #: Policies compared by the default experiment.
 DEFAULT_POLICIES = ("fair", "edf", "alpha_greedy")
@@ -83,12 +91,17 @@ def _submit_open_loop(
     return tickets
 
 
-def _phase_metrics(
-    service: PlanningService,
+def _collect_latencies(
+    service,
     tickets: Sequence[str],
     target_alpha: float,
-    invocations_before: int,
 ) -> Dict[str, object]:
+    """Wait for every ticket; shared latency/cache metrics for one phase.
+
+    Works against both serving tiers — ``PlanningService`` and
+    ``WorkerPoolService`` expose the same job bookkeeping (``submitted_at``,
+    ``first_update_at``, per-update alphas) on the caller's side of the wire.
+    """
     ttff: List[float] = []
     tta: List[float] = []
     statuses = {CACHE_MISS: 0, CACHE_HIT: 0, CACHE_WARM: 0}
@@ -107,7 +120,6 @@ def _phase_metrics(
                 tta.append(stamp - job.submitted_at)
                 break
     makespan = max(last_finish - first_submit, 1e-9)
-    invocations = service.scheduler.invocations_run - invocations_before
     return {
         "jobs": len(tickets),
         "throughput_jobs_per_s": len(tickets) / makespan,
@@ -120,9 +132,21 @@ def _phase_metrics(
         "cache_miss": statuses.get(CACHE_MISS, 0),
         "cache_hit": statuses.get(CACHE_HIT, 0),
         "cache_warm": statuses.get(CACHE_WARM, 0),
-        "invocations_run": invocations,
-        "max_live_sessions": service.scheduler.max_live_seen,
     }
+
+
+def _phase_metrics(
+    service: PlanningService,
+    tickets: Sequence[str],
+    target_alpha: float,
+    invocations_before: int,
+) -> Dict[str, object]:
+    metrics = _collect_latencies(service, tickets, target_alpha)
+    metrics["invocations_run"] = (
+        service.scheduler.invocations_run - invocations_before
+    )
+    metrics["max_live_sessions"] = service.scheduler.max_live_seen
+    return metrics
 
 
 def run_service_load(
@@ -189,3 +213,153 @@ def _schedule_target(request: OptimizeRequest) -> float:
     from repro.api.request import PRECISION_SETTINGS
 
     return PRECISION_SETTINGS[request.precision].target_precision
+
+
+# ----------------------------------------------------------------------
+# Worker-count scaling sweep (the sharded tier)
+# ----------------------------------------------------------------------
+def _pool_invocations(pool: WorkerPoolService) -> int:
+    return int(pool.stats()["scheduler"]["invocations_run"])
+
+
+def run_service_scaling(
+    config: Optional[ExperimentConfig] = None,
+    workers_list: Sequence[int] = (1, 2, 4),
+    policy: str = "fair",
+    jobs: int = 12,
+    max_sessions: int = 8,
+    levels: int = 3,
+    tables: int = 4,
+    arrival_interval: float = 0.002,
+) -> ExperimentResult:
+    """Sweep the sharded worker pool over ``workers_list``.
+
+    Per worker count, the identical arrival sequence runs twice against one
+    fresh :class:`WorkerPoolService` (so one shared persistent cache tier):
+
+    * **cold** — every shard computes its slice of the key space; this is the
+      phase whose throughput should scale with workers when the machine has
+      the cores to back them;
+    * **warm** — the same requests again, all answered by cache replay across
+      the pool: zero optimizer invocations, regardless of worker count.
+
+    Cold rows carry ``speedup_vs_first`` — cold throughput relative to the
+    first (smallest) swept worker count on this machine.  ``cpu_count`` is
+    recorded per row: on a box with fewer cores than workers the cold phase
+    cannot scale, and the row says so instead of lying about linearity.
+    """
+    config = config or config_from_environment()
+    specs = generated_request_specs(jobs, tables=tables)
+    requests = [
+        OptimizeRequest(workload=spec, levels=levels, scale=config.name)
+        for spec in specs
+    ]
+    target_alpha = requests[0].budget.target_alpha or _schedule_target(requests[0])
+    cpus = os.cpu_count() or 1
+    rows: List[Dict[str, object]] = []
+    for workers in workers_list:
+        with WorkerPoolService(
+            workers=workers,
+            policy=policy,
+            max_sessions=max_sessions,
+            max_queue=max(jobs, 16),
+        ) as pool:
+            for phase in ("cold", "warm"):
+                before = _pool_invocations(pool)
+                tickets = _submit_open_loop(pool, requests, arrival_interval)
+                metrics = _collect_latencies(pool, tickets, target_alpha)
+                metrics["invocations_run"] = _pool_invocations(pool) - before
+                rows.append(
+                    {
+                        "workers": workers,
+                        "phase": phase,
+                        "cpu_count": cpus,
+                        **metrics,
+                    }
+                )
+    baseline = next(
+        (
+            row
+            for row in rows
+            if row["workers"] == workers_list[0] and row["phase"] == "cold"
+        ),
+        None,
+    )
+    if baseline is not None:
+        for row in rows:
+            if row["phase"] == "cold":
+                row["speedup_vs_first"] = round(
+                    row["throughput_jobs_per_s"]
+                    / baseline["throughput_jobs_per_s"],
+                    3,
+                )
+    return ExperimentResult(
+        name="service_scaling",
+        description=(
+            "Worker-count sweep of the sharded serving tier "
+            f"(WorkerPoolService, policy={policy}): {jobs} generated "
+            f"workloads ({tables} tables, levels={levels}, scale="
+            f"{config.name}) per phase, workers swept over "
+            f"{list(workers_list)} on a machine with {cpus} CPU core(s).  "
+            "Cold = every shard computes its slice of the fingerprint key "
+            "space; warm = identical requests again, answered by cache "
+            "replay across the pool with zero optimizer invocations.  "
+            "speedup_vs_first compares cold throughput against the smallest "
+            "swept worker count; near-linear scaling requires at least as "
+            "many CPU cores as workers."
+        ),
+        rows=rows,
+    )
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    from repro.bench.export import write_text_report
+    from repro.bench.reporting import format_rows
+
+    parser = argparse.ArgumentParser(
+        description="Worker-count scaling sweep of the sharded serving tier."
+    )
+    parser.add_argument(
+        "--workers-sweep",
+        default="1,2,4",
+        help="comma-separated worker counts to sweep (default: 1,2,4)",
+    )
+    parser.add_argument("--jobs", type=int, default=12)
+    parser.add_argument("--policy", default="fair")
+    parser.add_argument("--levels", type=int, default=3)
+    parser.add_argument("--tables", type=int, default=4)
+    parser.add_argument("--max-sessions", type=int, default=8)
+    parser.add_argument("--arrival-interval", type=float, default=0.002)
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="write results/<name>.txt here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+    workers_list = tuple(
+        int(token) for token in args.workers_sweep.split(",") if token.strip()
+    )
+    if not workers_list or any(count < 1 for count in workers_list):
+        parser.error("--workers-sweep needs positive integers, e.g. 1,2,4")
+    result = run_service_scaling(
+        workers_list=workers_list,
+        policy=args.policy,
+        jobs=args.jobs,
+        max_sessions=args.max_sessions,
+        levels=args.levels,
+        tables=args.tables,
+        arrival_interval=args.arrival_interval,
+    )
+    print(result.description)
+    print()
+    print(format_rows(result))
+    if args.output_dir is not None:
+        path = write_text_report(result, args.output_dir)
+        print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -310,44 +310,99 @@ def build_server(args: argparse.Namespace):
     """Build (but do not run) the planning server for a ``serve`` invocation.
 
     Factored out of :func:`cmd_serve` so tests can run the server on an
-    ephemeral port in-process and shut it down cleanly.
+    ephemeral port in-process and shut it down cleanly.  ``--workers 0``
+    (the default) serves from one process with scheduler threads;
+    ``--workers N`` puts N planner worker processes behind a consistent-hash
+    ring (requests sharded by fingerprint, per-shard live cache tier plus a
+    shared persistent tier).
     """
-    from repro.service import PlanningService, PlanningServer
+    from repro.service import PlanningServer, PlanningService, WorkerPoolService
 
-    service = PlanningService(
-        policy=args.policy,
-        workers=args.jobs,
-        max_sessions=args.max_sessions,
-        max_queue=args.queue_size,
-        cache=False if args.no_cache else None,
-        cache_bytes=args.cache_mb << 20,
-        cache_dir=args.cache_dir,
-    )
+    if args.workers > 0:
+        if args.no_cache:
+            raise ValueError(
+                "--workers routes requests by the frontier cache fingerprint; "
+                "--no-cache only applies to single-process serving"
+            )
+        service = WorkerPoolService(
+            workers=args.workers,
+            policy=args.policy,
+            max_sessions=args.max_sessions,
+            max_queue=args.queue_size,
+            cache_bytes=args.cache_mb << 20,
+            cache_dir=args.cache_dir,
+        )
+    else:
+        service = PlanningService(
+            policy=args.policy,
+            workers=args.jobs,
+            max_sessions=args.max_sessions,
+            max_queue=args.queue_size,
+            cache=False if args.no_cache else None,
+            cache_bytes=args.cache_mb << 20,
+            cache_dir=args.cache_dir,
+        )
     return PlanningServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
 
 
+class _GracefulExit(Exception):
+    """Raised out of the serve loop by the SIGTERM/SIGINT handler."""
+
+    def __init__(self, signame: str):
+        super().__init__(signame)
+        self.signame = signame
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the concurrent planning service until interrupted."""
+    """Run the concurrent planning service until interrupted.
+
+    SIGTERM and SIGINT shut down gracefully: stop admitting, drain in-flight
+    jobs for up to ``--drain-seconds``, flush the persistent cache tier, and
+    exit 0.
+    """
+    import signal as signal_module
+
     try:
         server = build_server(args)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"cannot start planning service: {exc}")
     host, port = server.address
+    tier = (
+        f"{args.workers} worker process(es)"
+        if args.workers > 0
+        else f"{args.jobs} scheduler thread(s)"
+    )
     print(
         f"planning service listening on http://{host}:{port} "
-        f"(policy {args.policy}, {args.jobs} worker(s), "
+        f"(policy {args.policy}, {tier}, "
         f"max {args.max_sessions} live sessions, "
         f"cache {'off' if args.no_cache else f'{args.cache_mb} MiB'})",
         flush=True,
     )
+
+    def _on_signal(signum, frame):
+        raise _GracefulExit(signal_module.Signals(signum).name)
+
+    previous = {
+        sig: signal_module.signal(sig, _on_signal)
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT)
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
+    except (_GracefulExit, KeyboardInterrupt) as exc:
+        signame = getattr(exc, "signame", "SIGINT")
+        print(
+            f"\n{signame}: draining in-flight jobs "
+            f"(up to {args.drain_seconds:g} s), flushing cache",
+            flush=True,
+        )
     finally:
-        server.close()
+        for sig, handler in previous.items():
+            signal_module.signal(sig, handler)
+        server.close(drain_seconds=args.drain_seconds)
+    print("planning service stopped", flush=True)
     return 0
 
 
@@ -536,6 +591,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="scheduler worker threads sharing invocation timeslices (default: 2)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="planner worker processes behind a consistent-hash ring; 0 "
+        "serves from this process with --jobs threads (default: 0)",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="on SIGTERM/SIGINT, wait up to this long for in-flight jobs "
+        "before closing (default: 10)",
     )
     serve.add_argument(
         "--policy",

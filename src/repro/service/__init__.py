@@ -16,7 +16,12 @@ improving the longer it stays admitted.  This package is that serving layer:
   use directly,
 * :class:`~repro.service.server.PlanningServer` /
   :class:`~repro.service.client.ServiceClient` — the stdlib-only JSON wire
-  layer (``repro-moqo serve`` / ``repro-moqo submit``).
+  layer (``repro-moqo serve`` / ``repro-moqo submit``),
+* :class:`~repro.service.shard.WorkerPoolService` /
+  :class:`~repro.service.routing.HashRing` — the sharded tier: N planner
+  worker processes behind a consistent-hash ring keyed by request
+  fingerprint, with a per-shard live cache tier and a shared persistent tier
+  (``repro-moqo serve --workers N``).
 
 Quickstart::
 
@@ -45,6 +50,8 @@ from repro.service.protocol import (
     CACHE_MISS,
     CACHE_STATUSES,
     CACHE_WARM,
+    HEALTH_DEGRADED,
+    HEALTH_OK,
     JOB_CANCELLED,
     JOB_FAILED,
     JOB_FINISHED,
@@ -52,6 +59,7 @@ from repro.service.protocol import (
     JOB_RUNNING,
     JOB_STATES,
     TERMINAL_STATES,
+    health_payload,
     job_status_payload,
     parse_steer,
     parse_submit,
@@ -60,6 +68,7 @@ from repro.service.protocol import (
     stats_payload,
     submit_payload,
 )
+from repro.service.routing import DEFAULT_REPLICAS, HashRing
 from repro.service.scheduler import POLICIES, AdmissionError, Job, Scheduler
 from repro.service.server import PlanningServer
 from repro.service.service import (
@@ -67,12 +76,19 @@ from repro.service.service import (
     ServiceError,
     UnknownTicketError,
 )
+from repro.service.shard import ShardHandle, WorkerPoolService, shard_main
 
 __all__ = [
     # façade
     "PlanningService",
     "ServiceError",
     "UnknownTicketError",
+    # worker pool
+    "WorkerPoolService",
+    "ShardHandle",
+    "shard_main",
+    "HashRing",
+    "DEFAULT_REPLICAS",
     # scheduler
     "Scheduler",
     "Job",
@@ -97,6 +113,9 @@ __all__ = [
     "parse_steer",
     "job_status_payload",
     "stats_payload",
+    "health_payload",
+    "HEALTH_OK",
+    "HEALTH_DEGRADED",
     "JOB_STATES",
     "TERMINAL_STATES",
     "JOB_QUEUED",

@@ -79,7 +79,23 @@ class ServiceClient:
     # Verbs
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        return self._request("GET", "/v1/healthz")
+        """The ``service_health`` payload.
+
+        A degraded service answers 503 *with* the health body (per-worker
+        liveness) — that body is returned, not raised, so probes can report
+        which shard died.
+        """
+        try:
+            return self._request("GET", "/v1/healthz")
+        except ServiceClientError as exc:
+            if exc.status == 503:
+                try:
+                    payload = json.loads(exc.message)
+                except ValueError:
+                    payload = None
+                if isinstance(payload, dict) and "status" in payload:
+                    return payload
+            raise
 
     def planners(self) -> Dict[str, str]:
         return self._request("GET", "/v1/planners")

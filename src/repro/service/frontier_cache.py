@@ -147,7 +147,17 @@ def serial_stop(
 # ----------------------------------------------------------------------
 @dataclass
 class CacheEntry:
-    """One cached request: its deterministic trace plus an optional session."""
+    """One cached request: its deterministic trace plus an optional session.
+
+    Byte accounting is split by tier: ``trace_bytes`` is the serialized size
+    of the frontier-update trace (what the persistent tier stores) and
+    ``arena_bytes`` is the parked session's current plan-arena footprint (the
+    live tier).  Both are *charged* sizes — what the LRU budget currently
+    holds the entry accountable for — and are refreshed by the cache whenever
+    the entry's content changes (session parked/popped, trace extended), so a
+    warm-start resume that grows the arena is re-charged at its grown size
+    when the session is re-parked, never at its admission-time size.
+    """
 
     key: str
     workload: str
@@ -165,7 +175,15 @@ class CacheEntry:
     plans_after: List[int]
     #: Parked live session for warm starts; ``None`` once popped or evicted.
     session: Optional[PlannerSession] = field(default=None, repr=False)
-    payload_bytes: int = 0
+    #: Charged bytes of the serialized update trace (persistent tier).
+    trace_bytes: int = 0
+    #: Charged bytes of the parked session's plan arena (live tier).
+    arena_bytes: int = 0
+
+    @property
+    def charged_bytes(self) -> int:
+        """What the LRU byte budget currently charges this entry."""
+        return self.trace_bytes + self.arena_bytes
 
     @property
     def invocations(self) -> int:
@@ -262,16 +280,57 @@ class FrontierCache:
 
     def stats(self) -> Dict[str, object]:
         with self._lock:
+            live_sessions = sum(
+                1 for entry in self._entries.values() if entry.session is not None
+            )
             return {
                 "entries": len(self._entries),
                 "bytes_in_use": self._bytes,
                 "max_bytes": self._max_bytes,
+                # Two-tier gauges: the live tier is parked sessions (arena
+                # resident, warm-startable), the persistent tier is replayable
+                # traces (in memory and, when persistence is on, on disk).
+                "live_sessions": live_sessions,
+                "trace_bytes": sum(
+                    entry.trace_bytes for entry in self._entries.values()
+                ),
+                "arena_bytes": sum(
+                    entry.arena_bytes for entry in self._entries.values()
+                ),
+                "persistent": self._disk is not None,
                 "hits": self.hits,
                 "warm_starts": self.warm_starts,
                 "misses": self.misses,
                 "stores": self.stores,
                 "evictions": self.evictions,
             }
+
+    def audit(self) -> Dict[str, int]:
+        """Recompute every entry's sizes and assert the charged accounting.
+
+        Returns ``{"entries": n, "bytes_in_use": b}`` after verification;
+        raises ``AssertionError`` when any entry's charged bytes diverge from
+        its recomputed payload + arena size, or when the budget counter is not
+        the sum of the charges.  Test/debug hook — never on the hot path.
+        """
+        with self._lock:
+            total = 0
+            for entry in self._entries.values():
+                trace = _payload_bytes(entry.updates)
+                arena = _session_bytes(entry.session)
+                assert entry.trace_bytes == trace, (
+                    f"{entry.key}: charged trace {entry.trace_bytes} != "
+                    f"recomputed {trace}"
+                )
+                assert entry.arena_bytes == arena, (
+                    f"{entry.key}: charged arena {entry.arena_bytes} != "
+                    f"recomputed {arena} (stale admission-time size?)"
+                )
+                total += entry.charged_bytes
+            assert self._bytes == total, (
+                f"byte budget counter {self._bytes} != sum of charges {total}"
+            )
+            return {"entries": len(self._entries), "bytes_in_use": self._bytes}
 
     # ------------------------------------------------------------------
     def match(self, key: str, budget: Budget) -> Decision:
@@ -299,9 +358,10 @@ class FrontierCache:
             if entry.session is not None:
                 session = entry.session
                 entry.session = None
-                self._bytes -= entry.payload_bytes
-                entry.payload_bytes = _payload_bytes(entry.updates)
-                self._bytes += entry.payload_bytes
+                # The trace is unchanged, so its charged size stays; only the
+                # live tier's arena charge is released with the popped session.
+                self._bytes -= entry.arena_bytes
+                entry.arena_bytes = 0
                 self.warm_starts += 1
                 return Decision(status=CACHE_WARM, entry=entry, session=session)
             self.misses += 1
@@ -380,12 +440,12 @@ class FrontierCache:
                     return existing
                 if existing.invocations == len(alphas):
                     if session is not None and existing.session is None:
-                        self._bytes -= existing.payload_bytes
+                        # Re-park (e.g. a popped warm session bounced by
+                        # admission control).  Charge the arena at its size
+                        # *now* — a resumed session's arena may have grown
+                        # since the entry was first admitted.
                         existing.session = session
-                        existing.payload_bytes = payload_size + _session_bytes(
-                            session
-                        )
-                        self._bytes += existing.payload_bytes
+                        self._charge_locked(existing, trace_bytes=payload_size)
                         self._entries.move_to_end(key)
                         self._evict_locked()
                     else:
@@ -418,15 +478,30 @@ class FrontierCache:
             self._persist(persist_entry)
         return resident
 
+    def _charge_locked(
+        self, entry: CacheEntry, trace_bytes: Optional[int] = None
+    ) -> None:
+        """(Re)measure one entry and update the budget counter by the delta.
+
+        The single place charged sizes are written: both tiers are recomputed
+        from the entry's *current* content, so no path can leave a stale
+        admission-time size behind.  ``trace_bytes`` may be passed when the
+        caller already serialized the trace (record() measures outside the
+        lock to keep JSON encoding off the submit hot path).
+        """
+        if trace_bytes is None:
+            trace_bytes = _payload_bytes(entry.updates)
+        self._bytes -= entry.charged_bytes
+        entry.trace_bytes = trace_bytes
+        entry.arena_bytes = _session_bytes(entry.session)
+        self._bytes += entry.charged_bytes
+
     def _insert_locked(
         self, entry: CacheEntry, payload_size: Optional[int] = None
     ) -> None:
-        if payload_size is None:
-            payload_size = _payload_bytes(entry.updates)
-        entry.payload_bytes = payload_size + _session_bytes(entry.session)
+        self._charge_locked(entry, trace_bytes=payload_size)
         self._entries[entry.key] = entry
         self._entries.move_to_end(entry.key)
-        self._bytes += entry.payload_bytes
         self._evict_locked()
 
     def _evict_locked(self) -> None:
@@ -438,10 +513,26 @@ class FrontierCache:
         entry = self._entries.pop(key, None)
         if entry is None:
             return
-        self._bytes -= entry.payload_bytes
+        self._bytes -= entry.charged_bytes
         entry.session = None
         if count_eviction:
             self.evictions += 1
+
+    def flush(self) -> int:
+        """Persist every resident trace to the disk tier; returns the count.
+
+        A no-op (returning 0) without a persistence directory.  Called by the
+        planning service on graceful shutdown so the persistent tier holds
+        every trace the live tier accumulated, including entries adopted or
+        extended since their last write.
+        """
+        if self._disk is None:
+            return 0
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            self._persist(entry)
+        return len(entries)
 
     def _persist(self, entry: CacheEntry) -> None:
         self._disk.store(

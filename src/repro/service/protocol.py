@@ -21,7 +21,11 @@ Payload kinds
     Remote steering: ``change_bounds`` (a bounds vector) or ``select`` (an
     index into the most recently visualized frontier).
 ``service_stats``
-    Scheduler and frontier-cache gauges.
+    Scheduler and frontier-cache gauges; in worker-pool mode the aggregate
+    gauges are accompanied by a ``shards`` list of per-worker snapshots.
+``service_health``
+    Liveness: overall status plus one entry per worker (pid, heartbeat age,
+    backlog depth).  The wire layer maps ``status != "ok"`` to HTTP 503.
 """
 
 from __future__ import annotations
@@ -209,10 +213,48 @@ def check_job_status(payload: Mapping) -> Mapping:
     return payload
 
 
-def stats_payload(scheduler: Mapping, cache: Mapping) -> Dict[str, object]:
-    """Scheduler plus frontier-cache gauges under one envelope."""
-    return {
+def stats_payload(
+    scheduler: Mapping,
+    cache: Mapping,
+    shards: Optional[Sequence[Mapping]] = None,
+) -> Dict[str, object]:
+    """Scheduler plus frontier-cache gauges under one envelope.
+
+    In worker-pool mode ``scheduler``/``cache`` carry the pool-wide aggregate
+    and ``shards`` the per-worker snapshots (each with ``shard_id``, ``pid``,
+    its own scheduler and cache gauges); single-process services omit it.
+    """
+    payload = {
         **_envelope("service_stats"),
         "scheduler": dict(scheduler),
         "cache": dict(cache),
+    }
+    if shards is not None:
+        payload["shards"] = [dict(shard) for shard in shards]
+    return payload
+
+
+# ----------------------------------------------------------------------
+# service_health
+# ----------------------------------------------------------------------
+#: Overall health states.
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"  # at least one worker is dead -> HTTP 503
+
+
+def health_payload(
+    status: str, workers: Sequence[Mapping]
+) -> Dict[str, object]:
+    """The ``/healthz`` body: overall status plus per-worker liveness.
+
+    Each worker entry carries ``shard_id``, ``pid``, ``alive``,
+    ``last_heartbeat_age_seconds`` and ``backlog`` so load tests and CI can
+    detect silent worker crashes instead of hanging on a dead shard.
+    """
+    if status not in (HEALTH_OK, HEALTH_DEGRADED):
+        raise ValueError(f"unknown health status {status!r}")
+    return {
+        **_envelope("service_health"),
+        "status": status,
+        "workers": [dict(worker) for worker in workers],
     }

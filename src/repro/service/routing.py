@@ -1,0 +1,128 @@
+"""Consistent-hash routing of requests onto planner shards.
+
+The worker pool routes every request by the frontier cache's
+``content_digest`` (see :func:`repro.service.frontier_cache.request_fingerprint`)
+so that repeat and warm-start submissions of the same request land on the
+shard that holds the parked :class:`~repro.api.session.PlannerSession` in its
+live cache tier.  Plain modulo hashing would reshuffle almost every key when a
+worker joins or leaves; a consistent-hash ring moves only the keys that lived
+on the vanished (or newly responsible) node — on average ``K/N`` of ``K`` keys
+for ``N`` nodes — so a worker restart invalidates one shard's live tier, not
+the whole pool's.
+
+Implementation: the classic fixed-point ring.  Every node is hashed at
+``replicas`` virtual points (SHA-256 over ``"<node>#<replica>"``); a key is
+assigned to the node owning the first ring point at or after the key's own
+hash, wrapping around.  Virtual points smooth the key distribution — with a
+single point per node the arc lengths (and therefore the shard loads) would be
+wildly uneven.
+
+The ring is deliberately tiny and dependency-free: nodes are opaque strings,
+and mutation (:meth:`HashRing.add` / :meth:`HashRing.remove`) rebuilds the
+sorted point list, which is microseconds for pool-sized node counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Default virtual points per node.  128 keeps the maximum/minimum shard load
+#: ratio within ~1.3x for small pools while the ring stays a few KiB.
+DEFAULT_REPLICAS = 128
+
+
+def _hash_point(text: str) -> int:
+    """Stable 64-bit ring position of a string (prefix of its SHA-256)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over opaque string node names.
+
+    >>> ring = HashRing(["shard-0", "shard-1", "shard-2"])
+    >>> ring.assign("deadbeef") in ring.nodes
+    True
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self._replicas = replicas
+        self._nodes: List[str] = []
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The member nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        """Add a node (idempotent is an error: nodes are unique)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.append(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Remove a node; keys it owned redistribute to its ring successors."""
+        try:
+            self._nodes.remove(node)
+        except ValueError:
+            raise KeyError(f"node {node!r} is not on the ring") from None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for node in self._nodes:
+            for replica in range(self._replicas):
+                points.append((_hash_point(f"{node}#{replica}"), node))
+        # Ties are broken by node name so the assignment never depends on
+        # insertion order — two pools built from the same member set agree.
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    # ------------------------------------------------------------------
+    def assign(self, key: str) -> str:
+        """The node owning this key (first ring point at or after its hash)."""
+        if not self._nodes:
+            raise LookupError("cannot assign a key on an empty ring")
+        index = bisect.bisect_left(self._points, _hash_point(key))
+        if index == len(self._points):  # wrap past the top of the ring
+            index = 0
+        return self._owners[index]
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Key -> node for a batch of keys (convenience for tests/tools)."""
+        return {key: self.assign(key) for key in keys}
+
+    def load(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Node -> number of the given keys it owns (distribution gauge)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.assign(key)] += 1
+        return counts

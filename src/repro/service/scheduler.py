@@ -241,6 +241,32 @@ class Scheduler:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def idle(self) -> bool:
+        """True when no job is live, queued, or mid-slice."""
+        with self.condition:
+            return not self._live and not self._backlog
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted job is terminal (graceful drain).
+
+        Returns ``True`` when the scheduler went idle within ``timeout``
+        seconds, ``False`` on expiry — in-flight work keeps running either
+        way; the caller decides whether to close anyway.
+        """
+        deadline = (
+            self.clock() + timeout if timeout is not None else None
+        )
+        with self.condition:
+            while self._live or self._backlog:
+                remaining = 0.25
+                if deadline is not None:
+                    remaining = min(remaining, deadline - self.clock())
+                    if remaining <= 0:
+                        return False
+                self.condition.wait(timeout=remaining)
+            return True
+
     # ------------------------------------------------------------------
     # Submission and control
     # ------------------------------------------------------------------

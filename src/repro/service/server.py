@@ -19,13 +19,19 @@ nothing else.  Routes (all under ``/v1``):
 ``POST /v1/jobs/<ticket>/cancel``      cancel
 ``GET  /v1/stats``                     ``service_stats`` gauges
 ``GET  /v1/planners``                  registered planner names → summaries
-``GET  /v1/healthz``                   liveness probe
+``GET  /v1/healthz``                   liveness (``service_health``): 200 when
+                                       every worker is alive, 503 with the
+                                       same payload when any shard is dead
 =====================================  ========================================
 
 Error mapping: schema violations and bad requests → 400, unknown tickets and
 routes → 404, a full backlog → 503 (backpressure), failed jobs report their
 error inside the 200 ``job_status``.  The stream endpoint is close-delimited
 (HTTP/1.0 semantics): clients read lines until EOF.
+
+The server is agnostic to the service behind it: the in-process
+:class:`PlanningService` and the multi-process
+:class:`~repro.service.shard.WorkerPoolService` expose the same verb surface.
 """
 
 from __future__ import annotations
@@ -91,7 +97,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_get(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == f"{API_PREFIX}/healthz":
-            self._send_json(200, {"status": "ok"})
+            health = self.service.health()
+            code = 200 if health.get("status") == "ok" else 503
+            self._send_json(code, health)
             return
         if path == f"{API_PREFIX}/stats":
             self._send_json(200, self.service.stats())
@@ -196,7 +204,7 @@ class PlanningServer:
 
     def __init__(
         self,
-        service: PlanningService,
+        service,  # PlanningService or WorkerPoolService (same verb surface)
         host: str = "127.0.0.1",
         port: int = 8723,
         verbose: bool = False,
@@ -233,7 +241,14 @@ class PlanningServer:
         self._serving = True
         self._httpd.serve_forever()
 
-    def close(self) -> None:
+    def close(self, drain_seconds: Optional[float] = None) -> None:
+        """Stop the HTTP loop, then close the service.
+
+        ``drain_seconds`` bounds a graceful drain: the service stops
+        admitting, in-flight jobs get up to that long to finish, and the
+        persistent cache tier is flushed — the SIGTERM/SIGINT path of
+        ``repro-moqo serve``.
+        """
         # BaseServer.shutdown() blocks until serve_forever() acknowledges it,
         # which deadlocks if the serve loop never ran (e.g. a server built
         # for inspection only) — skip it in that case.
@@ -243,7 +258,7 @@ class PlanningServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self.service.close()
+        self.service.close(drain_seconds=drain_seconds)
 
     def __enter__(self) -> "PlanningServer":
         return self

@@ -26,6 +26,7 @@ cache and carry ``cache_status="bypass"``.)
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
@@ -43,8 +44,10 @@ from repro.service.protocol import (
     CACHE_HIT,
     CACHE_MISS,
     CACHE_WARM,
+    HEALTH_OK,
     JOB_FAILED,
     JOB_FINISHED,
+    health_payload,
     parse_steer,
     stats_payload,
 )
@@ -123,6 +126,7 @@ class PlanningService:
         self._max_retained_jobs = max_retained_jobs
         self._tickets = itertools.count(1)
         self._closed = False
+        self._draining = False
         if workers > 0:
             self._scheduler.start()
 
@@ -133,9 +137,45 @@ class PlanningService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
+    def close(self, drain_seconds: Optional[float] = None) -> None:
+        """Shut the service down, optionally draining in-flight jobs first.
+
+        With ``drain_seconds`` the service first stops admitting (submits
+        raise :class:`AdmissionError`, i.e. HTTP 503), waits up to that long
+        for every admitted job to reach a terminal state, then closes.  The
+        persistent cache tier is always flushed before the scheduler stops.
+        """
+        self._draining = True
+        if drain_seconds is not None and drain_seconds > 0:
+            self._scheduler.wait_idle(timeout=drain_seconds)
+        if self._cache is not None:
+            self._cache.flush()
         self._closed = True
         self._scheduler.close()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every admitted job to finish; True when fully drained."""
+        return self._scheduler.wait_idle(timeout=timeout)
+
+    def health(self) -> dict:
+        """The ``service_health`` payload (single-process: one worker entry)."""
+        scheduler = self._scheduler
+        with scheduler.condition:
+            backlog = len(scheduler._backlog)
+            live = len(scheduler._live)
+        return health_payload(
+            HEALTH_OK,
+            [
+                {
+                    "shard_id": "local",
+                    "pid": os.getpid(),
+                    "alive": not self._closed,
+                    "last_heartbeat_age_seconds": 0.0,
+                    "backlog": backlog,
+                    "live_sessions": live,
+                }
+            ],
+        )
 
     @property
     def scheduler(self) -> Scheduler:
@@ -166,6 +206,8 @@ class PlanningService:
         """
         if self._closed:
             raise ServiceError("planning service is closed")
+        if self._draining:
+            raise AdmissionError("planning service is draining; not admitting")
         with self._scheduler.condition:
             self._prune_retained_locked()
         canonical = self._registry.get(request.algorithm).name

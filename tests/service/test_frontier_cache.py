@@ -280,3 +280,106 @@ class TestFrontierCache:
                 plans_after=[1],
             )
 
+
+# ----------------------------------------------------------------------
+# Two-tier byte accounting
+# ----------------------------------------------------------------------
+class TestTwoTierAccounting:
+    """The LRU budget must charge *current* sizes, never admission-time ones.
+
+    A warm-started session's plan arena grows while it refines; when the
+    extended run is re-recorded (or the popped session is re-parked after an
+    admission bounce) the live-tier charge must be remeasured, or the byte
+    budget undercounts and eviction fires late.  ``audit()`` recomputes every
+    entry from scratch and asserts the charges match.
+    """
+
+    def _capped(self):
+        return OptimizeRequest(
+            workload="gen:chain:4:0", budget=Budget(max_invocations=1), **TINY
+        )
+
+    def test_warm_start_resume_is_recharged_at_the_grown_size(self):
+        # A clique keeps generating new plans as resolution refines, so the
+        # parked arena is measurably larger after the resumed invocations.
+        request = OptimizeRequest(
+            workload="gen:clique:5:0",
+            budget=Budget(max_invocations=1),
+            levels=4,
+            scale="tiny",
+        )
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache()
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+        cache.audit()
+        first_arena = cache.stats()["arena_bytes"]
+        assert first_arena > 0
+
+        capped_wider = Budget(max_invocations=2)
+        decision = cache.match(key, capped_wider)
+        assert decision.status == CACHE_WARM
+        cache.audit()  # popping released exactly the arena charge
+        assert cache.stats()["arena_bytes"] == 0
+
+        # Resume one more invocation: the arena grows past its parked size,
+        # and the invocation cap keeps the session parkable for re-record.
+        resumed = decision.session
+        resumed.resume(capped_wider)
+        while not resumed.finished:
+            update = resumed.step()
+            alphas.append(update.invocation.alpha)
+            updates.append(update.to_dict())
+            plans_after.append(resumed.driver.factory.counters.total_plans_built)
+        _record(cache, key, request, resumed, alphas, updates, plans_after)
+        cache.audit()
+        grown_arena = cache.stats()["arena_bytes"]
+        assert grown_arena > first_arena
+
+    def test_repark_after_admission_bounce_recharges_the_arena(self):
+        request = self._capped()
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache()
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+        decision = cache.match(key, Budget())
+        assert decision.status == CACHE_WARM
+        # The bounced submission re-records the same-length trace to re-park
+        # the popped session (the PlanningService admission-failure path).
+        entry = _record(
+            cache, key, request, decision.session, alphas, updates, plans_after
+        )
+        assert entry.session is decision.session
+        cache.audit()
+        stats = cache.stats()
+        assert stats["live_sessions"] == 1
+        assert stats["arena_bytes"] > 0
+        assert stats["bytes_in_use"] == stats["trace_bytes"] + stats["arena_bytes"]
+
+    def test_warm_pop_releases_only_the_live_tier(self):
+        request = self._capped()
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache()
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+        before = cache.stats()
+        decision = cache.match(key, Budget())
+        assert decision.status == CACHE_WARM
+        after = cache.stats()
+        assert after["trace_bytes"] == before["trace_bytes"]
+        assert after["bytes_in_use"] == before["bytes_in_use"] - before["arena_bytes"]
+
+    def test_flush_persists_every_resident_trace(self, tmp_path):
+        request = OptimizeRequest(workload="gen:star:4:0", **TINY)
+        key = request_fingerprint(resolve_request(request), "iama")
+        cache = FrontierCache(persist_dir=tmp_path)
+        session, alphas, updates, plans_after = _run_and_trace(request)
+        _record(cache, key, request, session, alphas, updates, plans_after)
+        assert cache.flush() == 1
+        # A fresh cache over the same directory replays the flushed trace.
+        replayer = FrontierCache(persist_dir=tmp_path)
+        assert replayer.match(key, request.budget).status == CACHE_HIT
+
+    def test_flush_without_persistence_is_a_noop(self):
+        assert FrontierCache().flush() == 0
+

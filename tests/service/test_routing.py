@@ -1,0 +1,142 @@
+"""Invariants of the consistent-hash ring that shards the worker pool.
+
+The serving tier leans on three properties: assignment is a pure function of
+the member set (any two pools agree), membership changes move only the keys
+the changed node owns (~K/N of K keys), and virtual replicas keep the load
+spread sane.  These are exactly the guarantees that make a worker restart
+invalidate one live tier instead of all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import OptimizeRequest, resolve_request
+from repro.service import DEFAULT_REPLICAS, HashRing
+from repro.service.frontier_cache import request_fingerprint
+
+NODES = ("shard-0", "shard-1", "shard-2", "shard-3")
+
+
+def _keys(count: int):
+    return [f"digest-{index:05d}" for index in range(count)]
+
+
+class TestRingBasics:
+    def test_assign_returns_a_member(self):
+        ring = HashRing(NODES)
+        for key in _keys(50):
+            assert ring.assign(key) in NODES
+
+    def test_empty_ring_refuses_assignment(self):
+        with pytest.raises(LookupError):
+            HashRing().assign("anything")
+
+    def test_duplicate_and_missing_nodes_are_errors(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(KeyError):
+            ring.remove("b")
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_assignment_is_insertion_order_independent(self):
+        keys = _keys(500)
+        forward = HashRing(NODES)
+        backward = HashRing(tuple(reversed(NODES)))
+        assert forward.assignments(keys) == backward.assignments(keys)
+
+    def test_assignment_is_stable_across_instances(self):
+        keys = _keys(200)
+        assert HashRing(NODES).assignments(keys) == HashRing(NODES).assignments(keys)
+
+
+class TestMembershipStability:
+    """Only the changed node's keys may move — the consistent-hash contract."""
+
+    def test_remove_moves_only_the_removed_nodes_keys(self):
+        keys = _keys(2000)
+        ring = HashRing(NODES)
+        before = ring.assignments(keys)
+        ring.remove("shard-2")
+        after = ring.assignments(keys)
+        for key in keys:
+            if before[key] != "shard-2":
+                assert after[key] == before[key], (
+                    f"{key} moved from {before[key]} to {after[key]} although "
+                    "its owner never left the ring"
+                )
+            else:
+                assert after[key] != "shard-2"
+
+    def test_add_moves_only_keys_onto_the_new_node(self):
+        keys = _keys(2000)
+        ring = HashRing(NODES)
+        before = ring.assignments(keys)
+        ring.add("shard-4")
+        after = ring.assignments(keys)
+        for key in keys:
+            if after[key] != before[key]:
+                assert after[key] == "shard-4", (
+                    f"{key} moved between pre-existing nodes "
+                    f"({before[key]} -> {after[key]})"
+                )
+
+    def test_about_one_nth_of_keys_move(self):
+        keys = _keys(4000)
+        ring = HashRing(NODES)
+        before = ring.assignments(keys)
+        ring.remove("shard-1")
+        after = ring.assignments(keys)
+        moved = sum(1 for key in keys if before[key] != after[key])
+        expected = len(keys) / len(NODES)
+        # Generous band: hashing noise, but nowhere near a full reshuffle
+        # (modulo hashing would move ~3/4 of the keys here).
+        assert 0.4 * expected <= moved <= 2.0 * expected
+
+    def test_remove_then_readd_restores_the_assignment(self):
+        keys = _keys(500)
+        ring = HashRing(NODES)
+        before = ring.assignments(keys)
+        ring.remove("shard-3")
+        ring.add("shard-3")
+        assert ring.assignments(keys) == before
+
+
+class TestLoadSpread:
+    def test_virtual_replicas_spread_the_load(self):
+        keys = _keys(4000)
+        load = HashRing(NODES, replicas=DEFAULT_REPLICAS).load(keys)
+        assert set(load) == set(NODES)
+        share = len(keys) / len(NODES)
+        for node, count in load.items():
+            assert count > 0.4 * share, f"{node} is starved: {count} keys"
+            assert count < 2.0 * share, f"{node} is overloaded: {count} keys"
+
+
+class TestFingerprintRouting:
+    def test_same_content_digest_routes_to_the_same_shard(self):
+        ring = HashRing(NODES)
+        request = OptimizeRequest(workload="gen:star:4:7", levels=3, scale="tiny")
+        digests = {
+            request_fingerprint(resolve_request(request), "iama")
+            for _ in range(3)
+        }
+        assert len(digests) == 1  # the fingerprint itself is stable
+        digest = digests.pop()
+        assert ring.assign(digest) == ring.assign(digest)
+
+    def test_budget_variants_share_one_shard(self):
+        # Warm starts depend on it: the capped and the full request must land
+        # where the parked session lives, because budgets are excluded from
+        # the fingerprint.
+        from repro.api import Budget
+
+        ring = HashRing(NODES)
+        base = OptimizeRequest(workload="gen:chain:4:0", levels=3, scale="tiny")
+        capped = base.with_overrides(budget=Budget(max_invocations=1))
+        fp_base = request_fingerprint(resolve_request(base), "iama")
+        fp_capped = request_fingerprint(resolve_request(capped), "iama")
+        assert fp_base == fp_capped
+        assert ring.assign(fp_base) == ring.assign(fp_capped)

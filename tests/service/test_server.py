@@ -31,7 +31,12 @@ def client(server):
 
 class TestWireProtocol:
     def test_health_and_planners(self, client):
-        assert client.health() == {"status": "ok"}
+        health = client.health()
+        assert health["kind"] == "service_health"
+        assert health["status"] == "ok"
+        assert len(health["workers"]) == 1
+        worker = health["workers"][0]
+        assert worker["alive"] and worker["pid"] > 0
         planners = client.planners()
         assert "iama" in planners and "exhaustive" in planners
 
