@@ -1,0 +1,43 @@
+"""Repository-wide pytest configuration: the tier marker taxonomy.
+
+Every collected test carries exactly one *tier* marker:
+
+* ``tier1``  — fast unit/integration tests (the default for ``tests/``),
+* ``slow``   — correct but heavy tests (multi-process, long property runs);
+  opt in per-module/test with ``pytest.mark.slow``,
+* ``bench``  — figure/table-regenerating benchmark targets (the default for
+  ``benchmarks/``).
+
+Modules and tests are auto-marked by location; an explicit marker overrides
+the location default.  Collection fails loudly if a test ends up with zero or
+multiple tier markers, so the taxonomy cannot silently rot as the suite
+grows.  The markers never deselect anything by default — the canonical
+verify command (``pytest -x -q``) still runs the full suite; use ``-m`` for
+targeted lanes, e.g. ``pytest -m "tier1"`` or ``pytest -m "not bench"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+TIER_MARKERS = ("tier1", "slow", "bench")
+
+
+def _location_default(item: pytest.Item) -> str:
+    path = str(item.path)
+    if "/benchmarks/" in path or path.endswith("benchmarks"):
+        return "bench"
+    return "tier1"
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        explicit = [name for name in TIER_MARKERS if item.get_closest_marker(name)]
+        if not explicit:
+            item.add_marker(getattr(pytest.mark, _location_default(item)))
+        tiers = [name for name in TIER_MARKERS if item.get_closest_marker(name)]
+        if len(tiers) != 1:
+            raise pytest.UsageError(
+                f"{item.nodeid}: tests must carry exactly one tier marker "
+                f"({'/'.join(TIER_MARKERS)}), found {tiers or 'none'}"
+            )

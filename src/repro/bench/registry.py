@@ -89,6 +89,11 @@ class ExperimentSpec:
     #: Extra plain-text sections (beyond the generic row dump) for the
     #: ``results/<name>.txt`` report; each callable renders one section.
     section_formatters: Tuple[Callable[["ExperimentResult"], str], ...] = ()
+    #: Extra machine-readable artifacts written next to the text report;
+    #: each callable takes ``(result, directory)``, writes one file derived
+    #: purely from the merged rows (so warm-cache reruns are byte-identical)
+    #: and returns its path.  Used e.g. for ``results/ablation_features.json``.
+    artifacts: Tuple[Callable[["ExperimentResult", object], object], ...] = ()
 
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}
@@ -106,9 +111,11 @@ def register(spec: ExperimentSpec) -> ExperimentSpec:
 
 def get_spec(name: str) -> ExperimentSpec:
     """Look up a registered experiment; accepts ``-`` or ``_`` word separators."""
-    # The experiment definitions live in repro.bench.experiments; importing it
-    # here makes lookup work even for callers (e.g. pool worker processes
-    # under a spawning start method) that never imported it explicitly.
+    # The experiment definitions live in repro.bench.experiments and
+    # repro.bench.ablation; importing them here makes lookup work even for
+    # callers (e.g. pool worker processes under a spawning start method) that
+    # never imported them explicitly.
+    import repro.bench.ablation  # noqa: F401  (registration side effect)
     import repro.bench.experiments  # noqa: F401  (registration side effect)
 
     normalized = name.replace("-", "_")
@@ -123,6 +130,7 @@ def get_spec(name: str) -> ExperimentSpec:
 
 def registered_names() -> List[str]:
     """Names of all registered experiments, sorted."""
+    import repro.bench.ablation  # noqa: F401  (registration side effect)
     import repro.bench.experiments  # noqa: F401  (registration side effect)
 
     return sorted(_REGISTRY)

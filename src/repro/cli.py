@@ -287,6 +287,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         path = write_text_report(report.result, out_dir, extra_sections=sections)
         print(f"{report.summary()} -> {path}")
+        for artifact in spec.artifacts:
+            artifact_path = artifact(report.result, out_dir)
+            print(f"{spec.name}: artifact -> {artifact_path}")
     if {"figure3", "figure4", "figure5"} <= set(results_by_name):
         # speedup_summary is derived from the figure sweeps (it has no cells
         # of its own); regenerate it alongside them so the results directory

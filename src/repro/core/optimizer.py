@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import flags
 from repro.costs.dominance import dominates
 from repro.costs.vector import CostVector
 from repro.core.fresh import fresh_id_pairs
@@ -187,13 +188,18 @@ class IncrementalOptimizer:
         self._schedule = schedule
         self._allow_cross_products = allow_cross_products
         self._respect_orders = respect_orders
-        self._use_delta_sets = use_delta_sets
+        # The Δ-set optimization can be ablated per optimizer (the keyword,
+        # used by the bespoke freshness ablation) or globally (feature flag).
+        self._use_delta_sets = use_delta_sets and flags.enabled("delta_sets")
         self._state = OptimizerState(query, cell_base=cell_base)
         self._coverage = _CoverageTracker()
         self._plan_order = self._enumerate_plan_order()
         # plan id -> result plan that approximated it during its last pruning;
         # speeds up re-pruning of deferred candidates (see repro.core.pruning).
-        self._witnesses: Dict[int, Plan] = {}
+        # None (witness_cache feature off) makes every re-pruning start cold.
+        self._witnesses: Optional[Dict[int, Plan]] = (
+            {} if flags.enabled("witness_cache") else None
+        )
 
     # ------------------------------------------------------------------
     # Read-only access

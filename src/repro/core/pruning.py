@@ -39,7 +39,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import kernel
+from repro import flags, kernel
 from repro.costs.vector import CostVector
 from repro.core.index import PlanIndex
 from repro.plans.arena import PlanArena
@@ -223,8 +223,13 @@ def prune_all_ids(
     scaled_rows = list(zip(*scaled_columns))
     bounds_row = tuple(bounds)
     # The whole block shares one bound vector; bucket it once for the
-    # witness searches of every plan in the block.
-    bounds_bucket = result_index.bucket_of(bounds_row)
+    # witness searches of every plan in the block.  With the ``bounds_bucket``
+    # feature ablated, None makes every retrieval re-bucket per plan.
+    bounds_bucket = (
+        result_index.bucket_of(bounds_row)
+        if flags.enabled("bounds_bucket")
+        else None
+    )
     outcomes: List[PruneOutcome] = []
     for position, plan_id in enumerate(plan_ids):
         outcomes.append(

@@ -1,0 +1,135 @@
+"""Runtime feature flags for the stacked optimizations.
+
+Every optimization layered onto the reproduction since PR 1 keeps a slower
+reference path alive next to the fast path (the differential suites assert
+the two are bit-identical).  This module names those seams as boolean flags
+so the ablation harness (:mod:`repro.bench.ablation`) can turn each one off
+in isolation and attribute the speedup honestly:
+
+``block_costing``
+    :meth:`repro.plans.factory.PlanFactory.combine_block` costs a whole block
+    of join combinations with one kernel call per (operator, metric).  Off:
+    the per-plan scalar fallback (one :meth:`MultiObjectiveCostModel.combine`
+    call per combination) — same costs, same arena ids, same order.
+``bounds_bucket``
+    :func:`repro.core.pruning.prune_all_ids` pre-computes the log-bucket of
+    the bounds row once per block.  Off: every retrieval re-buckets per plan.
+``witness_cache``
+    The incremental optimizer remembers, per deferred plan, the result plan
+    that approximated it last time (re-checked first on re-pruning).  Off:
+    every re-pruning starts from scratch.
+``delta_sets``
+    Section 4.2's Δ-set optimization: under unchanged bounds, only newly
+    inserted partial plans are joined.  Off: every invocation re-enumerates
+    all pairs (``IsFresh`` still deduplicates, so the frontier — and every
+    counter except ``pairs_enumerated`` — is unchanged).
+
+Flags are global and read per call site (one dict lookup on a hot-path
+*block* boundary, so the overhead is unmeasurable).  The environment lowering
+``REPRO_FEATURE_<NAME>=0|1`` (also ``on``/``off``/``true``/``false``) is
+applied at import, mirroring ``REPRO_KERNEL_BACKEND``; tests and the ablation
+runner use :func:`overrides` for scoped, exception-safe toggling.
+
+The kernel backend and the planning-service knobs are deliberately *not*
+routed through this module: the kernel already has its own runtime switch
+(:func:`repro.kernel.use_backend`) and the service takes ``cache=False`` /
+``policy=...`` as constructor arguments.  The ablation feature registry
+records those lowerings alongside these flags.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+#: Environment prefix: ``REPRO_FEATURE_BLOCK_COSTING=0`` disables a flag.
+FEATURE_ENV_PREFIX = "REPRO_FEATURE_"
+
+#: Flag name -> default state.  Every flag defaults to on (the optimized
+#: path); the ablation harness turns them off one at a time.
+KNOWN_FLAGS: Dict[str, bool] = {
+    "block_costing": True,
+    "bounds_bucket": True,
+    "witness_cache": True,
+    "delta_sets": True,
+}
+
+_TRUTHY = {"1", "on", "true", "yes"}
+_FALSY = {"0", "off", "false", "no"}
+
+
+def _parse(name: str, raw: str) -> bool:
+    normalized = raw.strip().lower()
+    if normalized in _TRUTHY:
+        return True
+    if normalized in _FALSY:
+        return False
+    raise ValueError(
+        f"{FEATURE_ENV_PREFIX}{name.upper()}: cannot parse {raw!r} as a "
+        f"boolean; expected one of {sorted(_TRUTHY | _FALSY)}"
+    )
+
+
+def _from_environment() -> Dict[str, bool]:
+    state = dict(KNOWN_FLAGS)
+    for name in KNOWN_FLAGS:
+        raw = os.environ.get(FEATURE_ENV_PREFIX + name.upper())
+        if raw is not None and raw.strip() != "":
+            state[name] = _parse(name, raw)
+    return state
+
+
+_state: Dict[str, bool] = _from_environment()
+
+
+def known_flags() -> Tuple[str, ...]:
+    """All flag names, sorted."""
+    return tuple(sorted(KNOWN_FLAGS))
+
+
+def _check(name: str) -> str:
+    if name not in KNOWN_FLAGS:
+        raise KeyError(
+            f"unknown feature flag {name!r}; known flags: {', '.join(known_flags())}"
+        )
+    return name
+
+
+def enabled(name: str) -> bool:
+    """Whether the named optimization is active."""
+    return _state[_check(name)]
+
+
+def set_flag(name: str, value: bool) -> bool:
+    """Set one flag; returns the previous value."""
+    _check(name)
+    previous = _state[name]
+    _state[name] = bool(value)
+    return previous
+
+
+def snapshot() -> Dict[str, bool]:
+    """Copy of the current flag state (e.g. for logging or cache keys)."""
+    return dict(_state)
+
+
+def reset() -> None:
+    """Restore every flag to its environment-resolved default."""
+    _state.clear()
+    _state.update(_from_environment())
+
+
+@contextmanager
+def overrides(**flags: bool) -> Iterator[None]:
+    """Scoped flag overrides: ``with flags.overrides(delta_sets=False): ...``
+
+    Restores the previous values on exit even when the body raises, so a
+    failing ablation cell never leaks its configuration into the next one.
+    """
+    previous = {name: set_flag(name, value) for name, value in flags.items()}
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            set_flag(name, value)

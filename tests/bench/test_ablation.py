@@ -1,0 +1,250 @@
+"""Unit tests for the ablation harness: registry, grid, merge, gate."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import flags
+from repro.bench.ablation import (
+    BASELINE_CONFIG,
+    FEATURES,
+    AblationConfig,
+    Feature,
+    FeatureRegistry,
+    SPEC,
+    ablated_feature,
+    ablation_json_payload,
+    check_gate,
+    digest_of,
+    write_ablation_json,
+)
+from repro.bench.cache import ResultCache, cell_key
+from repro.bench.config import tiny_config
+from repro.bench.registry import get_spec, registered_names
+from repro.bench.scheduler import run_experiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestFeatureRegistry:
+    def test_every_core_flag_has_a_registered_feature(self):
+        core = {f.name for f in FEATURES.by_layer("core")}
+        assert core == set(flags.known_flags())
+
+    def test_expected_features_are_registered(self):
+        assert set(FEATURES.names()) == {
+            "numpy_kernel",
+            "block_costing",
+            "bounds_bucket",
+            "witness_cache",
+            "delta_sets",
+            "frontier_cache",
+            "scheduler_policy",
+        }
+
+    def test_duplicate_registration_raises(self):
+        registry = FeatureRegistry()
+        feature = Feature(name="x", layer="service", description="", lowering="")
+        registry.register(feature)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(feature)
+
+    def test_core_feature_without_a_flag_is_rejected(self):
+        registry = FeatureRegistry()
+        with pytest.raises(ValueError, match="has no repro.flags flag"):
+            registry.register(
+                Feature(name="phantom", layer="core", description="", lowering="")
+            )
+
+    def test_unknown_layer_is_rejected(self):
+        registry = FeatureRegistry()
+        with pytest.raises(ValueError, match="unknown layer"):
+            registry.register(
+                Feature(name="x", layer="cosmic", description="", lowering="")
+            )
+
+    def test_config_names_cover_the_grid(self):
+        grid = AblationConfig()
+        names = grid.config_names()
+        assert names[0] == BASELINE_CONFIG
+        assert set(names[1:]) == {f"no_{name}" for name in FEATURES.names()}
+        assert ablated_feature(BASELINE_CONFIG) is None
+        assert ablated_feature("no_delta_sets") == "delta_sets"
+        with pytest.raises(ValueError):
+            ablated_feature("bogus")
+
+
+# ----------------------------------------------------------------------
+# Flags module
+# ----------------------------------------------------------------------
+class TestFlags:
+    def test_defaults_are_all_on(self):
+        for name in flags.known_flags():
+            assert flags.enabled(name)
+
+    def test_overrides_restore_on_exit_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with flags.overrides(delta_sets=False):
+                assert not flags.enabled("delta_sets")
+                raise RuntimeError("boom")
+        assert flags.enabled("delta_sets")
+
+    def test_unknown_flag_raises(self):
+        with pytest.raises(KeyError, match="unknown feature flag"):
+            flags.enabled("warp_drive")
+        with pytest.raises(KeyError):
+            flags.set_flag("warp_drive", True)
+
+    def test_environment_lowering(self):
+        code = (
+            "from repro import flags; "
+            "assert not flags.enabled('witness_cache'); "
+            "assert flags.enabled('delta_sets'); print('ok')"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "REPRO_FEATURE_WITNESS_CACHE": "0",
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+    def test_garbage_environment_value_raises(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            flags._parse("delta_sets", "maybe")
+
+
+# ----------------------------------------------------------------------
+# The registered experiment
+# ----------------------------------------------------------------------
+class TestAblationSpec:
+    def test_registered_under_the_bench_registry(self):
+        assert "ablation_features" in registered_names()
+        assert get_spec("ablation-features") is SPEC
+
+    def test_cells_cache_key_on_the_configuration_name(self):
+        config = tiny_config()
+        cells = SPEC.cells(config)
+        keys = {cell_key(cell, config) for cell in cells}
+        assert len(keys) == len(cells)
+        configs = {cell["config"] for cell in cells}
+        assert BASELINE_CONFIG in configs
+        assert any(name.startswith("no_") for name in configs)
+
+    def test_grid_produces_matching_digests_and_a_clean_gate(self, tmp_path):
+        config = tiny_config()
+        report = run_experiment(
+            SPEC, config, jobs=1, cache=ResultCache(tmp_path / "cache")
+        )
+        payload = ablation_json_payload(report.result)
+        assert check_gate(payload) == []
+        features = {row["feature"]: row for row in payload["features"]}
+        assert set(features) == set(FEATURES.names())
+        for row in features.values():
+            assert row["digest_match"], row
+            assert row["work_invariant_ok"], row
+
+    def test_json_artifact_roundtrip(self, tmp_path):
+        config = tiny_config()
+        report = run_experiment(SPEC, config, jobs=1, cache=None)
+        path = write_ablation_json(report.result, tmp_path)
+        assert path.name == "ablation_features.json"
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "ablation_features"
+        assert check_gate(payload) == []
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+class TestGate:
+    def _payload(self, **overrides):
+        row = {
+            "feature": "witness_cache",
+            "layer": "core",
+            "active": True,
+            "timed": True,
+            "speedup": 1.2,
+            "digest_match": True,
+            "work_invariant_ok": True,
+            "gate_floor": 0.8,
+        }
+        row.update(overrides)
+        return {"features": [row]}
+
+    def test_clean_payload_passes(self):
+        assert check_gate(self._payload()) == []
+
+    def test_digest_divergence_fails(self):
+        violations = check_gate(self._payload(digest_match=False))
+        assert any("digest diverged" in v for v in violations)
+
+    def test_work_invariant_violation_fails(self):
+        violations = check_gate(self._payload(work_invariant_ok=False))
+        assert any("work invariant" in v for v in violations)
+
+    def test_contribution_regression_fails(self):
+        violations = check_gate(self._payload(speedup=0.7))
+        assert any("contribution regressed" in v for v in violations)
+
+    def test_untimed_rows_skip_the_timing_gate_only(self):
+        assert check_gate(self._payload(speedup=0.1, timed=False)) == []
+        violations = check_gate(
+            self._payload(speedup=0.1, timed=False, digest_match=False)
+        )
+        assert len(violations) == 1
+
+    def test_inactive_and_unfloored_features_skip_timing(self):
+        assert check_gate(self._payload(speedup=0.1, active=False)) == []
+        assert check_gate(self._payload(speedup=0.1, gate_floor=None)) == []
+
+    def test_empty_payload_fails(self):
+        assert check_gate({"features": []}) == ["no feature rows found in payload"]
+
+    def test_cli_check_entry_point(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(self._payload()))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(self._payload(digest_match=False)))
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        ok = subprocess.run(
+            [sys.executable, "-m", "repro.bench.ablation", "--check", str(good)],
+            capture_output=True, text=True, env=env,
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "ablation gate ok" in ok.stdout
+        fail = subprocess.run(
+            [sys.executable, "-m", "repro.bench.ablation", "--check", str(bad)],
+            capture_output=True, text=True, env=env,
+        )
+        assert fail.returncode == 1
+        assert "GATE FAIL" in fail.stderr
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def test_digest_is_order_sensitive_and_stable():
+    rows = [["0x1.8p+3", "0x1.0p+0"], ["0x1.4p+2", "0x1.8p+1"]]
+    assert digest_of(rows) == digest_of([list(row) for row in rows])
+    assert digest_of(rows) != digest_of(list(reversed(rows)))
+    assert len(digest_of(rows)) == 16
+
+
+def test_tier_markers_are_registered(pytestconfig):
+    registered = "\n".join(pytestconfig.getini("markers"))
+    for marker in ("tier1", "slow", "bench"):
+        assert f"{marker}:" in registered

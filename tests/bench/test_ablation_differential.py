@@ -1,0 +1,175 @@
+"""Differential fuzzing of the feature-flag matrix.
+
+The ablation harness's core invariant: every combination of feature flags
+produces a bit-identical frontier, identical ``plans_generated``, and (up to
+each feature's declared counter exemptions) identical per-invocation
+counters.  This suite fuzzes randomized ``OptimizeRequest``s — topology x
+size x seed x metric subset — under random flag subsets on both kernel
+backends and compares everything against the all-on configuration.
+
+Seeded ``random.Random`` keeps every run reproducible; a failure message
+names the scenario and flag subset so it can be replayed directly.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import ExitStack
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro import flags, kernel
+from repro.api import OptimizeRequest, open_session
+from repro.bench.ablation import FEATURES
+from tests.core.golden_capture import IAMA_COUNTER_FIELDS
+
+TOPOLOGIES = ("chain", "star", "cycle", "clique")
+METRIC_CHOICES = (
+    None,  # the configuration's default metric set
+    ("execution_time", "monetary_fees"),
+    ("execution_time", "energy", "io_load"),
+    ("execution_time", "buffer_space"),
+)
+CORE_FLAGS = tuple(sorted(flags.KNOWN_FLAGS))
+
+try:
+    import numpy  # noqa: F401
+
+    BACKENDS = ("python", "numpy")
+except ImportError:  # pragma: no cover - numpy ships in the dev env
+    BACKENDS = ("python",)
+
+
+def _scenarios(seed: int, count: int) -> List[Dict[str, object]]:
+    """Randomized request scenarios plus a random non-empty flag subset each."""
+    rng = random.Random(seed)
+    scenarios = []
+    for _ in range(count):
+        subset_size = rng.randint(1, len(CORE_FLAGS))
+        disabled = tuple(sorted(rng.sample(CORE_FLAGS, subset_size)))
+        scenarios.append(
+            {
+                "topology": rng.choice(TOPOLOGIES),
+                "tables": rng.randint(3, 4),
+                "seed": rng.randint(0, 9),
+                "levels": rng.randint(2, 3),
+                "metrics": rng.choice(METRIC_CHOICES),
+                "disabled": disabled,
+            }
+        )
+    return scenarios
+
+
+def _capture(
+    scenario: Dict[str, object],
+    backend: str,
+    disabled: Tuple[str, ...] = (),
+) -> Dict[str, object]:
+    """Run one scenario under a flag configuration; return the pinned facts."""
+    request = OptimizeRequest(
+        workload=f"gen:{scenario['topology']}:{scenario['tables']}:{scenario['seed']}",
+        algorithm="iama",
+        scale="tiny",
+        levels=scenario["levels"],
+        metrics=scenario["metrics"],
+    )
+    overrides = {name: name not in disabled for name in CORE_FLAGS}
+    with ExitStack() as stack:
+        stack.enter_context(kernel.use_backend(backend))
+        stack.enter_context(flags.overrides(**overrides))
+        result = open_session(request).run()
+    counters = [
+        {
+            name: invocation.details[name]
+            for name in IAMA_COUNTER_FIELDS
+            if name in invocation.details
+        }
+        for invocation in result.invocations
+    ]
+    return {
+        "frontier": [
+            [value.hex() for value in summary.cost] for summary in result.frontier
+        ],
+        "plans_generated": result.plans_generated,
+        "invocations": len(result.invocations),
+        "counters": counters,
+    }
+
+
+def _exempt_fields(disabled: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Counter fields the disabled features are declared allowed to change."""
+    exempt: List[str] = []
+    for name in disabled:
+        exempt.extend(FEATURES.get(name).counter_exempt)
+    return tuple(exempt)
+
+
+def _strip(counters, exempt):
+    return [
+        {name: value for name, value in invocation.items() if name not in exempt}
+        for invocation in counters
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("fuzz_seed", [11, 23])
+def test_random_flag_subsets_are_bit_identical(backend, fuzz_seed):
+    for scenario in _scenarios(fuzz_seed, count=4):
+        disabled = scenario["disabled"]
+        label = (
+            f"gen:{scenario['topology']}:{scenario['tables']}:{scenario['seed']}"
+            f" levels={scenario['levels']} metrics={scenario['metrics']}"
+            f" disabled={disabled} backend={backend}"
+        )
+        baseline = _capture(scenario, backend)
+        ablated = _capture(scenario, backend, disabled=disabled)
+        assert ablated["frontier"] == baseline["frontier"], label
+        assert ablated["plans_generated"] == baseline["plans_generated"], label
+        assert ablated["invocations"] == baseline["invocations"], label
+        exempt = _exempt_fields(disabled)
+        assert _strip(ablated["counters"], exempt) == _strip(
+            baseline["counters"], exempt
+        ), label
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="numpy backend unavailable")
+def test_flag_subsets_are_identical_across_backends():
+    """The all-off configuration on numpy equals the all-on one on python."""
+    scenario = {
+        "topology": "clique",
+        "tables": 4,
+        "seed": 3,
+        "levels": 3,
+        "metrics": None,
+    }
+    all_off = tuple(CORE_FLAGS)
+    python_baseline = _capture(scenario, "python")
+    numpy_ablated = _capture(scenario, "numpy", disabled=all_off)
+    assert numpy_ablated["frontier"] == python_baseline["frontier"]
+    assert numpy_ablated["plans_generated"] == python_baseline["plans_generated"]
+    exempt = _exempt_fields(all_off)
+    assert _strip(numpy_ablated["counters"], exempt) == _strip(
+        python_baseline["counters"], exempt
+    )
+
+
+def test_delta_sets_exemption_is_real():
+    """Disabling Δ-sets must actually enumerate more pairs (the exemption is
+    not a loophole: the feature demonstrably does work, everything else is
+    still pinned bit-identical by the test above)."""
+    scenario = {
+        "topology": "cycle",
+        "tables": 4,
+        "seed": 0,
+        "levels": 3,
+        "metrics": None,
+    }
+    baseline = _capture(scenario, "python")
+    ablated = _capture(scenario, "python", disabled=("delta_sets",))
+
+    def total_pairs(capture):
+        return sum(inv.get("pairs_enumerated", 0) for inv in capture["counters"])
+
+    assert total_pairs(ablated) > total_pairs(baseline)
+    assert ablated["frontier"] == baseline["frontier"]

@@ -1,0 +1,153 @@
+"""Property test: two-tier byte accounting stays exact under churn.
+
+PR 6 split the frontier cache into a trace tier (always charged) and an
+arena tier (charged only while a resumable session is parked), with
+``audit()`` as the invariant checker.  This test drives randomized
+interleavings of every operation that moves bytes between the tiers —
+record, replay hit, warm-start pop, re-park, LRU eviction (small byte
+budget) and flush — and asserts after every step that
+
+* ``audit()`` never raises (per-entry charges equal recomputed sizes and the
+  budget counter is the sum of the charges), and
+* the ``stats()`` gauges agree with ``audit()``'s recomputation.
+
+Seeded ``random.Random`` interleavings make every failure replayable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import Budget, OptimizeRequest, open_session, resolve_request
+from repro.service import CACHE_HIT, CACHE_MISS, CACHE_WARM, FrontierCache
+from repro.service.frontier_cache import request_fingerprint
+
+LEVELS = 3
+WORKLOADS = ("gen:chain:3:0", "gen:star:3:1", "gen:cycle:3:0", "gen:clique:3:2")
+
+
+def _traced_run(workload: str, max_invocations: int):
+    """Run a budget-capped session and return everything ``record`` needs.
+
+    The cap leaves the session resumable, so recording parks it in the arena
+    tier and a bigger-budget ``match`` later pops it (CACHE_WARM).
+    """
+    request = OptimizeRequest(
+        workload=workload,
+        scale="tiny",
+        levels=LEVELS,
+        budget=Budget(max_invocations=max_invocations),
+    )
+    session = open_session(request)
+    alphas, updates, plans_after = [], [], []
+    while not session.finished:
+        update = session.step()
+        alphas.append(update.invocation.alpha)
+        updates.append(update.to_dict())
+        plans_after.append(session.driver.factory.counters.total_plans_built)
+    key = request_fingerprint(resolve_request(request), session.algorithm)
+    return {
+        "key": key,
+        "request": request,
+        "session": session,
+        "alphas": alphas,
+        "updates": updates,
+        "plans_after": plans_after,
+    }
+
+
+def _record(cache: FrontierCache, trace, session):
+    return cache.record(
+        trace["key"],
+        workload=trace["request"].workload,
+        algorithm=trace["session"].algorithm,
+        query_name=trace["session"].driver.query.name,
+        table_count=trace["session"].driver.query.table_count,
+        metric_names=tuple(trace["session"].driver.factory.metric_set.names),
+        levels=trace["session"].driver.schedule.levels,
+        refines=trace["session"].driver.refines,
+        alphas=trace["alphas"],
+        updates=trace["updates"],
+        plans_after=trace["plans_after"],
+        session=session,
+    )
+
+
+def _check(cache: FrontierCache) -> None:
+    gauges = cache.audit()  # raises on any accounting divergence
+    stats = cache.stats()
+    assert stats["bytes_in_use"] == gauges["bytes_in_use"]
+    assert stats["entries"] == gauges["entries"]
+    assert 0 <= gauges["bytes_in_use"]
+
+
+@pytest.mark.parametrize("interleaving_seed", [1, 7, 42])
+def test_accounting_exact_under_random_churn(interleaving_seed, tmp_path):
+    rng = random.Random(interleaving_seed)
+    traces = [_traced_run(workload, max_invocations=2) for workload in WORKLOADS]
+    # In-hand sessions per workload: a session is either parked in the cache
+    # (arena tier charged) or held here awaiting a re-park.
+    in_hand = {trace["key"]: trace["session"] for trace in traces}
+
+    cache = FrontierCache(max_bytes=64 << 10, persist_dir=tmp_path / "persist")
+    _check(cache)
+
+    operations = ("record", "hit", "warm", "flush", "record_traceless")
+    for step in range(120):
+        trace = rng.choice(traces)
+        key = trace["key"]
+        operation = rng.choice(operations)
+        if operation == "record":
+            # Park (or re-park) the session if we hold it; otherwise this is
+            # a trace-only re-record of an identical trace.
+            session = in_hand.pop(key, None)
+            _record(cache, trace, session)
+        elif operation == "record_traceless":
+            _record(cache, trace, None)
+        elif operation == "hit":
+            decision = cache.match(key, Budget(max_invocations=1))
+            assert decision.status in (CACHE_HIT, CACHE_MISS)
+        elif operation == "warm":
+            decision = cache.match(key, Budget(max_invocations=LEVELS))
+            if decision.status == CACHE_WARM:
+                # The pop transfers session ownership (and its arena charge)
+                # to us; audit must already balance before we re-park it.
+                assert decision.session is not None
+                assert key not in in_hand
+                in_hand[key] = decision.session
+            else:
+                assert decision.status in (CACHE_HIT, CACHE_MISS)
+        elif operation == "flush":
+            cache.flush()
+        try:
+            _check(cache)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"accounting diverged at seed={interleaving_seed} "
+                f"step={step} op={operation}: {exc}"
+            ) from exc
+
+
+def test_eviction_churn_under_a_tiny_byte_budget(tmp_path):
+    """A budget smaller than two entries forces eviction on nearly every
+    record; the accounting must stay exact through every evict/re-record."""
+    traces = [_traced_run(workload, max_invocations=2) for workload in WORKLOADS]
+    single = _record(
+        FrontierCache(max_bytes=1 << 30), traces[0], None
+    )
+    budget = int(single.charged_bytes * 1.5)
+    cache = FrontierCache(max_bytes=budget, persist_dir=tmp_path / "persist")
+    rng = random.Random(13)
+    in_hand = {trace["key"]: trace["session"] for trace in traces}
+    for _ in range(60):
+        trace = rng.choice(traces)
+        session = in_hand.pop(trace["key"], None)
+        _record(cache, trace, session)
+        gauges = cache.audit()
+        assert gauges["bytes_in_use"] <= max(budget, single.charged_bytes)
+        if rng.random() < 0.3:
+            cache.flush()
+            cache.audit()
+    assert len(cache) >= 1

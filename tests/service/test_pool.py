@@ -24,6 +24,10 @@ from repro.service import (
     WorkerPoolService,
 )
 
+# Spawning real worker processes makes this the heaviest module in tests/;
+# the tier taxonomy (see the root conftest) files it under ``slow``.
+pytestmark = pytest.mark.slow
+
 TINY = dict(levels=3, scale="tiny")
 
 TOPOLOGIES = ("chain", "star", "cycle", "clique")
