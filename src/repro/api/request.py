@@ -17,7 +17,13 @@ examples) speaks the same language:
 * ``tpch:q03`` / ``tpch_q03`` / ``q03`` — a TPC-H join block by name,
 * ``gen:<topology>:<tables>:<seed>`` — a synthetic query from the seeded
   generator, e.g. ``gen:star:6:42`` for a six-table star query from seed 42
-  (topologies: chain, star, cycle, clique).
+  (topologies: chain, star, cycle, clique),
+* ``sql:<select ...|path.sql|tpch/qXX>`` — real SQL text parsed by the
+  dependency-free frontend (:mod:`repro.workloads.sql`),
+* ``template:<name>:<seed>`` — a seeded TPC-DS-style template instantiation
+  (:mod:`repro.workloads.templates`).
+
+The grammar itself lives in :mod:`repro.workloads.spec`.
 """
 
 from __future__ import annotations
@@ -59,8 +65,16 @@ from repro.costs.model import MultiObjectiveCostModel
 from repro.costs.vector import CostVector
 from repro.plans.factory import PlanFactory
 from repro.plans.query import Query
-from repro.workloads.generator import Topology, generated_workload
-from repro.workloads.tpch import tpch_queries, tpch_statistics
+from repro.workloads.spec import (
+    FAMILY_HELP,
+    GENERATED_PREFIX,
+    TOPOLOGY_NAMES,
+    ResolvedWorkload,
+    canonical_spec_id,
+    parse_generated_spec,
+    parse_template_spec,
+    resolve_workload,
+)
 
 #: Metric name -> shipped metric, for requests that select metrics by name.
 METRIC_POOL = {
@@ -165,78 +179,10 @@ class Budget:
 # ----------------------------------------------------------------------
 # Workload specs
 # ----------------------------------------------------------------------
-GENERATED_PREFIX = "gen"
-
-TOPOLOGY_NAMES = tuple(topology.value for topology in Topology)
-
-
-@dataclass(frozen=True)
-class ResolvedWorkload:
-    """A workload spec resolved into a query plus its statistics catalog."""
-
-    spec: str
-    query: Query
-    statistics: StatisticsCatalog
-
-
-def parse_generated_spec(spec: str) -> Tuple[str, int, int]:
-    """Parse ``gen:<topology>:<tables>:<seed>`` into its three components."""
-    parts = spec.split(":")
-    if len(parts) != 4 or parts[0] != GENERATED_PREFIX:
-        raise ValueError(
-            f"malformed generated-workload spec {spec!r}; expected "
-            "gen:<topology>:<tables>:<seed>, e.g. gen:star:6:42"
-        )
-    _, topology, tables_text, seed_text = parts
-    if topology not in TOPOLOGY_NAMES:
-        raise ValueError(
-            f"unknown topology {topology!r} in {spec!r}; "
-            f"expected one of: {', '.join(TOPOLOGY_NAMES)}"
-        )
-    try:
-        tables = int(tables_text)
-        seed = int(seed_text)
-    except ValueError:
-        raise ValueError(
-            f"table count and seed in {spec!r} must be integers"
-        ) from None
-    if tables < 1:
-        raise ValueError(f"table count in {spec!r} must be at least 1")
-    return topology, tables, seed
-
-
-def resolve_workload(
-    spec: str, config: Optional[ExperimentConfig] = None
-) -> ResolvedWorkload:
-    """Resolve a workload spec string into a query and statistics.
-
-    TPC-H block names accept the ``tpch:``/``tpch_`` prefix or the bare block
-    name (``q03``); the statistics use the configuration's TPC-H scale factor.
-    ``gen:<topology>:<tables>:<seed>`` specs are fully self-describing.
-    """
-    spec = spec.strip()
-    if spec.startswith(GENERATED_PREFIX + ":"):
-        topology, tables, seed = parse_generated_spec(spec)
-        generated = generated_workload(seed, tables, topology)
-        return ResolvedWorkload(
-            spec=spec, query=generated.query, statistics=generated.statistics
-        )
-    name = spec
-    if name.startswith("tpch:"):
-        name = name[len("tpch:"):]
-    for query in tpch_queries():
-        if query.name == name or query.name == f"tpch_{name}":
-            scale_factor = config.tpch_scale_factor if config else 1.0
-            return ResolvedWorkload(
-                spec=spec,
-                query=query,
-                statistics=tpch_statistics(scale_factor),
-            )
-    known = ", ".join(q.name for q in tpch_queries())
-    raise ValueError(
-        f"unknown query {spec!r}; known TPC-H blocks: {known}; "
-        "synthetic workloads use gen:<topology>:<tables>:<seed>"
-    )
+# Spec parsing and resolution live in :mod:`repro.workloads.spec` — the single
+# resolver shared by the request API, the CLI, the bench cells and the service.
+# The imports above re-export the historical names (``resolve_workload``,
+# ``parse_generated_spec``, ``ResolvedWorkload``, ...) from their new home.
 
 
 # ----------------------------------------------------------------------

@@ -1,9 +1,10 @@
 """First-class ablation harness: per-feature speedup attribution with gates.
 
-Six PRs of stacked optimizations (kernel backend, block costing, bounds
-bucket, witness cache, Δ-sets, frontier cache, scheduler policy) each kept a
-slower reference path alive; this module turns those seams into a registry of
-named features and measures what each one contributes.
+The stacked optimizations (kernel backend, block costing, bounds bucket,
+witness cache, Δ-sets, frontier cache, scheduler policy) each kept a slower
+reference path alive, and the SQL workload frontend keeps the hand-coded
+TPC-H stubs alive next to the parser; this module turns those seams into a
+registry of named features and measures what each one contributes.
 
 * :class:`Feature` / :class:`FeatureRegistry` declare every toggleable
   optimization together with the lowering the codebase already understands
@@ -85,8 +86,9 @@ class Feature:
     name:
         Registry key; the ablated configuration is named ``no_<name>``.
     layer:
-        ``kernel`` (backend switch), ``core`` (a :mod:`repro.flags` flag) or
-        ``service`` (a :class:`PlanningService` constructor argument).
+        ``kernel`` (backend switch), ``core`` (a :mod:`repro.flags` flag),
+        ``service`` (a :class:`PlanningService` constructor argument) or
+        ``workload`` (a flag routing workload-spec resolution).
     description:
         What the optimization does (one line, for the flag table).
     lowering:
@@ -118,13 +120,17 @@ class FeatureRegistry:
     def register(self, feature: Feature) -> Feature:
         if feature.name in self._features:
             raise ValueError(f"feature {feature.name!r} is already registered")
-        if feature.layer not in ("kernel", "core", "service"):
+        if feature.layer not in ("kernel", "core", "service", "workload"):
             raise ValueError(
                 f"feature {feature.name!r}: unknown layer {feature.layer!r}"
             )
-        if feature.layer == "core" and feature.name not in flags.KNOWN_FLAGS:
+        if (
+            feature.layer in ("core", "workload")
+            and feature.name not in flags.KNOWN_FLAGS
+        ):
             raise ValueError(
-                f"core feature {feature.name!r} has no repro.flags flag"
+                f"{feature.layer} feature {feature.name!r} has no "
+                "repro.flags flag"
             )
         self._features[feature.name] = feature
         return feature
@@ -206,6 +212,17 @@ FEATURES.register(
         layer="service",
         description="alpha-greedy invocation timeslicing vs plain fair round-robin",
         lowering='PlanningService(policy="fair")',
+        gate_floor=None,
+    )
+)
+FEATURES.register(
+    Feature(
+        name="sql_frontend",
+        layer="workload",
+        description="TPC-H specs parsed from shipped SQL text vs hand-coded stubs",
+        lowering="REPRO_FEATURE_SQL_FRONTEND=0",
+        # An ingestion seam, not an optimization: the two resolution paths
+        # must be bit-identical, so only the digest gate applies.
         gate_floor=None,
     )
 )
@@ -344,9 +361,42 @@ def _service_cells(config: ExperimentConfig, grid: AblationConfig) -> List[Cell]
     ]
 
 
+#: TPC-H blocks the workload-layer cells certify the SQL frontend on (one
+#: small and one mid-size block keep the grid cheap; the full 22-block
+#: differential lives in the test suite).
+WORKLOAD_BLOCKS = ("q03", "q14")
+
+
+def _workload_cells(config: ExperimentConfig, grid: AblationConfig) -> List[Cell]:
+    """Workload grid: baseline + workload ablations, per certified block."""
+    levels = max(config.resolution_level_settings)
+    workload_configs = [BASELINE_CONFIG] + [
+        f"no_{feature.name}"
+        for feature in grid.feature_list()
+        if feature.layer == "workload"
+    ]
+    return [
+        Cell.make(
+            EXPERIMENT_NAME,
+            kind="workload",
+            config=config_name,
+            block=block,
+            resolution_levels=int(levels),
+            scale=_scale_name(config),
+            backend=_baseline_backend(),
+        )
+        for config_name in workload_configs
+        for block in WORKLOAD_BLOCKS
+    ]
+
+
 def _cells(config: ExperimentConfig) -> List[Cell]:
     grid = AblationConfig()
-    return _series_cells(config, grid) + _service_cells(config, grid)
+    return (
+        _series_cells(config, grid)
+        + _service_cells(config, grid)
+        + _workload_cells(config, grid)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -481,11 +531,44 @@ def _service_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
     }
 
 
+def _workload_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
+    """Optimize one TPC-H block end-to-end through the spec resolver.
+
+    Under ``all_on`` the block is produced by parsing the shipped SQL text;
+    under ``no_sql_frontend`` by the hand-coded stub.  The merged feature row
+    asserts the two frontier digests are identical.
+    """
+    import time
+
+    from repro.api import OptimizeRequest, open_session
+
+    request = OptimizeRequest(
+        workload=f"tpch:{cell['block']}",
+        algorithm="iama",
+        scale=cell["scale"],
+        levels=cell["resolution_levels"],
+    )
+    started = time.perf_counter()
+    with ExitStack() as stack:
+        _apply_configuration(stack, cell["config"], cell["backend"])
+        result = open_session(request).run()
+    seconds = time.perf_counter() - started
+    return {
+        "seconds": seconds,
+        "invocations": len(result.invocations),
+        "plans_generated": result.plans_generated,
+        "frontier_size": result.frontier_size,
+        "frontier_digest": digest_of(frontier_hex_rows(result)),
+    }
+
+
 def _run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
     if cell["kind"] == "series":
         return _series_run_cell(cell, config)
     if cell["kind"] == "service":
         return _service_run_cell(cell, config)
+    if cell["kind"] == "workload":
+        return _workload_run_cell(cell, config)
     raise ValueError(f"unknown ablation cell kind {cell['kind']!r}")
 
 
@@ -505,6 +588,10 @@ def _merge(config: ExperimentConfig, outcomes: CellOutcomes) -> "ExperimentResul
     service_cells = sorted(
         (cell for cell in by_cell if cell["kind"] == "service"),
         key=lambda cell: cell["config"],
+    )
+    workload_cells = sorted(
+        (cell for cell in by_cell if cell["kind"] == "workload"),
+        key=lambda cell: (cell["config"], cell["block"]),
     )
 
     rows: List[Dict[str, object]] = []
@@ -543,6 +630,20 @@ def _merge(config: ExperimentConfig, outcomes: CellOutcomes) -> "ExperimentResul
                 "frontier_digest": payload["frontier_digest"],
             }
         )
+    for cell in workload_cells:
+        payload = by_cell[cell]
+        rows.append(
+            {
+                "row": "cell",
+                "kind": "workload",
+                "config": cell["config"],
+                "workload": f"tpch:{cell['block']}",
+                "backend": cell["backend"],
+                "seconds": float(payload["seconds"]),
+                "plans_generated": int(payload["plans_generated"]),
+                "frontier_digest": payload["frontier_digest"],
+            }
+        )
 
     def series_group(config_name: str) -> List[Cell]:
         return [c for c in series_cells if c["config"] == config_name]
@@ -571,8 +672,18 @@ def _merge(config: ExperimentConfig, outcomes: CellOutcomes) -> "ExperimentResul
             "digest": payload["frontier_digest"],
         }
 
+    def workload_summary(config_name: str) -> Optional[Dict[str, object]]:
+        cells = [c for c in workload_cells if c["config"] == config_name]
+        if not cells:
+            return None
+        return {
+            "seconds": sum(float(by_cell[c]["seconds"]) for c in cells),
+            "digest": digest_of([by_cell[c]["frontier_digest"] for c in cells]),
+        }
+
     core_baseline = series_summary(BASELINE_CONFIG)
     service_baseline = service_summary(BASELINE_CONFIG)
+    workload_baseline = workload_summary(BASELINE_CONFIG)
 
     for feature in grid.feature_list():
         config_name = f"no_{feature.name}"
@@ -605,6 +716,31 @@ def _merge(config: ExperimentConfig, outcomes: CellOutcomes) -> "ExperimentResul
                 ),
                 "digest_match": digest_match,
                 "work_invariant_ok": invariant_ok,
+                "gate_floor": feature.gate_floor,
+                "lowering": feature.lowering,
+            }
+        elif feature.layer == "workload":
+            ablated = workload_summary(config_name)
+            baseline = workload_baseline
+            if ablated is None or baseline is None:
+                continue
+            row = {
+                "row": "feature",
+                "feature": feature.name,
+                "layer": feature.layer,
+                "active": True,
+                "timed": baseline["seconds"] >= MIN_TIMED_SECONDS,
+                "baseline_seconds": baseline["seconds"],
+                "ablated_seconds": ablated["seconds"],
+                "speedup": (
+                    ablated["seconds"] / baseline["seconds"]
+                    if baseline["seconds"] > 0
+                    else 1.0
+                ),
+                # The whole point of the seam: SQL-parsed and hand-coded
+                # blocks must optimize to bit-identical frontiers.
+                "digest_match": ablated["digest"] == baseline["digest"],
+                "work_invariant_ok": True,
                 "gate_floor": feature.gate_floor,
                 "lowering": feature.lowering,
             }

@@ -19,8 +19,10 @@ The CLI exposes the most common workflows without writing Python:
 
 ``optimize`` and ``compare`` run through the unified planner API
 (:mod:`repro.api`): any registered algorithm is selectable with
-``--algorithm``, workloads may be TPC-H blocks (``tpch_q03``/``q03``) or
-generated specs (``gen:star:6:42``), and ``--json`` emits the versioned
+``--algorithm``, workloads may be TPC-H blocks (``tpch_q03``/``q03``),
+generated specs (``gen:star:6:42``), real SQL (``sql:select ...``,
+``sql:path.sql``, ``sql:tpch/q03``) or seeded template instantiations
+(``template:ss_item_date:7``), and ``--json`` emits the versioned
 :class:`~repro.api.schema.OptimizationResult` payload.
 
 All commands accept ``--scale tiny|smoke|paper`` (default: the
@@ -64,6 +66,7 @@ from repro.bench.reporting import format_grouped_times, format_rows
 from repro.bench.runner import AlgorithmName
 from repro.bench.scheduler import run_experiment
 from repro.costs.pareto import pareto_filter
+from repro.workloads.spec import FAMILY_HELP
 from repro.workloads.tpch import tpch_blocks_by_table_count
 
 #: Experiment name -> callable(config) -> ExperimentResult
@@ -123,12 +126,19 @@ def _open_session(args: argparse.Namespace, algorithm: str):
 # Commands
 # ----------------------------------------------------------------------
 def cmd_workload(args: argparse.Namespace) -> int:
-    """List the TPC-H join blocks grouped by table count."""
+    """List the TPC-H join blocks and query templates by join-count band."""
+    from repro.workloads.templates import templates_by_band
+
     grouped = tpch_blocks_by_table_count()
     print(f"{'tables':>7}  blocks")
     for count, queries in grouped.items():
         names = ", ".join(query.name for query in queries)
         print(f"{count:>7}  {names}")
+    print()
+    print(f"{'joins':>7}  templates (use template:<name>:<seed>)")
+    for joins, entries in templates_by_band().items():
+        names = ", ".join(template.name for template in entries)
+        print(f"{joins:>7}  {names}")
     return 0
 
 
@@ -491,10 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     planners.set_defaults(handler=cmd_planners)
 
-    workload_help = (
-        "workload: a TPC-H block (tpch_q03 or q03) or a generated spec "
-        "gen:<topology>:<tables>:<seed>, e.g. gen:star:6:42"
-    )
+    workload_help = f"workload: {FAMILY_HELP}"
 
     optimize = subparsers.add_parser("optimize", help="anytime sweep on one workload")
     optimize.add_argument("query", help=workload_help)

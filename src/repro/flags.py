@@ -23,6 +23,13 @@ in isolation and attribute the speedup honestly:
     inserted partial plans are joined.  Off: every invocation re-enumerates
     all pairs (``IsFresh`` still deduplicates, so the frontier — and every
     counter except ``pairs_enumerated`` — is unchanged).
+``sql_frontend``
+    TPC-H workload specs (``tpch:q03``) resolve by parsing the shipped SQL
+    text through :mod:`repro.workloads.sql`.  Off: the hand-coded join-graph
+    stubs in :mod:`repro.workloads.tpch` are used directly.  Not an
+    optimization seam but an *ingestion* seam — the two paths are
+    bit-identical (the differential suite asserts it), so the flag exists to
+    let the ablation gate certify the SQL parser against the stubs.
 
 Flags are global and read per call site (one dict lookup on a hot-path
 *block* boundary, so the overhead is unmeasurable).  The environment lowering
@@ -53,6 +60,7 @@ KNOWN_FLAGS: Dict[str, bool] = {
     "bounds_bucket": True,
     "witness_cache": True,
     "delta_sets": True,
+    "sql_frontend": True,
 }
 
 _TRUTHY = {"1", "on", "true", "yes"}

@@ -52,7 +52,7 @@ from repro.api.schema import (
 from repro.api.session import PlannerSession
 from repro.bench.cache import JsonStore, config_fingerprint, content_digest
 from repro.service.protocol import CACHE_HIT, CACHE_MISS, CACHE_WARM
-from repro.workloads.generator import GeneratedQuery, workload_fingerprint
+from repro.workloads.spec import canonical_spec_id
 
 #: Bump when the persisted entry layout changes incompatibly.
 FRONTIER_CACHE_VERSION = 1
@@ -67,7 +67,8 @@ _DISK_NAMESPACE = "frontiers"
 def canonical_workload_id(resolved: ResolvedRequest) -> str:
     """A spelling-independent identifier of the resolved workload.
 
-    Generated specs (``gen:star:6:42``) are identified by the full
+    Delegates to :func:`repro.workloads.spec.canonical_spec_id`: generated
+    and ``sql:``/``template:`` specs are identified by the full
     :func:`workload_fingerprint` — the digest over schema, statistics and
     join predicates that the bench cell cache already trusts for
     cross-process determinism — computed over the *already resolved* query
@@ -76,15 +77,12 @@ def canonical_workload_id(resolved: ResolvedRequest) -> str:
     ``tpch_q03``) are identified by the resolved block name plus the
     statistics scale factor.
     """
-    spec = resolved.request.workload.strip()
-    if spec.startswith("gen:"):
-        generated = GeneratedQuery(
-            query=resolved.query,
-            schema=resolved.statistics.schema,
-            statistics=resolved.statistics,
-        )
-        return f"gen:{workload_fingerprint(generated)}"
-    return f"tpch:{resolved.query.name}:{resolved.config.tpch_scale_factor}"
+    return canonical_spec_id(
+        resolved.request.workload,
+        resolved.query,
+        resolved.statistics,
+        resolved.config.tpch_scale_factor,
+    )
 
 
 def request_fingerprint(resolved: ResolvedRequest, algorithm: str) -> str:

@@ -11,6 +11,12 @@ matching the groups shown in Figures 3-5.
 :mod:`repro.workloads.generator` produces synthetic schemas and queries (chain,
 star, cycle and clique join graphs) with a seeded random generator; these are
 used by the property-based tests and by the ablation benchmarks.
+
+:mod:`repro.workloads.sql` parses real SQL text into the same workload model
+(:mod:`repro.workloads.tpch_sql` ships the TPC-H blocks as SQL),
+:mod:`repro.workloads.templates` adds TPC-DS-style parameterized templates,
+and :mod:`repro.workloads.spec` is the single resolver for every workload-spec
+family (``tpch:``, ``gen:``, ``sql:``, ``template:``).
 """
 
 from repro.workloads.tpch import (
@@ -26,6 +32,14 @@ from repro.workloads.generator import (
     GeneratedQuery,
     Topology,
 )
+from repro.workloads.sql import sql_workload
+from repro.workloads.spec import FAMILY_HELP, ResolvedWorkload, resolve_workload
+from repro.workloads.templates import (
+    instantiate_template,
+    template_names,
+    template_schema,
+    template_workload,
+)
 
 __all__ = [
     "tpch_schema",
@@ -37,4 +51,12 @@ __all__ = [
     "SyntheticWorkloadGenerator",
     "GeneratedQuery",
     "Topology",
+    "sql_workload",
+    "FAMILY_HELP",
+    "ResolvedWorkload",
+    "resolve_workload",
+    "instantiate_template",
+    "template_names",
+    "template_schema",
+    "template_workload",
 ]

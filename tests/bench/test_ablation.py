@@ -36,8 +36,10 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 # ----------------------------------------------------------------------
 class TestFeatureRegistry:
     def test_every_core_flag_has_a_registered_feature(self):
-        core = {f.name for f in FEATURES.by_layer("core")}
-        assert core == set(flags.known_flags())
+        # Every repro.flags flag is covered by a feature — core flags plus
+        # the workload-layer sql_frontend flag.
+        flagged = {f.name for f in FEATURES.by_layer("core", "workload")}
+        assert flagged == set(flags.known_flags())
 
     def test_expected_features_are_registered(self):
         assert set(FEATURES.names()) == {
@@ -48,6 +50,7 @@ class TestFeatureRegistry:
             "delta_sets",
             "frontier_cache",
             "scheduler_policy",
+            "sql_frontend",
         }
 
     def test_duplicate_registration_raises(self):

@@ -1,0 +1,231 @@
+"""Tests for the trace replayer (:mod:`repro.bench.trace`)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.registry import registered_names
+from repro.bench.trace import (
+    DEFAULT_TEMPLATES,
+    REPEAT_SHAPE,
+    SHAPES,
+    SPEC,
+    UNIFORM_SHAPE,
+    check_trace,
+    get_shape,
+    replay_manual,
+    shape_names,
+    synthesize_trace,
+    trace_digest,
+    trace_jsonable,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_TRACE_SCRIPT = """
+import json
+from repro.bench.trace import get_shape, synthesize_trace, trace_jsonable
+for name in ("uniform_oneshot", "zipf_repeat", "template_reinstantiate"):
+    events = synthesize_trace(get_shape(name), seed=5)
+    print(json.dumps(trace_jsonable(events), sort_keys=True))
+"""
+
+
+# ----------------------------------------------------------------------
+# Shapes and synthesis
+# ----------------------------------------------------------------------
+class TestShapes:
+    def test_shipped_shapes(self):
+        assert shape_names() == (
+            "uniform_oneshot",
+            "zipf_repeat",
+            "template_reinstantiate",
+        )
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(KeyError, match="unknown trace shape"):
+            get_shape("tsunami")
+
+
+class TestSynthesis:
+    def test_uniform_shape_has_no_repeats_no_probes_no_bursts(self):
+        shape = get_shape(UNIFORM_SHAPE)
+        events = synthesize_trace(shape, seed=5)
+        assert len(events) == shape.events
+        assert len({e.spec for e in events}) == shape.events
+        assert all(e.kind == "full" for e in events)
+        assert [e.tick for e in events] == list(range(shape.events))
+
+    def test_repeat_shape_probes_each_pair_once_then_repeats(self):
+        shape = get_shape(REPEAT_SHAPE)
+        events = synthesize_trace(shape, seed=5)
+        assert len(events) == shape.events
+        specs = {e.spec for e in events}
+        assert len(specs) <= shape.population < shape.events
+        probes = [e for e in events if e.kind == "probe"]
+        assert len(probes) == len({e.spec for e in probes}) == len(specs)
+        # A pair's probe is its first touch.
+        first_touch = {}
+        for event in events:
+            first_touch.setdefault(event.spec, event.kind)
+        assert all(kind == "probe" for kind in first_touch.values())
+
+    def test_burst_ticks_admit_more_arrivals(self):
+        shape = get_shape(REPEAT_SHAPE)
+        events = synthesize_trace(shape, seed=5)
+        per_tick = {}
+        for event in events:
+            per_tick[event.tick] = per_tick.get(event.tick, 0) + 1
+        for tick, count in per_tick.items():
+            limit = shape.burst_size if tick % shape.burst_every == 0 else 1
+            assert count <= limit, (tick, count)
+        assert any(count > 1 for count in per_tick.values())
+
+    def test_reinstantiate_shape_never_repeats_a_spec(self):
+        shape = get_shape("template_reinstantiate")
+        events = synthesize_trace(shape, seed=5)
+        assert len({e.spec for e in events}) == len(events)
+        assert len({e.template for e in events}) <= len(DEFAULT_TEMPLATES)
+
+    def test_synthesis_is_deterministic_and_seed_sensitive(self):
+        shape = get_shape(REPEAT_SHAPE)
+        assert trace_digest(synthesize_trace(shape, seed=5)) == (
+            trace_digest(synthesize_trace(shape, seed=5))
+        )
+        assert trace_digest(synthesize_trace(shape, seed=5)) != (
+            trace_digest(synthesize_trace(shape, seed=6))
+        )
+
+
+class TestCrossProcessDeterminism:
+    def _arrivals_in_fresh_process(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", _TRACE_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return completed.stdout
+
+    def test_arrival_sequences_are_byte_identical_across_processes(self):
+        local = "".join(
+            json.dumps(trace_jsonable(synthesize_trace(shape, seed=5)), sort_keys=True)
+            + "\n"
+            for shape in SHAPES
+        )
+        first = self._arrivals_in_fresh_process()
+        second = self._arrivals_in_fresh_process()
+        assert first == second, "two fresh processes disagree"
+        assert first == local, "fresh process disagrees with this process"
+
+
+# ----------------------------------------------------------------------
+# Replay semantics
+# ----------------------------------------------------------------------
+class TestReplay:
+    def _replay(self, shape_name):
+        from repro.service.frontier_cache import FrontierCache
+        from repro.service.service import PlanningService
+
+        events = synthesize_trace(get_shape(shape_name), seed=5)
+        with PlanningService(
+            policy="alpha_greedy", workers=0, cache=FrontierCache()
+        ) as service:
+            return replay_manual(service, events, levels=2, scale="tiny")
+
+    def test_uniform_traffic_always_misses(self):
+        metrics = self._replay(UNIFORM_SHAPE)
+        assert metrics["cache_hit"] == 0 and metrics["cache_warm"] == 0
+        assert metrics["cache_miss"] == metrics["jobs"]
+
+    def test_repeat_traffic_is_served_by_the_cache(self):
+        metrics = self._replay(REPEAT_SHAPE)
+        assert metrics["cache_hit"] > 0
+        assert metrics["hit_warm_fraction"] > 0.5
+        assert metrics["ttff_p95_ms"] >= metrics["ttff_p50_ms"] >= 0.0
+
+    def test_reinstantiated_traffic_never_aliases(self):
+        metrics = self._replay("template_reinstantiate")
+        assert metrics["cache_hit"] == 0
+
+
+# ----------------------------------------------------------------------
+# The registered experiment and its gate
+# ----------------------------------------------------------------------
+def _rows(**overrides):
+    rows = {
+        UNIFORM_SHAPE: {
+            "shape": UNIFORM_SHAPE,
+            "cache_miss": 12,
+            "cache_hit": 0,
+            "cache_warm": 0,
+            "hit_warm_fraction": 0.0,
+        },
+        REPEAT_SHAPE: {
+            "shape": REPEAT_SHAPE,
+            "cache_miss": 4,
+            "cache_hit": 12,
+            "cache_warm": 2,
+            "hit_warm_fraction": 0.778,
+        },
+        "template_reinstantiate": {
+            "shape": "template_reinstantiate",
+            "cache_miss": 12,
+            "cache_hit": 0,
+            "cache_warm": 0,
+            "hit_warm_fraction": 0.0,
+        },
+    }
+    for shape, values in overrides.items():
+        rows[shape].update(values)
+    return list(rows.values())
+
+
+class TestGate:
+    def test_registered_under_the_bench_registry(self):
+        assert "trace_replay" in registered_names()
+        assert SPEC.name == "trace_replay"
+
+    def test_clean_rows_pass(self):
+        assert check_trace(_rows()) == []
+
+    def test_missing_shape_fails(self):
+        violations = check_trace(_rows()[:2])
+        assert violations and "missing trace shapes" in violations[0]
+
+    def test_uniform_aliasing_fails(self):
+        violations = check_trace(_rows(**{UNIFORM_SHAPE: {"cache_hit": 1}}))
+        assert any("aliased" in v for v in violations)
+
+    def test_reinstantiate_hits_fail(self):
+        violations = check_trace(
+            _rows(**{"template_reinstantiate": {"cache_hit": 3}})
+        )
+        assert any("fresh template" in v for v in violations)
+
+    def test_repeat_shape_must_strictly_beat_uniform(self):
+        violations = check_trace(
+            _rows(
+                **{
+                    REPEAT_SHAPE: {
+                        "cache_hit": 0,
+                        "cache_warm": 0,
+                        "hit_warm_fraction": 0.0,
+                        "cache_miss": 18,
+                    }
+                }
+            )
+        )
+        assert any("not strictly above" in v for v in violations)
+        assert any("zero hits" in v for v in violations)

@@ -1,0 +1,281 @@
+"""Unit tests for the dependency-free SQL frontend (:mod:`repro.workloads.sql`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.sql import (
+    BETWEEN_SELECTIVITY,
+    LIKE_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    UNKNOWN_EQ_SELECTIVITY,
+    ParsedFilter,
+    ParsedJoin,
+    SqlParseError,
+    estimate_filter_selectivity,
+    extract_hints,
+    lower_parsed,
+    parse_sql,
+    sql_text_digest,
+    sql_workload,
+    strip_comments,
+    tokenize,
+)
+from repro.workloads.tpch import tpch_schema, tpch_statistics
+
+
+# ----------------------------------------------------------------------
+# Tokenizer and hints
+# ----------------------------------------------------------------------
+class TestTokenizer:
+    def test_token_kinds(self):
+        tokens = tokenize("select a.x, 'it''s', 3.5e2 from t where x <= 4")
+        kinds = [t.kind for t in tokens]
+        assert "ident" in kinds and "string" in kinds
+        assert any(t.kind == "number" and t.value == "3.5e2" for t in tokens)
+        assert any(t.kind == "op" and t.value == "<=" for t in tokens)
+        assert any(t.kind == "punct" and t.value == "." for t in tokens)
+
+    def test_comments_are_stripped(self):
+        text = "select * -- trailing\nfrom t /* block\ncomment */ where x = 1"
+        stripped = strip_comments(text)
+        assert "trailing" not in stripped and "comment" not in stripped
+        assert len(tokenize(stripped)) == len(tokenize("select * from t where x = 1"))
+
+    def test_unexpected_character_raises_with_offset(self):
+        with pytest.raises(SqlParseError, match="unexpected character"):
+            tokenize("select @x from t")
+
+
+class TestHints:
+    def test_multiple_entries_one_comment(self):
+        hints = extract_hints("/*+ sel(orders 0.1) sel(lineitem 0.5) */ select")
+        assert hints == {"orders": 0.1, "lineitem": 0.5}
+
+    def test_repeated_table_keeps_last_value(self):
+        hints = extract_hints("/*+ sel(t 0.1) */ x /*+ sel(t 0.25) */")
+        assert hints == {"t": 0.25}
+
+    def test_hint_value_round_trips_exactly(self):
+        # The literal is the source of truth for fingerprint identity.
+        hints = extract_hints("/*+ sel(part 0.0016667) */")
+        assert hints["part"] == float("0.0016667")
+
+    def test_malformed_hint_body_raises(self):
+        with pytest.raises(SqlParseError, match="unrecognized hint"):
+            extract_hints("/*+ index(t foo) */")
+
+    def test_non_numeric_value_raises(self):
+        with pytest.raises(SqlParseError, match="not a number"):
+            extract_hints("/*+ sel(t -.-) */")
+
+    def test_out_of_range_value_raises(self):
+        with pytest.raises(SqlParseError, match="must be in"):
+            extract_hints("/*+ sel(t 1.5) */")
+        with pytest.raises(SqlParseError, match="must be in"):
+            extract_hints("/*+ sel(t 0) */")
+
+    def test_plain_block_comment_is_not_a_hint(self):
+        assert extract_hints("/* just a comment */ select") == {}
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class TestParser:
+    def test_comma_join_with_filters(self):
+        parsed = parse_sql(
+            "select * from lineitem, orders "
+            "where lineitem.l_orderkey = orders.o_orderkey "
+            "and orders.o_orderdate < '1995-03-15'"
+        )
+        assert [ref.table for ref in parsed.tables] == ["lineitem", "orders"]
+        assert parsed.joins == (
+            ParsedJoin("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        )
+        assert parsed.filters == (
+            ParsedFilter("orders", "o_orderdate", "<", ("'1995-03-15'",)),
+        )
+
+    def test_explicit_join_on_syntax(self):
+        parsed = parse_sql(
+            "select 1 from lineitem join orders on "
+            "lineitem.l_orderkey = orders.o_orderkey "
+            "inner join customer on orders.o_custkey = customer.c_custkey"
+        )
+        assert len(parsed.tables) == 3
+        assert len(parsed.joins) == 2
+
+    def test_aliases_with_and_without_as(self):
+        parsed = parse_sql(
+            "select * from nation as n1, nation n2 "
+            "where n1.n_regionkey = n2.n_regionkey"
+        )
+        assert parsed.aliases() == ("n1", "n2")
+        assert {ref.table for ref in parsed.tables} == {"nation"}
+
+    def test_between_stays_one_condition(self):
+        parsed = parse_sql(
+            "select * from orders where orders.o_orderdate "
+            "between '1994-01-01' and '1995-01-01' and orders.o_shippriority = 0"
+        )
+        assert len(parsed.filters) == 2
+        between = parsed.filters[0]
+        assert between.operator == "between" and len(between.values) == 2
+
+    def test_in_and_like_filters(self):
+        parsed = parse_sql(
+            "select * from part where part.p_size in (1, 2, 3) "
+            "and part.p_type like '%BRASS'"
+        )
+        operators = {f.operator for f in parsed.filters}
+        assert operators == {"in", "like"}
+        assert parsed.filters[0].values == ("1", "2", "3")
+
+    def test_trailing_clauses_are_ignored(self):
+        parsed = parse_sql(
+            "select count(*) from orders where orders.o_shippriority = 0 "
+            "group by o_orderdate order by 1 limit 10"
+        )
+        assert len(parsed.filters) == 1
+
+    def test_unqualified_column_on_single_table_resolves(self):
+        parsed = parse_sql("select * from orders where o_shippriority = 0")
+        assert parsed.filters[0].table == "orders"
+
+    def test_unqualified_column_over_many_tables_is_ambiguous(self):
+        with pytest.raises(SqlParseError, match="ambiguous"):
+            parse_sql(
+                "select * from lineitem, orders "
+                "where lineitem.l_orderkey = orders.o_orderkey and tax > 1"
+            )
+
+    def test_or_is_rejected(self):
+        with pytest.raises(SqlParseError, match="OR is not supported"):
+            parse_sql("select * from t where t.a = 1 or t.b = 2")
+
+    def test_subqueries_are_rejected(self):
+        with pytest.raises(SqlParseError, match="subqueries"):
+            parse_sql(
+                "select * from orders where orders.o_custkey in "
+                "(select c_custkey from customer)"
+            )
+
+    def test_duplicate_unaliased_table_is_rejected(self):
+        with pytest.raises(SqlParseError, match="duplicate table"):
+            parse_sql("select * from nation, nation where 1 = 1")
+
+    def test_hint_for_table_not_in_from_is_rejected(self):
+        with pytest.raises(SqlParseError, match="not in FROM"):
+            parse_sql("/*+ sel(orders 0.5) */ select * from lineitem")
+
+    def test_join_condition_on_unknown_table_is_rejected(self):
+        with pytest.raises(SqlParseError, match="not in FROM"):
+            parse_sql(
+                "select * from lineitem, orders "
+                "where ghost.id = orders.o_orderkey"
+            )
+
+
+# ----------------------------------------------------------------------
+# Selectivity estimation
+# ----------------------------------------------------------------------
+class TestSelectivity:
+    @pytest.fixture()
+    def catalog(self):
+        schema = tpch_schema()
+        return schema, tpch_statistics()
+
+    def _estimate(self, catalog, operator, column="o_custkey", values=("'F'",)):
+        schema, statistics = catalog
+        filter_ = ParsedFilter("orders", column, operator, values)
+        return estimate_filter_selectivity(
+            filter_, schema.table("orders"), statistics
+        )
+
+    def test_equality_uses_distinct_values(self, catalog):
+        schema, statistics = catalog
+        ndv = statistics.distinct_values("orders", "o_custkey")
+        assert self._estimate(catalog, "=") == pytest.approx(1.0 / ndv)
+
+    def test_unknown_column_falls_back(self, catalog):
+        assert self._estimate(catalog, "=", column="no_such_column") == (
+            UNKNOWN_EQ_SELECTIVITY
+        )
+
+    def test_inequality_is_complement(self, catalog):
+        eq = self._estimate(catalog, "=")
+        assert self._estimate(catalog, "<>") == pytest.approx(1.0 - eq)
+
+    def test_in_scales_with_list_size_and_caps(self, catalog):
+        eq = self._estimate(catalog, "=")
+        three = self._estimate(catalog, "in", values=("'a'", "'b'", "'c'"))
+        assert three == pytest.approx(min(1.0, 3 * eq))
+
+    def test_system_r_defaults(self, catalog):
+        assert self._estimate(catalog, "<") == RANGE_SELECTIVITY
+        assert self._estimate(catalog, "between", values=("1", "2")) == (
+            BETWEEN_SELECTIVITY
+        )
+        assert self._estimate(catalog, "like") == LIKE_SELECTIVITY
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+class TestLowering:
+    def test_from_order_is_preserved(self):
+        workload = sql_workload(
+            "select * from orders, lineitem "
+            "where lineitem.l_orderkey = orders.o_orderkey",
+            tpch_schema(),
+        )
+        assert workload.query.join_graph.tables == ("orders", "lineitem")
+
+    def test_hints_pin_exact_selectivities(self):
+        workload = sql_workload(
+            "/*+ sel(orders 0.0125) */ select * from orders, lineitem "
+            "where lineitem.l_orderkey = orders.o_orderkey "
+            "and orders.o_orderdate < '1995-01-01'",
+            tpch_schema(),
+        )
+        # The hint wins over the estimated range filter.
+        assert workload.query.join_graph.base_selectivity("orders") == 0.0125
+
+    def test_filters_on_one_table_multiply(self):
+        workload = sql_workload(
+            "select * from orders where orders.o_orderdate < '1995-01-01' "
+            "and orders.o_orderdate between '1994-01-01' and '1995-01-01'",
+            tpch_schema(),
+        )
+        expected = RANGE_SELECTIVITY * BETWEEN_SELECTIVITY
+        assert workload.query.join_graph.base_selectivity("orders") == (
+            pytest.approx(expected)
+        )
+
+    def test_alias_clones_the_base_table(self):
+        workload = sql_workload(
+            "select * from customer c1, customer backup_customer "
+            "where c1.c_nationkey = backup_customer.c_nationkey",
+            tpch_schema(),
+        )
+        schema = workload.schema
+        assert schema.table("backup_customer").row_count == (
+            schema.table("customer").row_count
+        )
+        assert workload.statistics.row_count("c1") == schema.table("customer").row_count
+
+    def test_unknown_table_is_rejected(self):
+        with pytest.raises(SqlParseError, match="unknown table"):
+            sql_workload("select * from starship", tpch_schema())
+
+    def test_cross_product_is_rejected(self):
+        with pytest.raises(SqlParseError, match="cross products"):
+            sql_workload("select * from lineitem, orders", tpch_schema())
+
+    def test_default_name_is_digest_based_and_normalized(self):
+        text_a = "select * from orders where orders.o_shippriority = 0"
+        text_b = "SELECT *\n  FROM orders\n WHERE orders.o_shippriority = 0"
+        assert sql_text_digest(text_a) == sql_text_digest(text_b)
+        workload = sql_workload(text_a, tpch_schema())
+        assert workload.query.name == f"sql_{sql_text_digest(text_a)}"

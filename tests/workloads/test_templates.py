@@ -1,0 +1,141 @@
+"""Tests for the TPC-DS-style query templates (:mod:`repro.workloads.templates`).
+
+The trace replayer identifies a template instantiation by
+``(template, seed)`` and may replay it in any process; like the synthetic
+generator, instantiation must therefore be a pure function of the seed across
+processes (string-seeded ``random.Random`` hashes with SHA-512, independent of
+``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.generator import workload_fingerprint
+from repro.workloads.sql import parse_sql
+from repro.workloads.templates import (
+    MAX_JOINS,
+    MIN_JOINS,
+    TEMPLATES,
+    TPCDS_TABLE_ROWS,
+    get_template,
+    instantiate_template,
+    template_names,
+    template_schema,
+    template_workload,
+    templates_by_band,
+)
+
+GRID = [(name, seed) for name in template_names() for seed in (0, 7)]
+
+_FINGERPRINT_SCRIPT = """
+import sys
+from repro.workloads.generator import workload_fingerprint
+from repro.workloads.templates import template_workload
+for line in sys.stdin.read().split():
+    name, seed = line.split(",")
+    print(workload_fingerprint(template_workload(name, int(seed))))
+"""
+
+
+class TestSchema:
+    def test_published_cardinalities(self):
+        schema = template_schema()
+        for table, rows in TPCDS_TABLE_ROWS.items():
+            assert schema.table(table).row_count == rows
+
+    def test_star_schema_foreign_keys(self):
+        schema = template_schema()
+        fact_fks = [
+            fk for fk in schema.foreign_keys if fk.from_table == "store_sales"
+        ]
+        assert len(fact_fks) == 7
+        snowflake = [fk for fk in schema.foreign_keys if fk.from_table == "customer"]
+        assert len(snowflake) == 1 and snowflake[0].to_table == "customer_address"
+
+
+class TestBanding:
+    def test_one_template_per_band_from_2_to_7_joins(self):
+        assert (MIN_JOINS, MAX_JOINS) == (2, 7)
+        bands = templates_by_band()
+        assert sorted(bands) == [2, 3, 4, 5, 6, 7]
+        assert all(len(members) == 1 for members in bands.values())
+
+    def test_band_restriction(self):
+        assert sorted(templates_by_band(3, 5)) == [3, 4, 5]
+
+    def test_declared_joins_match_the_parsed_sql(self):
+        for template in TEMPLATES:
+            parsed = parse_sql(instantiate_template(template.name, seed=0))
+            assert len(parsed.tables) == template.tables, template.name
+            assert len(parsed.joins) == template.joins, template.name
+
+    def test_unknown_template_raises(self):
+        with pytest.raises(KeyError, match="unknown query template"):
+            get_template("ss_warp_core")
+
+
+class TestInstantiation:
+    def test_same_seed_same_text(self):
+        for name, seed in GRID:
+            assert instantiate_template(name, seed) == instantiate_template(name, seed)
+
+    def test_different_seeds_draw_different_selectivities(self):
+        texts = {instantiate_template("ss_item_date", seed) for seed in range(6)}
+        assert len(texts) == 6
+
+    def test_selectivity_params_land_in_the_hint(self):
+        text = instantiate_template("ss_store_monthly", seed=3)
+        hints = parse_sql(text).hints
+        template = get_template("ss_store_monthly")
+        sel_params = [p for p in template.params if p.kind == "selectivity"]
+        assert len(hints) == len(sel_params)
+        for param, value in zip(sel_params, hints.values()):
+            assert param.low <= value <= param.high
+
+    def test_workload_name_omits_the_seed(self):
+        # Identical drawn parameters must share one fingerprint/cache entry;
+        # the name carries the template, the selectivities carry the seed.
+        for seed in (1, 2):
+            assert template_workload("ss_item_date", seed).query.name == (
+                "template_ss_item_date"
+            )
+
+    def test_fingerprint_is_seed_sensitive(self):
+        first = workload_fingerprint(template_workload("ss_item_date", 1))
+        second = workload_fingerprint(template_workload("ss_item_date", 2))
+        repeat = workload_fingerprint(template_workload("ss_item_date", 1))
+        assert first == repeat
+        assert first != second
+
+
+class TestCrossProcessDeterminism:
+    def _fingerprints_in_fresh_process(self):
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+        stdin = "\n".join(f"{name},{seed}" for name, seed in GRID)
+        completed = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+            input=stdin,
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return completed.stdout.split()
+
+    def test_fresh_processes_agree_with_each_other_and_with_us(self):
+        local = [
+            workload_fingerprint(template_workload(name, seed))
+            for name, seed in GRID
+        ]
+        first = self._fingerprints_in_fresh_process()
+        second = self._fingerprints_in_fresh_process()
+        assert first == second, "two fresh processes disagree"
+        assert first == local, "fresh process disagrees with this process"
