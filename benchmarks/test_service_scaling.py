@@ -16,7 +16,10 @@ Hard assertions:
 * on a machine with at least 4 CPU cores, 4-worker cold throughput reaches
   at least 2.5x the 1-worker baseline.  Boxes with fewer cores cannot scale
   a CPU-bound phase by adding processes, so there the assertion is skipped
-  and the row's ``cpu_count`` column documents why.
+  and the row's ``cpu_count`` column documents why;
+* the scale-out rows (one cross-shard warm start per arena mode) both replay
+  warm, and the shm row's inline migration payload is strictly smaller than
+  the local row's — the arena columns stayed in shared memory.
 """
 
 from __future__ import annotations
@@ -38,7 +41,11 @@ def scaling_result(bench_config):
 
 
 def test_every_worker_count_ran_both_phases(scaling_result):
-    cells = {(row["workers"], row["phase"]) for row in scaling_result.rows}
+    cells = {
+        (row["workers"], row["phase"])
+        for row in scaling_result.rows
+        if row["phase"] in ("cold", "warm")
+    }
     assert cells == {(count, phase) for count in WORKERS for phase in ("cold", "warm")}
 
 
@@ -66,9 +73,28 @@ def test_cold_phase_work_is_conserved_across_shardings(scaling_result):
 
 def test_latency_percentiles_are_well_formed(scaling_result):
     for row in scaling_result.rows:
+        if row["phase"] not in ("cold", "warm"):
+            continue
         p50, p95, p99 = row["ttff_p50_ms"], row["ttff_p95_ms"], row["ttff_p99_ms"]
         assert not math.isnan(p50)
         assert p50 <= p95 <= p99
+
+
+def test_scale_out_rows_compare_arena_migration_payloads(scaling_result):
+    rows = {
+        row["arena"]: row
+        for row in scaling_result.rows
+        if row["phase"] == "scale-out"
+    }
+    assert set(rows) == {"local", "shm"}
+    for row in rows.values():
+        assert row["cache_warm"] == 1, f"{row['arena']} resubmit was not a warm start"
+        assert row["migrations"] == 1
+    # The shm session pickle carries segment names, not arena columns, so
+    # its inline migration payload must be strictly smaller than local's.
+    assert (
+        rows["shm"]["migrated_inline_bytes"] < rows["local"]["migrated_inline_bytes"]
+    )
 
 
 @pytest.mark.skipif(

@@ -1,10 +1,12 @@
 """First-class ablation harness: per-feature speedup attribution with gates.
 
-The stacked optimizations (kernel backend, block costing, bounds bucket,
-witness cache, Δ-sets, frontier cache, scheduler policy) each kept a slower
-reference path alive, and the SQL workload frontend keeps the hand-coded
-TPC-H stubs alive next to the parser; this module turns those seams into a
-registry of named features and measures what each one contributes.
+The stacked optimizations (kernel backends — numpy and the native C tier —
+block costing, bounds bucket, witness cache, Δ-sets, incremental Pareto
+fronts, frontier cache, scheduler policy, shared-memory arenas) each kept a
+slower reference path alive, and the SQL workload frontend keeps the
+hand-coded TPC-H stubs alive next to the parser; this module turns those
+seams into a registry of named features and measures what each one
+contributes.
 
 * :class:`Feature` / :class:`FeatureRegistry` declare every toggleable
   optimization together with the lowering the codebase already understands
@@ -167,6 +169,14 @@ FEATURES.register(
 )
 FEATURES.register(
     Feature(
+        name="native_kernel",
+        layer="kernel",
+        description="in-tree C dominance kernels (ctypes) vs the numpy fast path",
+        lowering='REPRO_KERNEL_BACKEND=numpy / kernel.use_backend("numpy")',
+    )
+)
+FEATURES.register(
+    Feature(
         name="block_costing",
         layer="core",
         description="one kernel call per (operator, metric) block vs per-plan combine()",
@@ -200,6 +210,14 @@ FEATURES.register(
 )
 FEATURES.register(
     Feature(
+        name="incremental_pareto",
+        layer="core",
+        description="per-bucket incremental Pareto fronts vs full-front recomputation",
+        lowering="REPRO_FEATURE_INCREMENTAL_PARETO=0",
+    )
+)
+FEATURES.register(
+    Feature(
         name="frontier_cache",
         layer="service",
         description="cross-request frontier cache: replay repeats, warm-start bigger budgets",
@@ -212,6 +230,18 @@ FEATURES.register(
         layer="service",
         description="alpha-greedy invocation timeslicing vs plain fair round-robin",
         lowering='PlanningService(policy="fair")',
+        gate_floor=None,
+    )
+)
+FEATURES.register(
+    Feature(
+        name="shm_arena",
+        layer="service",
+        description="shared-memory plan arenas: zero-copy session migration between shards",
+        lowering='REPRO_ARENA_MODE=local / PlanningService arena_mode="local"',
+        # A copy-avoidance seam, not single-process speed: the in-process
+        # trace certifies bit-identity; the migration benchmark measures
+        # the moved bytes.
         gate_floor=None,
     )
 )
@@ -285,8 +315,8 @@ def _scale_name(config: ExperimentConfig) -> str:
     return "tiny"
 
 
-def _baseline_backend() -> str:
-    """The fast-path kernel backend in this environment."""
+def _reference_backend() -> str:
+    """The fastest portable (non-native) backend in this environment."""
     try:
         kernel._resolve("numpy")
     except ImportError:
@@ -294,9 +324,24 @@ def _baseline_backend() -> str:
     return "numpy"
 
 
+def _baseline_backend() -> str:
+    """The fast-path kernel backend the all-on baseline runs.
+
+    The native tier is opt-in everywhere else (``auto`` never picks it), but
+    the ablation baseline is exactly the place to opt in: the grid certifies
+    bit-identity against the portable backends and attributes the speedup.
+    Falls back to numpy (then python) where no C toolchain is available.
+    """
+    if kernel.native_available():
+        return "native"
+    return _reference_backend()
+
+
 def _backend_for(config_name: str) -> str:
     if config_name == "no_numpy_kernel":
         return "python"
+    if config_name == "no_native_kernel":
+        return _reference_backend()
     return _baseline_backend()
 
 
@@ -475,11 +520,13 @@ def _service_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
     import time
 
     from repro.api import OptimizeRequest
+    from repro.plans.arena import use_arena_mode
     from repro.service import PlanningService
 
     feature_name = ablated_feature(cell["config"])
     policy = "fair" if feature_name == "scheduler_policy" else "alpha_greedy"
     cache = False if feature_name == "frontier_cache" else None
+    arena_mode = "local" if feature_name == "shm_arena" else "shm"
     specs = _service_request_specs(cell, config)
     requests = [
         OptimizeRequest(
@@ -493,6 +540,7 @@ def _service_run_cell(cell: Cell, config: ExperimentConfig) -> CellPayload:
     started = time.perf_counter()
     with ExitStack() as stack:
         _apply_configuration(stack, BASELINE_CONFIG, cell["backend"])
+        stack.enter_context(use_arena_mode(arena_mode))
         service = stack.enter_context(
             PlanningService(policy=policy, workers=0, cache=cache)
         )
@@ -695,7 +743,9 @@ def _merge(config: ExperimentConfig, outcomes: CellOutcomes) -> "ExperimentResul
             digest_match = ablated["digest"] == baseline["digest"]
             active = True
             if feature.name == "numpy_kernel":
-                active = _baseline_backend() == "numpy"
+                active = _reference_backend() == "numpy"
+            elif feature.name == "native_kernel":
+                active = kernel.native_available()
             invariant_ok = True
             if feature.name == "delta_sets":
                 invariant_ok = (

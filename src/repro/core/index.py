@@ -50,6 +50,7 @@ from bisect import insort
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import flags
 from repro.costs.matrix import CostBlock
 from repro.costs.vector import CostVector
 from repro.plans.arena import PlanArena
@@ -71,8 +72,78 @@ class IndexedPlan:
     resolution: int
 
 
-#: One (resolution, cell) pair: the plan ids plus their cost matrix.
-_Bucket = CostBlock[int]
+class _Bucket(CostBlock[int]):
+    """One (resolution, cell) pair: the plan ids plus their cost matrix.
+
+    Under the ``incremental_pareto`` flag each bucket additionally maintains
+    its Pareto front -- the non-dominated cost rows with their plan ids --
+    across invocations.  The front is built lazily on the first witness
+    search that touches the bucket and then updated in place on insertion
+    (Section 5.3 assumes O(1) amortized index maintenance, which a full
+    re-sweep per query would break).  A witness exists on the front if and
+    only if one exists in the full bucket: every non-front row is dominated
+    by (or equal to) some front row, and dominance is transitive.  The
+    *identity* of the witness may differ from the full-bucket scan, which is
+    fine -- :meth:`PlanIndex.find_dominating_id` only promises *some*
+    dominating plan, and the pruning layer re-validates cached witnesses
+    before use.
+
+    Removing a front member invalidates the front (rebuilt lazily on the
+    next search); removing a dominated row leaves it untouched.  Result
+    indexes -- the only ones the optimizer issues witness searches against --
+    rarely remove plans at all (dominated result plans are kept as potential
+    sub-plans, Section 4.2), so invalidation is the cold path.
+    """
+
+    __slots__ = ("front", "front_ids")
+
+    def __init__(self, dimensions: int):
+        super().__init__(dimensions)
+        #: Pareto front of the bucket (``None`` = not built / invalidated).
+        self.front: Optional[CostBlock[int]] = None
+        #: Plan ids currently on the front (parallel to ``front``).
+        self.front_ids: Optional[set] = None
+
+    def pareto_front(self) -> CostBlock[int]:
+        """The bucket's Pareto front, building it on first use."""
+        front = self.front
+        if front is None:
+            matrix = self.matrix
+            front = CostBlock(matrix.dimensions)
+            ids = set()
+            for slot, keep in zip(matrix.alive_slots(), matrix.pareto_mask()):
+                if keep:
+                    plan_id = self.items[slot]
+                    front.append(matrix.row(slot), plan_id)
+                    ids.add(plan_id)
+            self.front = front
+            self.front_ids = ids
+        return front
+
+    def front_note_insert(self, cost_row: Sequence[float], plan_id: int) -> None:
+        """Fold a newly appended row into the materialized front, if any."""
+        front = self.front
+        if front is None:
+            return
+        row = tuple(cost_row)
+        if front.matrix.any_dominating(row):
+            # Dominated by (or equal to) an incumbent: not on the front.
+            return
+        # Evict incumbents the new row strictly dominates.  (Equal rows
+        # cannot appear here -- equality would have tripped the dominance
+        # check above.)
+        for slot in front.matrix.dominated_by_slots(row):
+            self.front_ids.discard(front.items[slot])
+            front.kill(slot)
+        front.compact_if_needed()
+        front.append(row, plan_id)
+        self.front_ids.add(plan_id)
+
+    def front_note_remove(self, plan_id: int) -> None:
+        """Invalidate the front when one of its members is removed."""
+        if self.front_ids is not None and plan_id in self.front_ids:
+            self.front = None
+            self.front_ids = None
 
 
 class PlanIndex:
@@ -169,6 +240,7 @@ class PlanIndex:
             level[bucket_id] = bucket
             insort(self._sorted_ids.setdefault(resolution, []), bucket_id)
         slot = bucket.append(cost_row, plan_id)
+        bucket.front_note_insert(cost_row, plan_id)
         self._locations[plan_id] = (resolution, bucket_id, slot)
 
     def remove(self, plan: Plan) -> None:
@@ -188,6 +260,7 @@ class PlanIndex:
         level = self._levels[resolution]
         bucket = level[bucket_id]
         bucket.kill(slot)
+        bucket.front_note_remove(plan_id)
         if bucket.matrix.live_count == 0:
             del level[bucket_id]
             self._sorted_ids[resolution].remove(bucket_id)
@@ -375,6 +448,12 @@ class PlanIndex:
         bucket_limit = min(bounds_bucket, self._bucket_of(target))
         combined = tuple(map(min, bounds, target))
         arena = self._arena
+        # Under the incremental_pareto flag, unfiltered witness searches scan
+        # each bucket's maintained Pareto front instead of the full bucket: a
+        # dominating row exists in the bucket iff one exists on its front,
+        # and the expensive case of this search -- a miss, which scans every
+        # in-range bucket end to end -- shrinks from O(bucket) to O(front).
+        use_fronts = order_id is None and flags.enabled("incremental_pareto")
         for resolution in range(0, max_resolution + 1):
             buckets = self._levels.get(resolution)
             if not buckets:
@@ -386,7 +465,12 @@ class PlanIndex:
                     # none of them can qualify.
                     break
                 bucket = buckets[bucket_id]
-                if order_id is None:
+                if use_fronts:
+                    front = bucket.pareto_front()
+                    slot = front.matrix.first_dominating(combined)
+                    if slot != -1:
+                        return front.items[slot]
+                elif order_id is None:
                     slot = bucket.matrix.first_dominating(combined)
                     if slot != -1:
                         return bucket.items[slot]

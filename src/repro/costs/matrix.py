@@ -39,18 +39,39 @@ class CostMatrix:
     dimensions:
         Number of cost metrics ``l``; every appended row must have exactly
         this many components.
+    storage:
+        Optional column factory with a ``vector(typecode, values=())``
+        method (e.g. :class:`repro.shmem.ShmStorage`).  ``None`` keeps the
+        default process-private ``array`` columns.  The kernel backends
+        accept either: storage columns expose the same element surface plus
+        the ``buffer_info()``/``memory()`` duck-typing hooks.
     """
 
-    __slots__ = ("_dims", "_columns", "_alive", "_live", "_dead")
+    __slots__ = ("_dims", "_columns", "_alive", "_live", "_dead", "_storage")
 
-    def __init__(self, dimensions: int):
+    def __init__(self, dimensions: int, storage=None):
         if dimensions < 1:
             raise ValueError("a cost matrix needs at least one metric column")
         self._dims = dimensions
-        self._columns: List[array] = [array("d") for _ in range(dimensions)]
-        self._alive = array("b")
+        self._storage = storage
+        self._columns: List[array] = [
+            self._new_column("d") for _ in range(dimensions)
+        ]
+        self._alive = self._new_column("b")
         self._live = 0
         self._dead = 0
+
+    def _new_column(self, typecode: str, values=()):
+        if self._storage is None:
+            return array(typecode, values)
+        return self._storage.vector(typecode, values)
+
+    @staticmethod
+    def _discard_column(column) -> None:
+        """Free a replaced column's backing store, if it has one to free."""
+        release = getattr(column, "release", None)
+        if release is not None:
+            release()
 
     @classmethod
     def from_vectors(
@@ -191,17 +212,33 @@ class CostMatrix:
         to the matrix must re-index them with the returned slot list.
         """
         kept = self.alive_slots()
-        self._columns = [array("d", (col[i] for i in kept)) for col in self._columns]
-        self._alive = array("b", [1] * len(kept))
+        fresh = [
+            self._new_column("d", (col[i] for i in kept))
+            for col in self._columns
+        ]
+        for old in (*self._columns, self._alive):
+            self._discard_column(old)
+        self._columns = fresh
+        self._alive = self._new_column("b", [1] * len(kept))
         self._dead = 0
         return kept
 
     def clear(self) -> None:
         """Remove every row."""
-        self._columns = [array("d") for _ in range(self._dims)]
-        self._alive = array("b")
+        for old in (*self._columns, self._alive):
+            self._discard_column(old)
+        self._columns = [self._new_column("d") for _ in range(self._dims)]
+        self._alive = self._new_column("b")
         self._live = 0
         self._dead = 0
+
+    def buffers(self) -> Tuple:
+        """Every backing column including the liveness bitmap.
+
+        Owners that manage column storage lifetimes (the shared-memory
+        arena) iterate these to account, disown or release segments.
+        """
+        return (*self._columns, self._alive)
 
     # ------------------------------------------------------------------
     # Batched dominance operations (kernel-backed)
@@ -264,25 +301,12 @@ class CostMatrix:
         *and* it is the first occurrence of its exact cost vector (equal rows
         keep exactly one representative, the earliest slot).
 
-        Implemented as lexicographic sort + frontier sweep: a dominating row
-        always sorts lexicographically before the row it dominates, so each
-        row only needs one kernel call against the frontier collected so far
-        (``O(n log n + n * F)`` instead of the naive all-pairs ``O(n^2 l)``).
+        Dispatches to the kernel backend (lexicographic sort + frontier
+        sweep, ``O(n log n + n * F)``; the numpy backend additionally tiles
+        the candidate-vs-frontier broadcast so peak memory stays bounded on
+        blocks far beyond 4096 rows).
         """
-        slots = self.alive_slots()
-        rows = [tuple(col[i] for col in self._columns) for i in slots]
-        order = sorted(range(len(rows)), key=rows.__getitem__)
-        frontier = CostMatrix(self._dims)
-        keep = [False] * len(rows)
-        for position in order:
-            row = rows[position]
-            # Frontier rows are lexicographically earlier, so "some frontier
-            # row <= row" is exactly "row is strictly dominated or a
-            # duplicate of a kept row".
-            if not frontier.any_dominating(row):
-                frontier.append(row)
-                keep[position] = True
-        return keep
+        return kernel.ops.pareto_mask(self._columns, self._alive)
 
     def scaled_rows(self, factor: float) -> List[CostVector]:
         """Cost vectors of the live rows multiplied by ``factor``, slot order.

@@ -23,6 +23,14 @@ in isolation and attribute the speedup honestly:
     inserted partial plans are joined.  Off: every invocation re-enumerates
     all pairs (``IsFresh`` still deduplicates, so the frontier — and every
     counter except ``pairs_enumerated`` — is unchanged).
+``incremental_pareto``
+    :meth:`repro.core.index.PlanIndex.find_dominating_id` serves unfiltered
+    witness searches from per-bucket Pareto fronts that are built lazily and
+    maintained incrementally across invocations (insertions fold into the
+    front; removing a front member invalidates it for lazy rebuild).  Off:
+    every witness search scans the full bucket.  The *existence* answer is
+    identical either way — every non-front row is dominated by a front row —
+    though the witness identity may differ, which the contract allows.
 ``sql_frontend``
     TPC-H workload specs (``tpch:q03``) resolve by parsing the shipped SQL
     text through :mod:`repro.workloads.sql`.  Off: the hand-coded join-graph
@@ -60,6 +68,7 @@ KNOWN_FLAGS: Dict[str, bool] = {
     "bounds_bucket": True,
     "witness_cache": True,
     "delta_sets": True,
+    "incremental_pareto": True,
     "sql_frontend": True,
 }
 

@@ -26,23 +26,42 @@ NAME = "numpy"
 #: Below this many rows the pure-Python loops are faster than ufunc dispatch.
 SMALL_BLOCK = 16
 
+#: Fixed tile edge of the :func:`pareto_mask` sweep.  Both broadcast axes are
+#: chunked to this size, so the peak temporary is ``PARETO_TILE**2`` bytes per
+#: dimension regardless of the block size -- a 100k-plan block peaks at the
+#: same few hundred KiB as a 4k one.
+PARETO_TILE = 1024
+
 Columns = Sequence[array]
 Vector = Sequence[float]
 
 
-def _column_view(col: array) -> np.ndarray:
+def _column_view(col) -> np.ndarray:
+    # Shared-memory columns (repro.shmem.ShmVector) cannot implement the C
+    # buffer protocol from pure Python; they expose the used prefix of their
+    # segment as a memoryview instead.
+    memory = getattr(col, "memory", None)
+    if memory is not None:
+        return np.frombuffer(memory(), dtype=np.float64)
     return np.frombuffer(col, dtype=np.float64)
 
 
+def _alive_view(alive) -> np.ndarray:
+    memory = getattr(alive, "memory", None)
+    if memory is not None:
+        return np.frombuffer(memory(), dtype=np.bool_)
+    return np.frombuffer(alive, dtype=np.bool_)
+
+
 def _leq_mask(columns: Columns, alive: array, vector: Vector) -> np.ndarray:
-    mask = np.frombuffer(alive, dtype=np.bool_).copy()
+    mask = _alive_view(alive).copy()
     for col, bound in zip(columns, vector):
         np.logical_and(mask, _column_view(col) <= bound, out=mask)
     return mask
 
 
 def _geq_mask(columns: Columns, alive: array, vector: Vector) -> np.ndarray:
-    mask = np.frombuffer(alive, dtype=np.bool_).copy()
+    mask = _alive_view(alive).copy()
     for col, bound in zip(columns, vector):
         np.logical_and(mask, _column_view(col) >= bound, out=mask)
     return mask
@@ -135,3 +154,77 @@ def combine_columns(
         loss = lc + rc + x - lc * rc - lc * x - rc * x + lc * rc * x
         return _as_array(np.minimum(1.0, np.maximum(0.0, loss)))
     raise ValueError(f"unknown aggregation spec {spec!r}")
+
+
+def pareto_mask(columns: Columns, alive: array) -> List[bool]:
+    """Per-live-row strict-dominance frontier mask, in slot order.
+
+    Same lexicographic-sort + frontier-sweep semantics as the pure-Python
+    reference, with the candidate-vs-frontier dominance broadcast chunked
+    into fixed :data:`PARETO_TILE` x :data:`PARETO_TILE` tiles: peak temporary
+    memory is bounded by the tile size, not by the block size, so blocks far
+    beyond 4096 plans sweep without the naive ``O(n^2)`` mask blow-up.
+    Results are bit-identical to the reference (``np.lexsort`` is stable,
+    exactly like the Python tuple sort, so equal rows keep the same earliest
+    representative).
+    """
+    n = len(alive)
+    if n < SMALL_BLOCK:
+        return _py.pareto_mask(columns, alive)
+    live = np.nonzero(_alive_view(alive))[0]
+    m = int(live.size)
+    if m == 0:
+        return []
+    cols = [np.ascontiguousarray(_column_view(col)[live]) for col in columns]
+    dims = len(cols)
+    # np.lexsort sorts by the *last* key first; reverse for row-major order.
+    order = np.lexsort(tuple(reversed(cols)))
+    sorted_cols = [col[order] for col in cols]
+    frontier = [np.empty(m, dtype=np.float64) for _ in range(dims)]
+    fcount = 0
+    keep_sorted = np.zeros(m, dtype=bool)
+    for start in range(0, m, PARETO_TILE):
+        stop = min(start + PARETO_TILE, m)
+        width = stop - start
+        tile = [col[start:stop] for col in sorted_cols]
+        # Candidates dominated by the frontier accumulated in prior tiles,
+        # computed tile-against-frontier-chunk so no temporary exceeds
+        # PARETO_TILE**2 entries.
+        dominated = np.zeros(width, dtype=bool)
+        for fstart in range(0, fcount, PARETO_TILE):
+            fstop = min(fstart + PARETO_TILE, fcount)
+            block = np.ones((fstop - fstart, width), dtype=bool)
+            for d in range(dims):
+                np.logical_and(
+                    block,
+                    frontier[d][fstart:fstop, None] <= tile[d][None, :],
+                    out=block,
+                )
+            np.logical_or(dominated, block.any(axis=0), out=dominated)
+            if dominated.all():
+                break
+        # Within-tile sweep: rows may be dominated by frontier rows admitted
+        # earlier in this same tile, which the broadcast above cannot see.
+        base = fcount
+        tile_vals = [col.tolist() for col in tile]
+        dom_list = dominated.tolist()
+        for j in range(width):
+            if dom_list[j]:
+                continue
+            admitted = True
+            for fi in range(base, fcount):
+                for d in range(dims):
+                    if frontier[d][fi] > tile_vals[d][j]:
+                        break
+                else:
+                    admitted = False
+                    break
+            if not admitted:
+                continue
+            for d in range(dims):
+                frontier[d][fcount] = tile_vals[d][j]
+            keep_sorted[start + j] = True
+            fcount += 1
+    keep = np.zeros(m, dtype=bool)
+    keep[order] = keep_sorted
+    return keep.tolist()

@@ -179,3 +179,35 @@ def combine_columns(
             out.append(min(1.0, max(0.0, loss)))
         return out
     raise ValueError(f"unknown aggregation spec {spec!r}")
+
+
+def pareto_mask(columns: Columns, alive: array) -> List[bool]:
+    """Per-live-row mask (in slot order) of the strict-dominance frontier.
+
+    Reference implementation: lexicographic sort + frontier sweep.  A
+    dominating row always sorts lexicographically before the rows it
+    dominates, so each row needs one pass over the frontier collected so far
+    (``O(n log n + n * F * l)``); equal rows keep exactly one representative,
+    the earliest slot (the sort is stable).
+    """
+    n = len(alive)
+    dims = len(columns)
+    slots = [i for i in range(n) if alive[i]]
+    rows = [tuple(col[i] for col in columns) for i in slots]
+    order = sorted(range(len(rows)), key=rows.__getitem__)
+    frontier: List[tuple] = []
+    keep = [False] * len(rows)
+    for position in order:
+        row = rows[position]
+        dominated = False
+        for front in frontier:
+            for k in range(dims):
+                if front[k] > row[k]:
+                    break
+            else:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(row)
+            keep[position] = True
+    return keep

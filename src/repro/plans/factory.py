@@ -82,7 +82,12 @@ class PlanFactory:
         self._estimator = estimator
         self._cost_model = cost_model
         self._operators = operators
-        self._arena = PlanArena(cost_model.metric_set.dimensions)
+        # Built on first use: a resolved request may never plan at all (the
+        # serving tier resolves before its cache decision, and a replay or
+        # warm start serves the request from cached state), and in shm mode
+        # an arena is ten kernel-backed segments — too expensive to allocate
+        # speculatively on the submit hot path.
+        self._arena: Optional[PlanArena] = None
         self.counters = PlanFactoryCounters()
 
     # ------------------------------------------------------------------
@@ -105,8 +110,23 @@ class PlanFactory:
 
     @property
     def arena(self) -> PlanArena:
-        """The factory's per-query plan arena."""
+        """The factory's per-query plan arena (built on first access)."""
+        if self._arena is None:
+            self._arena = PlanArena(self._cost_model.metric_set.dimensions)
         return self._arena
+
+    def discard_arena(self) -> None:
+        """Release the arena's shared segments, if any were ever built.
+
+        Shared-memory arenas are kernel objects, not Python memory: when no
+        cache parked the session for warm starts, someone must unlink the
+        segments deterministically — a worker process exits through
+        ``os._exit`` where garbage-collector finalizers never run.  No-op
+        for local and never-built arenas.
+        """
+        arena = self._arena
+        if arena is not None and getattr(arena, "is_shared", False):
+            arena.release_shared()
 
     # ------------------------------------------------------------------
     # Scans
@@ -119,14 +139,14 @@ class PlanFactory:
         This is the ``ScanPlans(q)`` function used when Algorithm 1 seeds the
         plan sets before entering the main control loop.
         """
-        target = self._arena if arena is None else arena
+        target = self.arena if arena is None else arena
         return [target.plan(plan_id) for plan_id in self.scan_block(table, target)]
 
     def scan_block(
         self, table: str, arena: Optional[PlanArena] = None
     ) -> List[int]:
         """Ids of all costed scan alternatives for a base table."""
-        target = self._arena if arena is None else arena
+        target = self.arena if arena is None else arena
         rows = self._estimator.base_cardinality(table)
         pages = self._estimator.page_count(table)
         ids: List[int] = []
@@ -145,7 +165,7 @@ class PlanFactory:
         self, table: str, operator: ScanOperator, arena: Optional[PlanArena] = None
     ) -> ScanPlan:
         """Build and cost a single scan plan."""
-        target = self._arena if arena is None else arena
+        target = self.arena if arena is None else arena
         rows = self._estimator.base_cardinality(table)
         pages = self._estimator.page_count(table)
         cost = self._cost_model.scan_cost(
@@ -222,7 +242,7 @@ class PlanFactory:
         """
         if not triples:
             return []
-        target = self._arena if arena is None else arena
+        target = self.arena if arena is None else arena
         overlap = left_tables & right_tables
         if overlap:
             raise ValueError(

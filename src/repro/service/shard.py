@@ -42,6 +42,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import pickle
 import signal
 import threading
 import time
@@ -52,6 +53,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Set, Union
 from repro.api.registry import PlannerRegistry, planner_registry
 from repro.api.request import OptimizeRequest, resolve_request
 from repro.api.schema import OptimizationResult, SchemaError
+from repro.plans.arena import ARENA_MODES, set_arena_mode
 from repro.service.frontier_cache import request_fingerprint
 from repro.service.protocol import (
     HEALTH_DEGRADED,
@@ -92,6 +94,7 @@ def shard_main(
     cache_bytes: int = 64 << 20,
     cache_dir: Optional[str] = None,
     heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    arena_mode: Optional[str] = None,
 ) -> None:
     """Entry point of one worker process.
 
@@ -101,8 +104,15 @@ def shard_main(
     The parent coordinates shutdown over the pipe, so terminal signals are
     left to it (Ctrl-C in a terminal reaches the whole process group; the
     shard must not tear down mid-drain).
+
+    ``arena_mode="shm"`` makes every session's plan arena live in named
+    shared-memory segments (:mod:`repro.shmem`), which turns parked-session
+    migration between shards into a segment-name handoff instead of a bulk
+    copy — see :meth:`WorkerPoolService.migrate_session`.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if arena_mode is not None:
+        set_arena_mode(arena_mode)
     service = PlanningService(
         policy=policy,
         workers=0,
@@ -194,6 +204,10 @@ def _handle_request(conn, service: PlanningService, local: Dict[str, str], messa
             reply = {"status": status}
         elif op == "stats":
             reply = {"stats": service.stats()}
+        elif op == "export_session":
+            reply = _export_session(service, message["key"])
+        elif op == "import_session":
+            reply = _import_session(service, message["key"], message["blob"])
         else:
             reply = {"error": f"unknown op {op!r}", "error_kind": "bad_request"}
     except AdmissionError as exc:
@@ -208,6 +222,47 @@ def _handle_request(conn, service: PlanningService, local: Dict[str, str], messa
     except Exception as exc:  # noqa: BLE001 - IPC boundary
         reply = {"error": f"{type(exc).__name__}: {exc}", "error_kind": "internal"}
     conn.send({"op": "reply", "req_id": req_id, **reply})
+
+
+def _export_session(service: PlanningService, key: str) -> dict:
+    """Detach, serialize and hand over the parked session for ``key``.
+
+    For a local arena the pickle carries every column — the bulk of the
+    session.  For an shm arena the columns pickle as ``(segment name,
+    typecode, length)`` stubs, so ``inline_bytes`` collapses to the
+    interning tables and bookkeeping; the exporting shard *disowns* the
+    segments after pickling so the importer's adopt completes the ownership
+    handoff (between the two, the segments are briefly unowned — the
+    resource tracker's exit sweep covers an importer that dies mid-move).
+    """
+    session = (
+        service.cache.pop_session(key) if service.cache is not None else None
+    )
+    if session is None:
+        return {"found": False}
+    blob = pickle.dumps(session)
+    arena = session.driver.factory.arena
+    shared = bool(getattr(arena, "is_shared", False))
+    if shared:
+        arena.disown_shared()
+    return {"found": True, "blob": blob, "shared": shared, "inline_bytes": len(blob)}
+
+
+def _import_session(service: PlanningService, key: str, blob: bytes) -> dict:
+    """Attach a migrated session and park it against the persisted trace."""
+    session = pickle.loads(blob)
+    arena = session.driver.factory.arena
+    shared = bool(getattr(arena, "is_shared", False))
+    if shared:
+        arena.adopt_shared()
+    parked = service.cache is not None and service.cache.park_session(
+        key, session
+    )
+    if not parked and shared:
+        # No trace to park against (e.g. the persistent tier lost it): the
+        # session is unusable here, so free its segments immediately.
+        arena.release_shared()
+    return {"parked": bool(parked)}
 
 
 def _push_progress(
@@ -309,14 +364,20 @@ class WorkerPoolService:
         max_retained_jobs: int = 1024,
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         start_method: str = "fork",
+        arena_mode: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("worker pool needs at least one worker process")
+        if arena_mode is not None and arena_mode not in ARENA_MODES:
+            raise ValueError(
+                f"unknown arena mode {arena_mode!r}; expected one of {ARENA_MODES}"
+            )
         self._registry = registry if registry is not None else planner_registry()
         self._policy = policy
         self._max_sessions = max_sessions
         self._max_queue = max_queue
         self._cache_bytes = cache_bytes
+        self._arena_mode = arena_mode
         self._heartbeat_interval = heartbeat_interval
         self._tmpdir: Optional[TemporaryDirectory] = None
         if cache_dir is None:
@@ -333,6 +394,12 @@ class WorkerPoolService:
         self._tickets = itertools.count(1)
         self._ring = HashRing()
         self._handles: Dict[str, ShardHandle] = {}
+        #: Last shard each request fingerprint ran on — the migration trigger:
+        #: when the ring reassigns a key, the parked session is pulled from
+        #: its previous shard before the submit is routed.
+        self._key_shard: Dict[str, str] = {}
+        self.migrations = 0
+        self.migrated_inline_bytes = 0
         self._max_retained_jobs = max_retained_jobs
         self._clock = time.monotonic
         self._closed = False
@@ -380,6 +447,7 @@ class WorkerPoolService:
                 cache_bytes=self._cache_bytes,
                 cache_dir=str(self._cache_dir),
                 heartbeat_interval=self._heartbeat_interval,
+                arena_mode=self._arena_mode,
             ),
             daemon=True,
         )
@@ -398,6 +466,30 @@ class WorkerPoolService:
         handle.reader = reader
         reader.start()
         return handle
+
+    def add_shard(self, shard_id: Optional[str] = None) -> ShardHandle:
+        """Grow the pool by one worker process (elastic scale-out).
+
+        The new shard joins the consistent-hash ring immediately, which
+        reassigns a slice of the key space to it.  Parked sessions whose key
+        moved are *not* copied eagerly: the next submit of such a key
+        migrates its session from the previous owner
+        (:meth:`migrate_session`), so scale-out costs nothing for keys that
+        never return.
+        """
+        with self.condition:
+            if self._closed:
+                raise ServiceError("worker pool is closed")
+            if shard_id is None:
+                taken = set(self._handles)
+                index = len(taken)
+                while f"shard-{index}" in taken:
+                    index += 1
+                shard_id = f"shard-{index}"
+            existing = self._handles.get(shard_id)
+            if existing is not None and existing.alive:
+                raise RuntimeError(f"shard {shard_id!r} is still alive")
+        return self._spawn(shard_id)
 
     def restart_shard(self, shard_id: str) -> ShardHandle:
         """Replace a dead shard with a fresh process under the same ring name.
@@ -619,6 +711,18 @@ class WorkerPoolService:
         with self.condition:
             self._prune_retained_locked()
             handle = self._shard_for_locked(key)
+            previous_id = self._key_shard.get(key)
+            previous = (
+                self._handles.get(previous_id)
+                if previous_id is not None and previous_id != handle.shard_id
+                else None
+            )
+        if previous is not None and previous.alive and use_cache:
+            # The ring reassigned this key (a shard joined or left since the
+            # last run): pull the parked session over so the new owner can
+            # warm-start instead of recomputing.
+            self.migrate_session(key, previous, handle)
+        with self.condition:
             ticket = f"job-{next(self._tickets):06d}"
             job = Job(
                 ticket,
@@ -651,6 +755,7 @@ class WorkerPoolService:
             raise
         accepted = reply["accepted"]
         with self.condition:
+            self._key_shard[key] = handle.shard_id
             job.cache_status = accepted["cache_status"]
             job.replayed = int(accepted.get("replayed", 0))
             if (
@@ -663,6 +768,43 @@ class WorkerPoolService:
                 job.state = accepted["state"]
             self.condition.notify_all()
         return ticket
+
+    def migrate_session(
+        self, key: str, source: ShardHandle, target: ShardHandle
+    ) -> bool:
+        """Move the parked session for ``key`` from ``source`` to ``target``.
+
+        Best-effort: returns ``True`` only when the source held a parked
+        session *and* the target parked it against the shared persistent
+        trace.  With shm arenas the session's columns cross the pipe as
+        segment-name stubs (the ``inline_bytes`` gauge records exactly how
+        many bytes did travel); with local arenas the full column data is
+        serialized — the before/after the scaling benchmark measures.
+        """
+        try:
+            exported = self._rpc(handle=source, message={"op": "export_session", "key": key})
+        except (ServiceError, TimeoutError):
+            return False
+        if exported.get("error") or not exported.get("found"):
+            return False
+        try:
+            imported = self._rpc(
+                handle=target,
+                message={
+                    "op": "import_session",
+                    "key": key,
+                    "blob": exported["blob"],
+                },
+            )
+        except (ServiceError, TimeoutError):
+            return False
+        if imported.get("error") or not imported.get("parked"):
+            return False
+        with self.condition:
+            self.migrations += 1
+            self.migrated_inline_bytes += int(exported.get("inline_bytes", 0))
+            self._key_shard[key] = target.shard_id
+        return True
 
     def poll(self, ticket: str, include_result: bool = True) -> dict:
         job = self._job(ticket)
@@ -825,6 +967,7 @@ class WorkerPoolService:
             "workers": len(shards),
             "max_sessions": self._max_sessions * max(len(shards), 1),
             "max_queue": self._max_queue * max(len(shards), 1),
+            "arena_mode": self._arena_mode or "local",
         }
         for gauge in (
             "live_sessions",
@@ -856,6 +999,9 @@ class WorkerPoolService:
             cache[gauge] = sum(
                 int(shard["cache"].get(gauge, 0)) for shard in shards
             )
+        with self.condition:
+            cache["migrations"] = self.migrations
+            cache["migrated_inline_bytes"] = self.migrated_inline_bytes
         return stats_payload(scheduler, cache, shards=shards)
 
     def health(self) -> dict:

@@ -1,0 +1,379 @@
+"""Zero-copy shared-memory column vectors for cross-process arenas.
+
+:class:`ShmVector` is a growable ``array``-alike whose payload lives in a
+named ``multiprocessing.shared_memory`` segment instead of process-private
+heap memory.  The plan arena uses it (behind ``arena_mode="shm"``, see
+:mod:`repro.plans.arena`) for its cost and id columns, which makes a parked
+session's bulk state *addressable by name*: pickling a shared vector encodes
+``(segment name, typecode, length)`` — a few dozen bytes — and unpickling in
+another process attaches to the very same pages.  Migrating a parked session
+across worker shards therefore serializes no column data at all.
+
+The vector keeps the subset of the ``array`` API the cost-matrix and kernel
+layers actually use: ``append``/``extend``/``__len__``/``__getitem__``/
+``__setitem__``/iteration/``tolist``, plus the two duck-typing hooks the
+kernel backends look for — ``buffer_info()`` (raw address + length, consumed
+by the native backend) and ``memory()`` (a memoryview of the used prefix,
+consumed by ``numpy.frombuffer``; pure-Python loops from the buffer protocol
+cannot be implemented on a plain class, which is why the numpy backend
+duck-types instead of calling ``frombuffer(col)`` directly).
+
+Lifecycle.  POSIX shared memory is kernel-persistent: a segment outlives the
+process unless somebody unlinks it.  Ownership is explicit — the creating
+vector owns its segment and unlinks it on :meth:`release` (with a
+``weakref.finalize`` backstop so a dropped arena cannot leak ``/dev/shm``
+entries), attached vectors only close their mapping.  :meth:`disown` /
+:meth:`adopt` transfer that responsibility across a migration: the exporting
+process disowns before handing the segment name over, the importer adopts.
+
+The stdlib ``resource_tracker`` registers a segment name on every create and
+attach, and its exit sweep unlinks whatever is still registered — which is
+exactly wrong for a process that merely *attached* to (or disowned) a
+segment now owned elsewhere.  This module therefore keeps each process's
+tracker registration aligned with *ownership*: the owner's single eventual
+``unlink()`` balances its registration, ``disown``/``adopt`` move the
+registration between the two processes of a migration, and a non-owning
+process drops its attach-time registration when its mapping dies.  The
+tracker's exit sweep then remains what it should be: a last-resort cleanup
+for segments whose owner crashed.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import secrets
+import weakref
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterator, Sequence, Set, Tuple
+
+#: Prefix of every segment this module creates; the CI leak check greps
+#: ``/dev/shm`` for it after the service test suites.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Minimum segment capacity, in elements.  Small enough that empty columns
+#: stay cheap, large enough that the doubling growth schedule settles fast.
+MIN_CAPACITY = 256
+
+_TYPECODES = ("d", "b", "q")
+
+
+def _new_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{secrets.token_hex(6)}"
+
+
+# Segment names this *process* currently owns (create or adopt).  The stdlib
+# resource tracker registers a name on every create and attach, but only the
+# owner's eventual unlink() unregisters it — so this set is what lets the
+# non-owning side drop its registration without erasing a same-process
+# owner's entry.  Pid-guarded: a forked child inherits the parent's vectors
+# but owns none of them.
+_OWNED: Set[str] = set()
+_OWNED_PID = os.getpid()
+
+
+def _owned() -> Set[str]:
+    global _OWNED, _OWNED_PID
+    pid = os.getpid()
+    if pid != _OWNED_PID:  # pragma: no cover - fork-inheritance guard
+        _OWNED = set()
+        _OWNED_PID = pid
+    return _OWNED
+
+
+def _tracker_register(name: str) -> None:
+    try:
+        resource_tracker.register(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by platform
+        pass
+
+
+def _tracker_unregister(name: str) -> None:
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by platform
+        pass
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether the named segment is still linked (POSIX: a /dev/shm entry).
+
+    Non-owner cleanup consults this before unregistering: if the owner (in
+    this same process) already unlinked the segment, its unlink performed the
+    tracker unregister too, and a second one would make the tracker process
+    log a KeyError.
+    """
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def _finalize_mapping(
+    view: memoryview, shm: shared_memory.SharedMemory, owner: bool, pid: int
+) -> None:
+    """GC backstop for a vector dropped without :meth:`ShmVector.release`.
+
+    Releasing the exported view before closing is mandatory — otherwise
+    ``SharedMemory.close`` (and its ``__del__``) raises ``BufferError`` at
+    interpreter shutdown.  The unlink is pid-guarded so a forked child
+    collecting inherited vector objects can never unlink segments its parent
+    still uses (closing the child's own mapping is always safe).
+    """
+    view.release()
+    shm.close()
+    if owner:
+        if os.getpid() == pid:
+            _owned().discard(shm.name)
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+    elif shm.name not in _owned() and _segment_exists(shm.name):
+        # A non-owning attach in a process that owns nothing of this segment:
+        # drop this process's tracker registration so its exit sweep cannot
+        # unlink a segment that is owned (and still in use) elsewhere.
+        _tracker_unregister(shm.name)
+
+
+class ShmVector:
+    """A growable typed vector backed by a named shared-memory segment."""
+
+    __slots__ = (
+        "typecode",
+        "itemsize",
+        "_shm",
+        "_view",
+        "_address",
+        "_length",
+        "_owner",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(self, typecode: str, values: Sequence = ()):
+        if typecode not in _TYPECODES:
+            raise ValueError(
+                f"unsupported shared-memory typecode {typecode!r}; "
+                f"expected one of {_TYPECODES}"
+            )
+        self.typecode = typecode
+        self.itemsize = array(typecode).itemsize
+        self._length = 0
+        self._attach_segment(
+            shared_memory.SharedMemory(
+                create=True, size=MIN_CAPACITY * self.itemsize, name=_new_name()
+            ),
+            owner=True,
+        )
+        if values:
+            self.extend(values)
+
+    # ------------------------------------------------------------------
+    # Segment plumbing
+    # ------------------------------------------------------------------
+    def _attach_segment(
+        self, shm: shared_memory.SharedMemory, owner: bool
+    ) -> None:
+        self._shm = shm
+        self._view = memoryview(shm.buf).cast(self.typecode)
+        # Raw base address for the native kernel's pointer-passing calls.
+        # The transient c_char releases its buffer export immediately, so
+        # close() stays possible later.
+        self._address = ctypes.addressof(ctypes.c_char.from_buffer(shm.buf))
+        self._owner = owner
+        if owner:
+            _owned().add(shm.name)
+        self._finalizer = weakref.finalize(
+            self, _finalize_mapping, self._view, shm, owner, os.getpid()
+        )
+
+    @classmethod
+    def _attach(cls, name: str, typecode: str, length: int) -> "ShmVector":
+        """Rebuild (attach, not copy) from a pickled ``(name, tc, len)``."""
+        vector = cls.__new__(cls)
+        vector.typecode = typecode
+        vector.itemsize = array(typecode).itemsize
+        vector._length = length
+        vector._attach_segment(
+            shared_memory.SharedMemory(name=name), owner=False
+        )
+        return vector
+
+    def __reduce__(self):
+        return (ShmVector._attach, (self.name, self.typecode, self._length))
+
+    @property
+    def name(self) -> str:
+        """The segment name (the cross-process address of the payload)."""
+        return self._shm.name
+
+    @property
+    def is_owner(self) -> bool:
+        return self._owner
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Exact size of the backing segment (page-rounded by the kernel)."""
+        return self._shm.size
+
+    @property
+    def capacity(self) -> int:
+        return self._shm.size // self.itemsize
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def _reserve(self, elements: int) -> None:
+        if elements <= self.capacity:
+            return
+        target = max(elements, self.capacity * 2)
+        fresh = shared_memory.SharedMemory(
+            create=True, size=target * self.itemsize, name=_new_name()
+        )
+        used = self._length * self.itemsize
+        fresh.buf[:used] = self._shm.buf[:used]
+        was_owner = self._owner
+        self._release_segment(unlink=was_owner)
+        # A grown segment is always owned here: growing an attached vector
+        # forks its storage away from the original segment by design.
+        self._attach_segment(fresh, owner=True)
+
+    def _release_segment(self, unlink: bool) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        name = self._shm.name
+        self._view.release()
+        self._shm.close()
+        if unlink:
+            _owned().discard(name)
+            self._shm.unlink()
+        elif name not in _owned() and _segment_exists(name):
+            _tracker_unregister(name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Close the mapping; unlink the segment if this vector owns it.
+
+        Idempotent.  After release the vector is unusable.
+        """
+        if self._shm is None:
+            return
+        self._release_segment(unlink=self._owner)
+        self._shm = None
+        self._view = None
+        self._owner = False
+
+    def _set_owner(self, owner: bool) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._owner = owner
+        self._finalizer = weakref.finalize(
+            self, _finalize_mapping, self._view, self._shm, owner, os.getpid()
+        )
+
+    def disown(self) -> None:
+        """Stop owning the segment (the importing process will adopt it).
+
+        Drops this process's resource-tracker registration along with unlink
+        responsibility: after a migration the exporting shard may exit long
+        before the importer is done, and its tracker's exit sweep must not
+        unlink segments the importer now owns.
+        """
+        if not self._owner:
+            return
+        _owned().discard(self.name)
+        _tracker_unregister(self.name)
+        self._set_owner(False)
+
+    def adopt(self) -> None:
+        """Take ownership of an attached segment (completes a migration)."""
+        if self._owner:
+            return
+        _tracker_register(self.name)
+        _owned().add(self.name)
+        self._set_owner(True)
+
+    # ------------------------------------------------------------------
+    # array-alike surface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("shm vector index out of range")
+        return self._view[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("shm vector assignment index out of range")
+        self._view[index] = value
+
+    def __iter__(self) -> Iterator:
+        view = self._view
+        for i in range(self._length):
+            yield view[i]
+
+    def append(self, value) -> None:
+        self._reserve(self._length + 1)
+        self._view[self._length] = value
+        self._length += 1
+
+    def extend(self, values) -> None:
+        if isinstance(values, array) and values.typecode == self.typecode:
+            data = values
+        else:
+            data = array(self.typecode, values)
+        count = len(data)
+        if not count:
+            return
+        self._reserve(self._length + count)
+        self._view[self._length : self._length + count] = memoryview(data)
+        self._length += count
+
+    def tolist(self) -> list:
+        return self._view[: self._length].tolist()
+
+    def buffer_info(self) -> Tuple[int, int]:
+        """(base address, element count) — the native kernel's pointer hook."""
+        return (self._address, self._length)
+
+    def memory(self) -> memoryview:
+        """Memoryview of the used prefix — the numpy backend's buffer hook."""
+        return self._view[: self._length]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ShmVector({self.typecode!r}, len={self._length}, "
+            f"segment={self.name!r}, owner={self._owner})"
+        )
+
+
+class ShmStorage:
+    """Column factory selecting shared-memory storage for a cost matrix."""
+
+    def vector(self, typecode: str, values: Sequence = ()) -> ShmVector:
+        return ShmVector(typecode, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "ShmStorage()"
+
+
+def active_segments() -> Tuple[str, ...]:
+    """Names of this module's segments currently present in ``/dev/shm``.
+
+    Best-effort (POSIX only); the CI leak check uses it to prove the service
+    suites release every arena segment they created.
+    """
+    root = "/dev/shm"
+    try:
+        entries = os.listdir(root)
+    except OSError:  # pragma: no cover - non-POSIX platform
+        return ()
+    return tuple(sorted(e for e in entries if e.startswith(SEGMENT_PREFIX)))

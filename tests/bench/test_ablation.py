@@ -44,12 +44,15 @@ class TestFeatureRegistry:
     def test_expected_features_are_registered(self):
         assert set(FEATURES.names()) == {
             "numpy_kernel",
+            "native_kernel",
             "block_costing",
             "bounds_bucket",
             "witness_cache",
             "delta_sets",
+            "incremental_pareto",
             "frontier_cache",
             "scheduler_policy",
+            "shm_arena",
             "sql_frontend",
         }
 

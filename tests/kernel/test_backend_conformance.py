@@ -1,0 +1,392 @@
+"""One conformance suite for every kernel backend, from one source of truth.
+
+Every backend (pure Python, numpy, and the compiled native tier when a C
+compiler is available) must implement the full kernel op surface --
+``leq_slots`` / ``geq_slots`` / ``first_leq`` / ``any_leq`` /
+``scale_columns`` / ``take`` / ``combine_columns`` / ``pareto_mask`` --
+bit-identically.  This module pins that contract once, parametrized over the
+backends that can load on this machine, instead of the per-backend test
+copies it replaced: brute-force oracles over row tuples define "correct"
+independently of any backend, hypothesis drives the edge cases (+inf,
+tombstones, ties, empty blocks), and dedicated regression tests cover the
+blocks far beyond 4096 rows where the numpy Pareto sweep must stay tiled.
+"""
+
+import math
+import random
+from array import array
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernel
+from repro.costs import aggregation as agg
+from repro.costs.metrics import (
+    MetricSet,
+    aggregation_spec,
+    extended_metric_set,
+    paper_metric_set,
+)
+from repro.costs.vector import CostVector
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on environment
+    HAVE_NUMPY = False
+
+HAVE_NATIVE = kernel.native_available()
+
+#: Every backend importable on this machine; the suite runs the identical
+#: assertions against each one.
+BACKENDS = (
+    ("python",)
+    + (("numpy",) if HAVE_NUMPY else ())
+    + (("native",) if HAVE_NATIVE else ())
+)
+
+AGGREGATIONS = [
+    agg.SumAggregation(),
+    agg.MaxAggregation(),
+    agg.PipelineMaxAggregation(),
+    agg.MinAggregation(),
+    agg.ScaledSumAggregation(1.5, 2.0),
+    agg.PrecisionLossAggregation(),
+]
+
+SIZES = (3, 17, 300)  # below and above the vectorised-path cutoffs
+
+
+# ----------------------------------------------------------------------
+# Case generators and oracles
+# ----------------------------------------------------------------------
+finite_or_inf = st.one_of(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.just(float("inf")),
+)
+
+
+@st.composite
+def matrices(draw, min_rows=0, max_rows=60, min_dims=1, max_dims=4):
+    dims = draw(st.integers(min_value=min_dims, max_value=max_dims))
+    rows = draw(
+        st.lists(
+            st.tuples(*([finite_or_inf] * dims)), min_size=min_rows, max_size=max_rows
+        )
+    )
+    alive = draw(st.lists(st.booleans(), min_size=len(rows), max_size=len(rows)))
+    vector = draw(st.tuples(*([finite_or_inf] * dims)))
+    # Duplicated rows make the pareto stable-tie contract observable.
+    if len(rows) >= 2 and draw(st.booleans()):
+        src = draw(st.integers(min_value=0, max_value=len(rows) - 1))
+        dst = draw(st.integers(min_value=0, max_value=len(rows) - 1))
+        rows[dst] = rows[src]
+    columns = [array("d", (row[k] for row in rows)) for k in range(dims)]
+    alive_flags = array("b", (1 if flag else 0 for flag in alive))
+    return columns, alive_flags, vector, rows, alive
+
+
+def oracle_leq(rows, alive, vector):
+    return [
+        i
+        for i, row in enumerate(rows)
+        if alive[i] and all(x <= v for x, v in zip(row, vector))
+    ]
+
+
+def oracle_geq(rows, alive, vector):
+    return [
+        i
+        for i, row in enumerate(rows)
+        if alive[i] and all(x >= v for x, v in zip(row, vector))
+    ]
+
+
+def oracle_pareto(rows, alive):
+    """Brute-force O(n^2) strict-dominance frontier, in slot order.
+
+    A live row is kept iff no other live row dominates it -- where "row j
+    dominates row i" means component-wise ``<=`` and either strictly smaller
+    somewhere or an identical row at an earlier slot (equal rows keep exactly
+    the earliest representative).
+    """
+    live = [i for i in range(len(rows)) if alive[i]]
+
+    def dominated(i):
+        for j in live:
+            if j == i:
+                continue
+            if all(a <= b for a, b in zip(rows[j], rows[i])) and (
+                rows[j] != rows[i] or j < i
+            ):
+                return True
+        return False
+
+    return [not dominated(i) for i in live]
+
+
+def make_column(size, seed, with_inf=False, upper=100.0):
+    rng = random.Random(seed)
+    values = [rng.uniform(0.0, upper) for _ in range(size)]
+    if with_inf and size >= 4:
+        values[1] = math.inf
+        values[-2] = math.inf
+    return array("d", values)
+
+
+# ----------------------------------------------------------------------
+# Dominance-op conformance (property net, all backends)
+# ----------------------------------------------------------------------
+class TestDominanceOps:
+    @settings(max_examples=200)
+    @given(matrices())
+    def test_leq_slots_match_oracle_on_every_backend(self, case):
+        columns, alive_flags, vector, rows, alive = case
+        expected = oracle_leq(rows, alive, vector)
+        for backend in BACKENDS:
+            with kernel.use_backend(backend):
+                assert kernel.ops.leq_slots(columns, alive_flags, vector) == expected
+
+    @settings(max_examples=200)
+    @given(matrices())
+    def test_geq_slots_match_oracle_on_every_backend(self, case):
+        columns, alive_flags, vector, rows, alive = case
+        expected = oracle_geq(rows, alive, vector)
+        for backend in BACKENDS:
+            with kernel.use_backend(backend):
+                assert kernel.ops.geq_slots(columns, alive_flags, vector) == expected
+
+    @settings(max_examples=200)
+    @given(matrices())
+    def test_first_leq_and_any_leq_match_oracle(self, case):
+        columns, alive_flags, vector, rows, alive = case
+        hits = oracle_leq(rows, alive, vector)
+        expected_first = hits[0] if hits else -1
+        for backend in BACKENDS:
+            with kernel.use_backend(backend):
+                assert kernel.ops.first_leq(columns, alive_flags, vector) == expected_first
+                assert kernel.ops.any_leq(columns, alive_flags, vector) == bool(hits)
+
+    @settings(max_examples=200)
+    @given(matrices())
+    def test_pareto_mask_matches_oracle_on_every_backend(self, case):
+        columns, alive_flags, _, rows, alive = case
+        expected = oracle_pareto(rows, alive)
+        for backend in BACKENDS:
+            with kernel.use_backend(backend):
+                assert kernel.ops.pareto_mask(columns, alive_flags) == expected
+
+    @settings(max_examples=100)
+    @given(
+        matrices(),
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    )
+    def test_scale_columns_is_bit_identical_across_backends(self, case, factor):
+        columns, _, _, rows, _ = case
+        with kernel.use_backend("python"):
+            reference = kernel.ops.scale_columns(columns, factor)
+        for backend in BACKENDS:
+            with kernel.use_backend(backend):
+                scaled = kernel.ops.scale_columns(columns, factor)
+            assert [col.tobytes() for col in scaled] == [
+                col.tobytes() for col in reference
+            ]
+
+    def test_large_block_exercises_vectorised_path(self):
+        # 64 rows is above every backend's small-block cutoff.
+        rows = [(float(i % 7), float(i % 5)) for i in range(64)]
+        columns = [array("d", (r[k] for r in rows)) for k in range(2)]
+        alive = array("b", [1] * len(rows))
+        expected = oracle_leq(rows, alive, (3.0, 2.0))
+        for backend in BACKENDS:
+            with kernel.use_backend(backend):
+                assert kernel.ops.leq_slots(columns, alive, (3.0, 2.0)) == expected
+
+
+# ----------------------------------------------------------------------
+# Pareto sweep on blocks far beyond 4096 rows (tiled-broadcast regression)
+# ----------------------------------------------------------------------
+class TestParetoLargeBlocks:
+    """The numpy sweep tiles the candidate-vs-frontier broadcast; these
+    blocks cross several tile boundaries (exact multiples and off-by-a-prime
+    sizes) so a regression in the tile stitching cannot hide, and peak
+    memory stays bounded by the tile size rather than ``O(n^2)``."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("size", [10240, 10243])  # 10*TILE, non-multiple
+    def test_far_beyond_4096_bit_identical_across_backends(self, size):
+        rng = random.Random(size)
+        dims = 3
+        # Clustered values produce long runs of primary-key ties plus exact
+        # duplicate rows -- the hard cases of the sorted sweep.
+        choices = [float(v) for v in range(40)] + [math.inf]
+        columns = [
+            array("d", (rng.choice(choices) for _ in range(size)))
+            for _ in range(dims)
+        ]
+        alive = array("b", (1 if rng.random() > 0.05 else 0 for _ in range(size)))
+        with kernel.use_backend("python"):
+            expected = kernel.ops.pareto_mask(columns, alive)
+        for backend in BACKENDS[1:]:
+            with kernel.use_backend(backend):
+                assert kernel.ops.pareto_mask(columns, alive) == expected, backend
+
+    def test_tile_boundary_dominance_is_seen(self):
+        if not HAVE_NUMPY:
+            pytest.skip("numpy not available")
+        from repro.kernel import numpy_backend
+
+        # A dominating row in tile 0 must eliminate rows in later tiles, and
+        # a within-tile dominator must eliminate rows admitted after it in
+        # the same tile.
+        size = numpy_backend.PARETO_TILE * 2 + 5
+        columns = [
+            array("d", range(size)),
+            array("d", [float(size - i) for i in range(size)]),
+        ]
+        # Make one early row dominate everything after the first tile.
+        columns[0][3] = 0.0
+        columns[1][3] = 0.0
+        alive = array("b", [1] * size)
+        with kernel.use_backend("python"):
+            expected = kernel.ops.pareto_mask(columns, alive)
+        with kernel.use_backend("numpy"):
+            assert kernel.ops.pareto_mask(columns, alive) == expected
+
+
+# ----------------------------------------------------------------------
+# Block-costing ops: combine_columns / take (all backends)
+# ----------------------------------------------------------------------
+class TestCombineColumns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("aggregation", AGGREGATIONS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_matches_scalar_reference(self, backend, aggregation, size):
+        upper = 2.0 if isinstance(aggregation, agg.PrecisionLossAggregation) else 100.0
+        left = make_column(size, seed=1, upper=upper)
+        right = make_column(size, seed=2, upper=upper)
+        local = 0.75
+        spec = aggregation_spec(aggregation)
+        assert spec is not None
+        expected = [aggregation.combine(l, r, local) for l, r in zip(left, right)]
+        with kernel.use_backend(backend):
+            result = list(kernel.ops.combine_columns(spec, left, right, local))
+        assert result == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "aggregation",
+        [a for a in AGGREGATIONS if not isinstance(a, agg.PrecisionLossAggregation)],
+        ids=lambda a: a.name,
+    )
+    def test_infinite_components(self, backend, aggregation):
+        left = make_column(32, seed=3, with_inf=True)
+        right = make_column(32, seed=4, with_inf=True)
+        spec = aggregation_spec(aggregation)
+        expected = [aggregation.combine(l, r, 1.0) for l, r in zip(left, right)]
+        with kernel.use_backend(backend):
+            result = list(kernel.ops.combine_columns(spec, left, right, 1.0))
+        assert result == expected
+
+    def test_backends_bit_identical(self):
+        if len(BACKENDS) < 2:
+            pytest.skip("only the python backend is available")
+        for aggregation in AGGREGATIONS:
+            upper = 3.0 if isinstance(aggregation, agg.PrecisionLossAggregation) else 1e9
+            left = make_column(257, seed=5, upper=upper)
+            right = make_column(257, seed=6, upper=upper)
+            spec = aggregation_spec(aggregation)
+            results = {}
+            for backend in BACKENDS:
+                with kernel.use_backend(backend):
+                    results[backend] = kernel.ops.combine_columns(
+                        spec, left, right, 0.125
+                    ).tobytes()
+            assert len(set(results.values())) == 1, (aggregation.name, results.keys())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_spec_rejected(self, backend):
+        with kernel.use_backend(backend):
+            with pytest.raises(ValueError):
+                kernel.ops.combine_columns(
+                    ("bogus",), array("d", [1.0] * 32), array("d", [1.0] * 32), 0.0
+                )
+
+
+class TestTake:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gathers_rows_in_order(self, backend, size):
+        columns = [make_column(size, seed=d, with_inf=True) for d in range(3)]
+        rng = random.Random(9)
+        indices = [rng.randrange(size) for _ in range(size * 2)]
+        with kernel.use_backend(backend):
+            gathered = kernel.ops.take(columns, indices)
+        assert [list(col) for col in gathered] == [
+            [col[i] for i in indices] for col in columns
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_indices(self, backend):
+        columns = [make_column(8, seed=1)]
+        with kernel.use_backend(backend):
+            assert [list(c) for c in kernel.ops.take(columns, [])] == [[]]
+
+
+class TestMetricSetCombineColumns:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "metric_set",
+        [paper_metric_set(), extended_metric_set(7)],
+        ids=["paper", "extended7"],
+    )
+    def test_matches_per_row_combine(self, backend, metric_set):
+        dims = metric_set.dimensions
+        rng = random.Random(11)
+        rows = 40
+        left_rows = [
+            CostVector([rng.uniform(0.0, 50.0) for _ in range(dims)])
+            for _ in range(rows)
+        ]
+        right_rows = [
+            CostVector([rng.uniform(0.0, 50.0) for _ in range(dims)])
+            for _ in range(rows)
+        ]
+        local = CostVector([rng.uniform(0.0, 5.0) for _ in range(dims)])
+        left_columns = [
+            array("d", (row[d] for row in left_rows)) for d in range(dims)
+        ]
+        right_columns = [
+            array("d", (row[d] for row in right_rows)) for d in range(dims)
+        ]
+        with kernel.use_backend(backend):
+            combined = metric_set.combine_columns(left_columns, right_columns, local)
+        for index in range(rows):
+            expected = metric_set.combine(left_rows[index], right_rows[index], local)
+            actual = tuple(combined[d][index] for d in range(dims))
+            assert actual == tuple(expected)
+
+    def test_unknown_aggregation_falls_back_to_per_element_loop(self):
+        class Weird(agg.AggregationFunction):
+            name = "weird"
+
+            def combine(self, left, right, local):
+                return left + 2.0 * right + local
+
+        metric = __import__("repro.costs.metrics", fromlist=["Metric"]).Metric(
+            name="weird", unit="u", aggregation=Weird()
+        )
+        assert aggregation_spec(Weird()) is None
+        metric_set = MetricSet([metric])
+        combined = metric_set.combine_columns(
+            [array("d", [1.0, 2.0])], [array("d", [3.0, 4.0])], CostVector([0.5])
+        )
+        assert list(combined[0]) == [1.0 + 6.0 + 0.5, 2.0 + 8.0 + 0.5]
+
+    def test_dimension_mismatch_rejected(self):
+        metric_set = paper_metric_set()
+        with pytest.raises(ValueError):
+            metric_set.combine_columns(
+                [array("d", [1.0])], [array("d", [1.0])], CostVector([0.0, 0.0, 0.0])
+            )

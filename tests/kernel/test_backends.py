@@ -1,119 +1,30 @@
-"""Backend-parity and selection tests for :mod:`repro.kernel`.
+"""Backend selection and environment resolution tests for :mod:`repro.kernel`.
 
-The pure-Python backend is the reference implementation; the numpy backend
-must produce bit-identical results on every operation, including ``+inf``
-components and tombstoned rows.  A brute-force oracle over row tuples pins
-down what "correct" means independently of either backend.
+Op-level parity across backends lives in ``test_backend_conformance.py``
+(one parametrized property net over every available backend); this module
+covers the selection machinery only: runtime switching, name normalization,
+the ``REPRO_KERNEL_BACKEND`` environment lowering, and the native tier's
+honest-failure contract (an explicit request without a C compiler must raise,
+never silently downgrade).
 """
 
-from array import array
-
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro import kernel
-from repro.kernel import python_backend
 
 try:
-    from repro.kernel import numpy_backend
+    import numpy  # noqa: F401
 
     HAVE_NUMPY = True
 except ImportError:  # pragma: no cover - depends on environment
     HAVE_NUMPY = False
 
-BACKENDS = [python_backend] + ([numpy_backend] if HAVE_NUMPY else [])
-
-finite_or_inf = st.one_of(
-    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
-    st.just(float("inf")),
-)
-
-
-@st.composite
-def matrices(draw, min_rows=0, max_rows=60, min_dims=1, max_dims=4):
-    dims = draw(st.integers(min_value=min_dims, max_value=max_dims))
-    rows = draw(
-        st.lists(
-            st.tuples(*([finite_or_inf] * dims)), min_size=min_rows, max_size=max_rows
-        )
-    )
-    alive = draw(st.lists(st.booleans(), min_size=len(rows), max_size=len(rows)))
-    vector = draw(st.tuples(*([finite_or_inf] * dims)))
-    columns = [array("d", (row[k] for row in rows)) for k in range(dims)]
-    alive_flags = array("b", (1 if flag else 0 for flag in alive))
-    return columns, alive_flags, vector, rows, alive
-
-
-def oracle_leq(rows, alive, vector):
-    return [
-        i
-        for i, row in enumerate(rows)
-        if alive[i] and all(x <= v for x, v in zip(row, vector))
-    ]
-
-
-def oracle_geq(rows, alive, vector):
-    return [
-        i
-        for i, row in enumerate(rows)
-        if alive[i] and all(x >= v for x, v in zip(row, vector))
-    ]
-
-
-class TestBackendParity:
-    @settings(max_examples=200)
-    @given(matrices())
-    def test_leq_slots_match_oracle_on_every_backend(self, case):
-        columns, alive_flags, vector, rows, alive = case
-        expected = oracle_leq(rows, alive, vector)
-        for backend in BACKENDS:
-            assert backend.leq_slots(columns, alive_flags, vector) == expected
-
-    @settings(max_examples=200)
-    @given(matrices())
-    def test_geq_slots_match_oracle_on_every_backend(self, case):
-        columns, alive_flags, vector, rows, alive = case
-        expected = oracle_geq(rows, alive, vector)
-        for backend in BACKENDS:
-            assert backend.geq_slots(columns, alive_flags, vector) == expected
-
-    @settings(max_examples=200)
-    @given(matrices())
-    def test_first_leq_and_any_leq_match_oracle(self, case):
-        columns, alive_flags, vector, rows, alive = case
-        hits = oracle_leq(rows, alive, vector)
-        expected_first = hits[0] if hits else -1
-        for backend in BACKENDS:
-            assert backend.first_leq(columns, alive_flags, vector) == expected_first
-            assert backend.any_leq(columns, alive_flags, vector) == bool(hits)
-
-    @settings(max_examples=100)
-    @given(
-        matrices(),
-        st.floats(min_value=1.0, max_value=100.0, allow_nan=False, allow_infinity=False),
-    )
-    def test_scale_columns_is_bit_identical_across_backends(self, case, factor):
-        columns, _, _, rows, _ = case
-        reference = python_backend.scale_columns(columns, factor)
-        for backend in BACKENDS:
-            scaled = backend.scale_columns(columns, factor)
-            assert [col.tolist() for col in scaled] == [
-                col.tolist() for col in reference
-            ]
-
-    def test_large_block_exercises_vectorised_path(self):
-        # 64 rows is above the numpy backend's small-block cutoff.
-        rows = [(float(i % 7), float(i % 5)) for i in range(64)]
-        columns = [array("d", (r[k] for r in rows)) for k in range(2)]
-        alive = array("b", [1] * len(rows))
-        expected = oracle_leq(rows, alive, (3.0, 2.0))
-        for backend in BACKENDS:
-            assert backend.leq_slots(columns, alive, (3.0, 2.0)) == expected
+HAVE_NATIVE = kernel.native_available()
 
 
 class TestBackendSelection:
     def test_active_backend_has_a_known_name(self):
-        assert kernel.backend_name() in ("python", "numpy")
+        assert kernel.backend_name() in ("python", "numpy", "native")
 
     def test_use_backend_switches_and_restores(self):
         original = kernel.backend_name()
@@ -127,7 +38,7 @@ class TestBackendSelection:
 
     def test_rejection_lists_the_valid_names_and_keeps_the_backend(self):
         original = kernel.backend_name()
-        with pytest.raises(ValueError, match=r"auto.*python.*numpy"):
+        with pytest.raises(ValueError, match=r"auto.*python.*numpy.*native"):
             kernel.set_backend("fortran")
         assert kernel.backend_name() == original
 
@@ -145,10 +56,30 @@ class TestBackendSelection:
         finally:
             kernel.set_backend(original)
 
-    def test_auto_prefers_numpy_when_available(self):
+    def test_auto_prefers_numpy_and_never_native(self):
+        # native is excluded from auto-selection even when it would build:
+        # compiling at import time must stay opt-in.
         with kernel.use_backend("auto"):
             expected = "numpy" if HAVE_NUMPY else "python"
             assert kernel.backend_name() == expected
+
+    def test_native_request_is_honest(self):
+        """Either the native tier loads, or the request fails loudly."""
+        if HAVE_NATIVE:
+            with kernel.use_backend("native"):
+                assert kernel.backend_name() == "native"
+        else:  # pragma: no cover - depends on environment
+            with pytest.raises(ImportError, match="compiler"):
+                kernel.set_backend("native")
+            # The failed request must not have clobbered the active backend.
+            assert kernel.backend_name() in ("python", "numpy")
+
+    def test_native_available_matches_resolution(self):
+        if HAVE_NATIVE:
+            from repro.kernel import native_backend
+
+            assert native_backend.NAME == "native"
+            assert native_backend.COMPILER
 
 
 class TestEnvironmentResolution:
@@ -160,7 +91,7 @@ class TestEnvironmentResolution:
         monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "bogus")
         with pytest.raises(ValueError, match=kernel.BACKEND_ENV_VAR):
             kernel._initial_backend()
-        with pytest.raises(ValueError, match=r"auto.*python.*numpy"):
+        with pytest.raises(ValueError, match=r"auto.*python.*numpy.*native"):
             kernel._initial_backend()
 
     def test_case_and_whitespace_are_normalized(self, monkeypatch):
@@ -171,6 +102,12 @@ class TestEnvironmentResolution:
         monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "   ")
         expected = "numpy" if HAVE_NUMPY else "python"
         assert kernel._initial_backend().NAME == expected
+
+    def test_native_value_resolves_when_available(self, monkeypatch):
+        if not HAVE_NATIVE:
+            pytest.skip("no C compiler on this machine")
+        monkeypatch.setenv(kernel.BACKEND_ENV_VAR, "native")
+        assert kernel._initial_backend().NAME == "native"
 
     def test_unknown_value_fails_at_import_time(self):
         import subprocess

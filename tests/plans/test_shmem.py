@@ -1,0 +1,252 @@
+"""Shared-memory column vectors and shm-backed plan arenas.
+
+Covers the :mod:`repro.shmem` vector surface (growth, pickling-as-attach,
+the ownership protocol), the arena mode switch, and the guarantee the whole
+tier rests on: kernel results over shm-backed cost matrices are bit-identical
+to the same computation over process-local ``array`` columns, for every
+backend.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro import kernel
+from repro.costs.matrix import CostMatrix
+from repro.plans.arena import (
+    ARENA_MODES,
+    PlanArena,
+    arena_mode,
+    default_arena,
+    set_arena_mode,
+    use_arena_mode,
+)
+from repro.shmem import (
+    MIN_CAPACITY,
+    SEGMENT_PREFIX,
+    ShmStorage,
+    ShmVector,
+    active_segments,
+)
+
+
+# ----------------------------------------------------------------------
+# ShmVector surface
+# ----------------------------------------------------------------------
+class TestShmVector:
+    def test_array_surface(self):
+        vector = ShmVector("d", [1.5, 2.5, 3.5])
+        try:
+            assert len(vector) == 3
+            assert vector[0] == 1.5
+            assert vector[-1] == 3.5
+            vector[1] = 9.0
+            assert list(vector) == [1.5, 9.0, 3.5]
+            vector.append(4.5)
+            assert vector.tolist() == [1.5, 9.0, 3.5, 4.5]
+            with pytest.raises(IndexError):
+                vector[4]
+            with pytest.raises(IndexError):
+                vector[-5] = 0.0
+        finally:
+            vector.release()
+
+    def test_rejects_unknown_typecode(self):
+        with pytest.raises(ValueError, match="typecode"):
+            ShmVector("f")
+
+    def test_growth_preserves_contents_and_reallocates(self):
+        vector = ShmVector("q")
+        try:
+            values = list(range(MIN_CAPACITY * 3 + 7))
+            first_segment = vector.name
+            vector.extend(values)
+            assert vector.tolist() == values
+            assert vector.name != first_segment  # grew into a fresh segment
+            assert vector.capacity >= len(values)
+            assert vector.allocated_bytes >= len(values) * vector.itemsize
+        finally:
+            vector.release()
+        assert active_segments() == ()
+
+    def test_buffer_hooks(self):
+        vector = ShmVector("d", [1.0, 2.0])
+        try:
+            address, length = vector.buffer_info()
+            assert address != 0 and length == 2
+            view = vector.memory()
+            assert view.tolist() == [1.0, 2.0]
+            view.release()  # must not pin the segment
+        finally:
+            vector.release()
+
+    def test_pickle_attaches_by_name(self):
+        vector = ShmVector("d", [1.0, 2.0, 3.0])
+        try:
+            blob = pickle.dumps(vector)
+            # The payload is (name, typecode, length) — never the columns.
+            assert len(blob) < 200
+            clone = pickle.loads(blob)
+            assert clone.name == vector.name
+            assert not clone.is_owner
+            assert clone.tolist() == [1.0, 2.0, 3.0]
+            # Same pages: a write through one side is visible on the other.
+            vector[0] = 42.0
+            assert clone[0] == 42.0
+            clone.release()
+        finally:
+            vector.release()
+
+    def test_release_is_idempotent_and_unlinks(self):
+        vector = ShmVector("b", [1, 0, 1])
+        name = vector.name
+        assert name.startswith(SEGMENT_PREFIX)
+        assert name in active_segments()
+        vector.release()
+        vector.release()
+        assert name not in active_segments()
+
+    def test_disown_adopt_round_trip(self):
+        vector = ShmVector("d", [1.0])
+        clone = pickle.loads(pickle.dumps(vector))
+        vector.disown()
+        assert not vector.is_owner
+        clone.adopt()
+        assert clone.is_owner
+        vector.release()  # non-owner release: closes, must not unlink
+        assert clone.name in active_segments()
+        clone.release()
+        assert active_segments() == ()
+
+    def test_storage_factory(self):
+        storage = ShmStorage()
+        vector = storage.vector("q", [7, 8])
+        try:
+            assert isinstance(vector, ShmVector)
+            assert vector.tolist() == [7, 8]
+        finally:
+            vector.release()
+
+
+# ----------------------------------------------------------------------
+# Kernel equivalence over shm columns
+# ----------------------------------------------------------------------
+def _backends():
+    names = ["python", "numpy"]
+    if kernel.native_available():
+        names.append("native")
+    return names
+
+
+class TestKernelEquivalence:
+    def _matrices(self, rows):
+        local = CostMatrix(3)
+        shared = CostMatrix(3, storage=ShmStorage())
+        for row in rows:
+            local.append(row)
+            shared.append(row)
+        return local, shared
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_dominance_and_pareto_match_local(self, backend):
+        rng = random.Random(11)
+        rows = [
+            tuple(rng.uniform(0.0, 10.0) for _ in range(3)) for _ in range(97)
+        ]
+        local, shared = self._matrices(rows)
+        local.kill(5)
+        shared.kill(5)
+        previous = kernel.use_backend(backend)
+        try:
+            probe = rows[17]
+            assert shared.pareto_mask() == local.pareto_mask()
+            assert shared.first_dominating(probe) == local.first_dominating(probe)
+            assert shared.any_dominating(probe) == local.any_dominating(probe)
+            assert shared.dominated_by_slots(probe) == local.dominated_by_slots(probe)
+        finally:
+            kernel.use_backend(previous)
+        for column in (*shared.buffers(),):
+            column.release()
+
+    def test_compact_reallocates_shm_columns(self):
+        rows = [(float(i), 1.0, 2.0) for i in range(12)]
+        local, shared = self._matrices(rows)
+        for slot in range(0, 12, 2):
+            local.kill(slot)
+            shared.kill(slot)
+        local.compact()
+        shared.compact()
+        assert [tuple(shared.row(s)) for s in shared.alive_slots()] == [
+            tuple(local.row(s)) for s in local.alive_slots()
+        ]
+        for column in shared.buffers():
+            column.release()
+        assert active_segments() == ()
+
+
+# ----------------------------------------------------------------------
+# Arena modes
+# ----------------------------------------------------------------------
+class TestArenaModes:
+    def test_mode_switch_and_validation(self):
+        assert arena_mode() in ARENA_MODES
+        with pytest.raises(ValueError, match="arena mode"):
+            set_arena_mode("bogus")
+        with use_arena_mode("shm"):
+            assert arena_mode() == "shm"
+        assert arena_mode() == "local"
+
+    def test_shm_arena_stats_and_lifecycle(self):
+        arena = PlanArena(3, mode="shm")
+        assert arena.is_shared
+        arena.allocate_generic(frozenset({"a"}), (1.0, 2.0, 3.0))
+        stats = arena.stats()
+        assert stats.arena_mode == "shm"
+        # Exact accounting: shared_bytes is the allocated segment sizes.
+        assert stats.shared_bytes > 0
+        assert stats.approx_bytes == stats.shared_bytes
+        names = arena.segment_names()
+        assert len(names) == len(set(names)) == 10  # 3 cost + alive + 6 ids
+        assert set(names) <= set(active_segments())
+        arena.release_shared()
+        assert active_segments() == ()
+
+    def test_local_arena_reports_no_shared_bytes(self):
+        arena = PlanArena(3)
+        arena.allocate_generic(frozenset({"a"}), (1.0, 2.0, 3.0))
+        stats = arena.stats()
+        assert stats.arena_mode == "local"
+        assert stats.shared_bytes == 0
+        assert arena.segment_names() == ()
+        arena.release_shared()  # no-op, must not raise
+
+    def test_mode_default_reaches_new_arenas(self):
+        with use_arena_mode("shm"):
+            arena = PlanArena(2)
+        try:
+            assert arena.is_shared
+        finally:
+            arena.release_shared()
+        assert not PlanArena(2).is_shared
+
+    def test_default_arena_pinned_local(self):
+        with use_arena_mode("shm"):
+            assert not default_arena(3).is_shared
+
+    def test_shm_arena_pickles_as_attachment(self):
+        with use_arena_mode("shm"):
+            arena = PlanArena(3)
+        try:
+            for i in range(50):
+                arena.allocate_generic(
+                    frozenset({f"t{i}"}), (float(i), 1.0, 2.0)
+                )
+            blob = pickle.dumps(arena)
+            clone = pickle.loads(blob)
+            assert [clone.cost_row(i) for i in (1, 25, 50)] == [
+                arena.cost_row(i) for i in (1, 25, 50)
+            ]
+            assert clone.segment_names() == arena.segment_names()
+        finally:
+            arena.release_shared()
