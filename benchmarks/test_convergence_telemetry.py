@@ -1,0 +1,68 @@
+"""Convergence telemetry benchmark.
+
+Regenerates ``results/convergence_telemetry.txt``: per-invocation
+alpha-vs-time and frontier-size series from traced anytime sessions (the
+``tracing`` feature enabled), one series per generated workload.
+
+Hard assertions:
+
+* every session's alpha sequence is monotonically non-increasing (the
+  anytime guarantee the telemetry exists to visualize),
+* every session ends with a non-empty frontier,
+* the traced seams actually recorded spans — a run that silently lost its
+  instrumentation fails here rather than shipping an empty trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import persist_result
+from repro.bench.convergence import DEFAULT_SPECS, run_convergence_telemetry
+
+
+@pytest.fixture(scope="module")
+def telemetry(bench_config):
+    return run_convergence_telemetry(bench_config)
+
+
+def test_every_spec_produced_a_series(telemetry):
+    result, _ = telemetry
+    summaries = {row["workload"] for row in result.rows if row["row"] == "summary"}
+    assert summaries == set(DEFAULT_SPECS)
+
+
+def test_alpha_is_monotone_and_reaches_the_last_level(telemetry):
+    result, _ = telemetry
+    for row in result.rows:
+        if row["row"] != "summary":
+            continue
+        assert row["alpha_monotone"], (
+            f"{row['workload']}: alpha series is not monotone"
+        )
+        assert row["alpha_last"] <= row["alpha_first"]
+        assert row["invocations"] >= 2
+
+
+def test_frontiers_are_nonempty(telemetry):
+    result, _ = telemetry
+    for row in result.rows:
+        if row["row"] == "summary":
+            assert row["frontier_final"] > 0, (
+                f"{row['workload']}: final frontier is empty"
+            )
+
+
+def test_traced_sessions_recorded_spans(telemetry):
+    result, _ = telemetry
+    for row in result.rows:
+        if row["row"] == "summary":
+            assert row["spans_recorded"] > 0, (
+                f"{row['workload']}: tracing was on but no spans were recorded"
+            )
+
+
+def test_persist(telemetry):
+    result, sections = telemetry
+    path = persist_result(result, extra_sections=sections)
+    assert path.exists()

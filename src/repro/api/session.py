@@ -43,6 +43,7 @@ from repro.api.schema import (
     frontier_summaries,
 )
 from repro.core.control import ChangeBounds, Continue, SelectPlan, UserAction
+from repro.obs import trace as obs_trace
 from repro.costs.metrics import MetricSet
 from repro.costs.vector import CostVector
 from repro.plans.plan import Plan
@@ -219,7 +220,19 @@ class PlannerSession:
             if self._driver.refines
             else self._schedule.max_resolution
         )
-        step = self._driver.invoke(self._bounds, resolution)
+        with obs_trace.span(
+            "session.invocation",
+            algorithm=self._algorithm,
+            query=self._driver.query.name,
+            invocation=self._iteration + 1,
+            resolution=resolution,
+        ) as invocation_span:
+            step = self._driver.invoke(self._bounds, resolution)
+            invocation_span.set(
+                alpha=step.alpha,
+                frontier_size=len(step.plans),
+                plans_generated=self._driver.factory.counters.total_plans_built,
+            )
         self._iteration += 1
         summary = InvocationSummary.from_report(
             step.native,

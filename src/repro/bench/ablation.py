@@ -256,6 +256,22 @@ FEATURES.register(
         gate_floor=None,
     )
 )
+FEATURES.register(
+    Feature(
+        name="tracing",
+        layer="core",
+        description="span tracer at the optimizer/service seams (default off)",
+        lowering="REPRO_FEATURE_TRACING=1",
+        # Since ``tracing`` defaults *off*, its grid row inverts the usual
+        # reading: ``no_tracing`` flips the flag to ON, so ``speedup`` is the
+        # measured cost of the instrumentation (>= 1.0 when tracing costs
+        # anything at all).  The digest gate certifies traced frontiers are
+        # bit-identical to untraced ones, and the default floor fires only if
+        # the traced run is >20% *faster* than the untraced baseline — which
+        # can only mean the disabled-tracer (no-op span) path itself
+        # regressed, the zero-overhead guarantee this row exists to guard.
+    )
+)
 
 
 # ----------------------------------------------------------------------
@@ -454,9 +470,14 @@ def _apply_configuration(stack: ExitStack, config_name: str, backend: str) -> No
     ambient process state never leaks into a cached payload.
     """
     feature_name = ablated_feature(config_name)
-    core_flags = {name: True for name in flags.KNOWN_FLAGS}
+    # The baseline pins every flag to its *default* and a grid configuration
+    # flips exactly one.  For the default-on optimizations this reads as
+    # before (``no_<f>`` turns f off); for default-off ``tracing`` it means
+    # ``no_tracing`` turns tracing *on*, so that row measures the cost of
+    # the instrumentation rather than re-measuring the baseline.
+    core_flags = dict(flags.KNOWN_FLAGS)
     if feature_name in core_flags:
-        core_flags[feature_name] = False
+        core_flags[feature_name] = not core_flags[feature_name]
     stack.enter_context(flags.overrides(**core_flags))
     stack.enter_context(kernel.use_backend(backend))
 

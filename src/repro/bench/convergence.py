@@ -1,0 +1,103 @@
+"""Convergence telemetry benchmark: alpha-vs-time under the span tracer.
+
+Runs a small set of generated workloads through traced anytime sessions and
+regenerates ``results/convergence_telemetry.txt``: one point row per
+Algorithm-1 invocation (resolution, alpha, frontier size, invocation and
+elapsed seconds) plus one summary row per session, with the rendered
+alpha-vs-time tables as extra sections.  The sessions run with the
+``tracing`` feature *on*, so the artifact also records how many spans the
+instrumented seams produced — a cheap liveness check on the whole
+observability stack (if a seam regresses to zero spans, the artifact shows
+it).
+
+Standalone (not a registered cell-scheduler spec): the run is seconds long
+and its interesting output is the per-invocation series, not a cached grid.
+
+    python -m repro.bench.convergence
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro import flags
+from repro.api import open_session
+from repro.api.request import OptimizeRequest
+from repro.bench.config import ExperimentConfig, config_from_environment
+from repro.bench.experiments import ExperimentResult
+from repro.obs import convergence
+from repro.obs import trace as obs_trace
+
+EXPERIMENT_NAME = "convergence_telemetry"
+
+#: One session per topology at a fixed size/seed: enough to show the anytime
+#: profile without turning the artifact into a sweep (those live elsewhere).
+DEFAULT_SPECS = ("gen:chain:4:1", "gen:star:4:1", "gen:cycle:4:1")
+
+
+def run_convergence_telemetry(
+    config: Optional[ExperimentConfig] = None,
+    specs: Sequence[str] = DEFAULT_SPECS,
+    algorithm: str = "iama",
+) -> Tuple[ExperimentResult, Tuple[str, ...]]:
+    """Traced sessions over ``specs``; returns (result, rendered sections)."""
+    if config is None:
+        config = config_from_environment()
+    levels = max(config.resolution_level_settings)
+    rows: List[dict] = []
+    sections: List[str] = []
+    with flags.overrides(tracing=True):
+        for spec in specs:
+            obs_trace.clear()
+            session = open_session(
+                OptimizeRequest(workload=spec, algorithm=algorithm, levels=levels)
+            )
+            updates = list(session.updates())
+            spans = obs_trace.drain()
+            series = convergence.series_from_updates(updates)
+            summary = convergence.summarize_series(series)
+            for point in series:
+                rows.append({"row": "point", "workload": spec, **point})
+            rows.append(
+                {
+                    "row": "summary",
+                    "workload": spec,
+                    **summary,
+                    "spans_recorded": len(spans),
+                }
+            )
+            sections.append(
+                convergence.render_series_table(
+                    series, title=f"== {EXPERIMENT_NAME}: {spec} =="
+                )
+            )
+    result = ExperimentResult(
+        name=EXPERIMENT_NAME,
+        description=(
+            "Per-invocation convergence telemetry from traced anytime "
+            "sessions: alpha and frontier size against elapsed time, one "
+            "series per generated workload, recorded with the tracing "
+            "feature enabled."
+        ),
+        rows=rows,
+    )
+    return result, tuple(sections)
+
+
+def main() -> int:  # pragma: no cover - exercised via the benchmark test
+    result, sections = run_convergence_telemetry()
+    for section in sections:
+        print(section)
+        print()
+    summaries = [row for row in result.rows if row["row"] == "summary"]
+    for row in summaries:
+        print(
+            f"{row['workload']}: {row['invocations']} invocations, "
+            f"alpha {row['alpha_first']:.4f} -> {row['alpha_last']:.4f}, "
+            f"frontier {row['frontier_final']}, {row['spans_recorded']} spans"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -189,6 +189,53 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record one traced run; summarize its spans and export trace artifacts."""
+    from repro import flags
+    from repro.obs import convergence
+    from repro.obs import trace as obs_trace
+
+    with flags.overrides(tracing=True):
+        obs_trace.clear()
+        session = _open_session(args, args.algorithm)
+        updates = list(session.updates())
+        result = session.result()
+        spans = obs_trace.drain()
+    if args.ndjson is not None:
+        obs_trace.export_ndjson(spans, args.ndjson)
+        print(f"wrote {len(spans)} spans (NDJSON) to {args.ndjson}")
+    if args.perfetto is not None:
+        obs_trace.export_chrome_trace(spans, args.perfetto)
+        print(
+            f"wrote Chrome trace-event JSON ({len(spans)} spans) to "
+            f"{args.perfetto} — load it at https://ui.perfetto.dev"
+        )
+    if args.json:
+        print(json_module.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"traced {session.query.name}: {len(result.invocations)} invocations, "
+        f"{result.plans_generated} plans, {len(spans)} spans"
+    )
+    print(f"{'span':>24} {'count':>7} {'seconds':>10}")
+    for row in obs_trace.summarize(spans):
+        print(f"{row['name']:>24} {row['count']:>7d} {row['seconds']:>10.4f}")
+    series = convergence.series_from_updates(updates)
+    print()
+    print(
+        convergence.render_series_table(
+            series, title=f"convergence ({session.query.name}):"
+        )
+    )
+    summary = convergence.summarize_series(series)
+    print(
+        f"alpha {summary['alpha_first']:.4f} -> {summary['alpha_last']:.4f} "
+        f"({'monotone' if summary['alpha_monotone'] else 'NON-MONOTONE'}), "
+        f"final frontier {summary['frontier_final']}"
+    )
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """Compare planners on one workload (default: IAMA vs the paper baselines)."""
     registry = planner_registry()
@@ -520,6 +567,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the versioned OptimizationResult JSON payload",
     )
     optimize.set_defaults(handler=cmd_optimize)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run one traced optimization and summarize/export its spans",
+    )
+    trace.add_argument("query", help=workload_help)
+    trace.add_argument(
+        "--algorithm",
+        default="iama",
+        help="registered planner name (see the 'planners' command)",
+    )
+    trace.add_argument("--levels", type=int, default=5)
+    trace.add_argument("--precision", choices=("moderate", "fine"), default="moderate")
+    trace.add_argument("--scale", choices=SCALE_CHOICES, default=None)
+    trace.add_argument(
+        "--perfetto",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="export the Chrome trace-event JSON (loadable at ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--ndjson",
+        type=Path,
+        default=None,
+        metavar="OUT.ndjson",
+        help="export raw spans, one JSON object per line",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw span list as JSON instead of the summary tables",
+    )
+    trace.set_defaults(handler=cmd_trace)
 
     compare = subparsers.add_parser("compare", help="compare planners on one workload")
     compare.add_argument("query", help=workload_help)

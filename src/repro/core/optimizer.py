@@ -49,6 +49,7 @@ from repro.core.fresh import fresh_id_pairs
 from repro.core.pruning import PruneOutcome, prune_all_ids
 from repro.core.resolution import ResolutionSchedule
 from repro.core.state import OptimizerState
+from repro.obs import trace as obs_trace
 from repro.plans.factory import PlanFactory
 from repro.plans.plan import Plan
 from repro.plans.query import Query, proper_splits, table_subsets
@@ -287,17 +288,22 @@ class IncrementalOptimizer:
         # lines 7-10; folded into the first invocation so that the initial
         # bounds and resolution are the ones actually used).
         if not self._state.seeded:
-            self._seed(bounds, resolution, alpha, max_resolution, inserted_now)
+            with obs_trace.span("optimizer.seed", resolution=resolution):
+                self._seed(bounds, resolution, alpha, max_resolution, inserted_now)
 
         # Phase 1: reconsider candidate plans (lines 6-12).
-        self._reconsider_candidates(
-            bounds, resolution, alpha, max_resolution, inserted_now
-        )
+        with obs_trace.span("optimizer.reconsider", resolution=resolution):
+            self._reconsider_candidates(
+                bounds, resolution, alpha, max_resolution, inserted_now
+            )
 
         # Phase 2: generate fresh plans bottom-up (lines 13-22).
-        self._generate_fresh_plans(
-            bounds, resolution, alpha, max_resolution, inserted_now, delta_mode
-        )
+        with obs_trace.span(
+            "optimizer.generate", resolution=resolution, delta_mode=delta_mode
+        ):
+            self._generate_fresh_plans(
+                bounds, resolution, alpha, max_resolution, inserted_now, delta_mode
+            )
 
         self._coverage.record_invocation(bounds, resolution)
         counters.invocations += 1

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import flags, kernel
 from repro.costs.vector import CostVector
 from repro.core.index import PlanIndex
+from repro.obs import trace as obs_trace
 from repro.plans.arena import PlanArena
 from repro.plans.plan import Plan
 
@@ -216,39 +217,75 @@ def prune_all_ids(
         raise ValueError("the precision factor alpha_r must be >= 1")
     if not plan_ids:
         return []
-    slots = [plan_id - 1 for plan_id in plan_ids]
-    columns = kernel.ops.take(arena.costs.columns, slots)
-    scaled_columns = kernel.ops.scale_columns(columns, alpha)
-    cost_rows = list(zip(*columns))
-    scaled_rows = list(zip(*scaled_columns))
-    bounds_row = tuple(bounds)
-    # The whole block shares one bound vector; bucket it once for the
-    # witness searches of every plan in the block.  With the ``bounds_bucket``
-    # feature ablated, None makes every retrieval re-bucket per plan.
-    bounds_bucket = (
-        result_index.bucket_of(bounds_row)
-        if flags.enabled("bounds_bucket")
-        else None
+    return _prune_all_ids_traced(
+        result_index,
+        candidate_index,
+        bounds,
+        resolution,
+        alpha,
+        max_resolution,
+        arena,
+        plan_ids,
+        respect_orders,
+        witnesses,
     )
-    outcomes: List[PruneOutcome] = []
-    for position, plan_id in enumerate(plan_ids):
-        outcomes.append(
-            _prune_core(
-                result_index,
-                candidate_index,
-                bounds_row,
-                resolution,
-                max_resolution,
-                arena,
-                plan_id,
-                cost_rows[position],
-                scaled_rows[position],
-                respect_orders,
-                witnesses,
-                bounds_bucket,
-            )
+
+
+def _prune_all_ids_traced(
+    result_index: PlanIndex,
+    candidate_index: PlanIndex,
+    bounds: CostVector,
+    resolution: int,
+    alpha: float,
+    max_resolution: int,
+    arena: PlanArena,
+    plan_ids: Sequence[int],
+    respect_orders: bool = True,
+    witnesses: Optional[Dict[int, Plan]] = None,
+) -> List[PruneOutcome]:
+    with obs_trace.span(
+        "pruning.prune_block", block_size=len(plan_ids), resolution=resolution
+    ):
+        with obs_trace.span(
+            "kernel.block",
+            op="take+scale_columns",
+            backend=kernel.backend_name(),
+            block_size=len(plan_ids),
+        ):
+            slots = [plan_id - 1 for plan_id in plan_ids]
+            columns = kernel.ops.take(arena.costs.columns, slots)
+            scaled_columns = kernel.ops.scale_columns(columns, alpha)
+        cost_rows = list(zip(*columns))
+        scaled_rows = list(zip(*scaled_columns))
+        bounds_row = tuple(bounds)
+        # The whole block shares one bound vector; bucket it once for the
+        # witness searches of every plan in the block.  With the
+        # ``bounds_bucket`` feature ablated, None makes every retrieval
+        # re-bucket per plan.
+        bounds_bucket = (
+            result_index.bucket_of(bounds_row)
+            if flags.enabled("bounds_bucket")
+            else None
         )
-    return outcomes
+        outcomes: List[PruneOutcome] = []
+        for position, plan_id in enumerate(plan_ids):
+            outcomes.append(
+                _prune_core(
+                    result_index,
+                    candidate_index,
+                    bounds_row,
+                    resolution,
+                    max_resolution,
+                    arena,
+                    plan_id,
+                    cost_rows[position],
+                    scaled_rows[position],
+                    respect_orders,
+                    witnesses,
+                    bounds_bucket,
+                )
+            )
+        return outcomes
 
 
 def _prune_core(

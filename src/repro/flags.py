@@ -38,6 +38,15 @@ in isolation and attribute the speedup honestly:
     optimization seam but an *ingestion* seam — the two paths are
     bit-identical (the differential suite asserts it), so the flag exists to
     let the ablation gate certify the SQL parser against the stubs.
+``tracing``
+    The observability layer (:mod:`repro.obs`): span creation at the
+    instrumented seams (invocation / generate / cost / prune / kernel
+    block / cache lookup / scheduler timeslice / shard RPC).  The only
+    flag that defaults to **off**: when disabled, every seam pays one
+    dict lookup and receives a shared no-op span, so the hot paths are
+    untouched.  Tracing never changes answers — the differential suites
+    assert traced frontiers are bit-identical to untraced — so its
+    ablation row measures pure instrumentation cost.
 
 Flags are global and read per call site (one dict lookup on a hot-path
 *block* boundary, so the overhead is unmeasurable).  The environment lowering
@@ -61,8 +70,10 @@ from typing import Dict, Iterator, Tuple
 #: Environment prefix: ``REPRO_FEATURE_BLOCK_COSTING=0`` disables a flag.
 FEATURE_ENV_PREFIX = "REPRO_FEATURE_"
 
-#: Flag name -> default state.  Every flag defaults to on (the optimized
-#: path); the ablation harness turns them off one at a time.
+#: Flag name -> default state.  Every *optimization* flag defaults to on
+#: (the fast path) and the ablation harness turns them off one at a time;
+#: ``tracing`` is the lone default-off flag (instrumentation must cost
+#: nothing unless asked for), so its ablation cell turns it *on*.
 KNOWN_FLAGS: Dict[str, bool] = {
     "block_costing": True,
     "bounds_bucket": True,
@@ -70,6 +81,7 @@ KNOWN_FLAGS: Dict[str, bool] = {
     "delta_sets": True,
     "incremental_pareto": True,
     "sql_frontend": True,
+    "tracing": False,
 }
 
 _TRUTHY = {"1", "on", "true", "yes"}

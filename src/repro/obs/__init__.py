@@ -1,0 +1,33 @@
+"""Observability layer: span tracing, metrics registry, convergence telemetry.
+
+Three cooperating pieces, all stdlib-only:
+
+``repro.obs.trace``
+    Nested spans with monotonic timestamps and typed attributes, recorded
+    into a bounded ring buffer.  Gated on the ``tracing`` feature flag —
+    when the flag is off (the default) ``span()`` returns a shared no-op
+    context manager, so hot paths pay one dict lookup and nothing else.
+    Exports NDJSON and Chrome trace-event JSON (Perfetto-loadable), and
+    propagates trace context (``trace_id``/``span_id``) across the pipe
+    IPC of the sharded pool so one request yields one coherent trace.
+
+``repro.obs.metrics``
+    Counters / gauges / histograms (fixed bucket bounds for determinism)
+    collected in a per-service :class:`MetricsRegistry`, rendered in the
+    Prometheus text exposition format for the ``/metrics`` endpoint.
+    Registries snapshot to plain dicts so shards can ship theirs over the
+    pipe and the parent can render the union with per-shard labels.
+
+``repro.obs.promcheck``
+    A small in-repo validator for the Prometheus text format (used by the
+    scrape tests and the ``service-smoke`` CI job — no external deps).
+
+``repro.obs.convergence``
+    Per-session alpha-vs-time and frontier-size series derived from
+    ``FrontierUpdate`` streams; backs the ``repro-moqo trace`` CLI verb
+    and the ``results/convergence_telemetry.txt`` bench artifact.
+"""
+
+from repro.obs import convergence, metrics, promcheck, trace
+
+__all__ = ["convergence", "metrics", "promcheck", "trace"]

@@ -1,0 +1,92 @@
+"""Convergence telemetry: alpha-vs-time / frontier-size series per session.
+
+The paper's central claim is *anytime* behavior — every Algorithm-1
+invocation tightens the precision guarantee alpha while the Pareto
+frontier stabilizes.  This module turns a stream of ``FrontierUpdate``
+events into a compact per-session time series plus summary statistics,
+shared by the ``repro-moqo trace`` CLI verb and the
+``results/convergence_telemetry.txt`` bench artifact.
+
+Works on live :class:`repro.api.schema.FrontierUpdate` objects *and* on
+their ``to_dict()`` payloads (what the service streams over HTTP), so it
+can post-process recorded NDJSON too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+def _point_from_update(update: Any) -> Dict[str, Any]:
+    if isinstance(update, Mapping):
+        invocation = update["invocation"]
+        return {
+            "invocation": int(invocation["index"]),
+            "resolution": int(invocation["resolution"]),
+            "alpha": float(invocation["alpha"]),
+            "frontier_size": int(invocation["frontier_size"]),
+            "duration_seconds": float(invocation["duration_seconds"]),
+            "elapsed_seconds": float(update["elapsed_seconds"]),
+        }
+    summary = update.invocation
+    return {
+        "invocation": int(summary.index),
+        "resolution": int(summary.resolution),
+        "alpha": float(summary.alpha),
+        "frontier_size": int(summary.frontier_size),
+        "duration_seconds": float(summary.duration_seconds),
+        "elapsed_seconds": float(update.elapsed_seconds),
+    }
+
+
+def series_from_updates(updates: Sequence[Any]) -> List[Dict[str, Any]]:
+    """One point per invocation, in stream order."""
+    return [_point_from_update(update) for update in updates]
+
+
+def summarize_series(series: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Headline convergence facts for one session's series."""
+    if not series:
+        return {
+            "invocations": 0,
+            "alpha_first": None,
+            "alpha_last": None,
+            "alpha_monotone": True,
+            "frontier_final": 0,
+            "elapsed_seconds": 0.0,
+            "seconds_to_alpha_1_5": None,
+        }
+    alphas = [point["alpha"] for point in series]
+    monotone = all(b <= a + 1e-12 for a, b in zip(alphas, alphas[1:]))
+    to_threshold = None
+    for point in series:
+        if point["alpha"] <= 1.5:
+            to_threshold = point["elapsed_seconds"]
+            break
+    return {
+        "invocations": len(series),
+        "alpha_first": alphas[0],
+        "alpha_last": alphas[-1],
+        "alpha_monotone": monotone,
+        "frontier_final": series[-1]["frontier_size"],
+        "elapsed_seconds": series[-1]["elapsed_seconds"],
+        "seconds_to_alpha_1_5": to_threshold,
+    }
+
+
+def render_series_table(series: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Fixed-width alpha-vs-time table for terminals and text artifacts."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'inv':>4}  {'resolution':>10}  {'alpha':>10}  "
+        f"{'frontier':>8}  {'invoke_s':>10}  {'elapsed_s':>10}"
+    )
+    for point in series:
+        lines.append(
+            f"{point['invocation']:>4}  {point['resolution']:>10}  "
+            f"{point['alpha']:>10.6f}  {point['frontier_size']:>8}  "
+            f"{point['duration_seconds']:>10.6f}  {point['elapsed_seconds']:>10.6f}"
+        )
+    return "\n".join(lines)

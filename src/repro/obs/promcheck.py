@@ -1,0 +1,210 @@
+"""In-repo validator for the Prometheus text exposition format (v0.0.4).
+
+Used by the scrape tests and the ``service-smoke`` CI job so that the
+``/metrics`` surface is checked against the actual grammar without
+adding a dependency on ``prometheus_client``.
+
+Checks performed:
+
+* metric and label names match the Prometheus grammar;
+* ``# TYPE`` declares a known type and precedes that family's samples;
+* sample values parse as floats (including ``+Inf``/``-Inf``/``NaN``);
+* no duplicate ``(name, labelset)`` series;
+* histogram families have nondecreasing cumulative buckets ending at a
+  ``le="+Inf"`` bucket that equals ``<name>_count``, plus a ``_sum``;
+* no duplicate ``# HELP``/``# TYPE`` headers for one family.
+
+Usage: ``python -m repro.obs.promcheck [file ...]`` (stdin when no file);
+exits non-zero and prints one line per violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Tuple
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> str:
+    """Map a sample name to its declared family (histogram suffix aware)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return sample_name
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def check_text(text: str) -> List[str]:
+    """Return a list of grammar violations (empty = valid)."""
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    seen_series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    family_closed: Dict[str, bool] = {}
+    # histogram bookkeeping: family -> labelset(sans le) -> data
+    buckets: Dict[str, Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]]] = {}
+    sums: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    counts: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: allowed
+            keyword, name = parts[1], parts[2]
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {lineno}: invalid metric name {name!r} in # {keyword}")
+                continue
+            if keyword == "TYPE":
+                type_value = parts[3].strip() if len(parts) > 3 else ""
+                if type_value not in VALID_TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {type_value!r} for {name}")
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate # TYPE for {name}")
+                if family_closed.get(name):
+                    errors.append(
+                        f"line {lineno}: # TYPE for {name} after its samples (non-contiguous family)"
+                    )
+                types[name] = type_value
+            else:
+                if name in helps:
+                    errors.append(f"line {lineno}: duplicate # HELP for {name}")
+                helps[name] = parts[3] if len(parts) > 3 else ""
+            continue
+
+        match = SAMPLE_LINE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        label_text = match.group("labels")
+        labels: List[Tuple[str, str]] = []
+        if label_text:
+            consumed = LABEL_PAIR.sub("", label_text).replace(",", "").strip()
+            if consumed:
+                errors.append(f"line {lineno}: malformed labels {label_text!r}")
+            for label_name, label_value in LABEL_PAIR.findall(label_text):
+                if not LABEL_NAME.match(label_name):
+                    errors.append(f"line {lineno}: invalid label name {label_name!r}")
+                labels.append((label_name, label_value))
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: invalid value {match.group('value')!r}")
+            continue
+
+        family = _family_of(name, types)
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name} has no preceding # TYPE")
+        family_closed[family] = True
+
+        series_key = (name, tuple(sorted(labels)))
+        if series_key in seen_series:
+            errors.append(
+                f"line {lineno}: duplicate series {name}{dict(labels)} "
+                f"(first at line {seen_series[series_key]})"
+            )
+        else:
+            seen_series[series_key] = lineno
+
+        if types.get(family) == "histogram":
+            label_map = dict(labels)
+            if name == family + "_bucket":
+                le_text = label_map.pop("le", None)
+                if le_text is None:
+                    errors.append(f"line {lineno}: histogram bucket without le label")
+                    continue
+                try:
+                    bound = _parse_value(le_text)
+                except ValueError:
+                    errors.append(f"line {lineno}: invalid le value {le_text!r}")
+                    continue
+                key = tuple(sorted(label_map.items()))
+                buckets.setdefault(family, {}).setdefault(key, []).append((bound, value))
+            elif name == family + "_sum":
+                sums.setdefault(family, {})[tuple(sorted(label_map.items()))] = value
+            elif name == family + "_count":
+                counts.setdefault(family, {})[tuple(sorted(label_map.items()))] = value
+            elif name == family:
+                errors.append(f"line {lineno}: bare sample for histogram family {family}")
+
+    for family, per_labels in buckets.items():
+        for key, pairs in per_labels.items():
+            bounds = [bound for bound, _ in pairs]
+            values = [count for _, count in pairs]
+            if bounds != sorted(bounds):
+                errors.append(f"histogram {family}{dict(key)}: le bounds not sorted")
+            if values != sorted(values):
+                errors.append(f"histogram {family}{dict(key)}: bucket counts not cumulative")
+            if not bounds or bounds[-1] != float("inf"):
+                errors.append(f"histogram {family}{dict(key)}: missing le=\"+Inf\" bucket")
+            else:
+                count = counts.get(family, {}).get(key)
+                if count is None:
+                    errors.append(f"histogram {family}{dict(key)}: missing _count")
+                elif count != values[-1]:
+                    errors.append(
+                        f"histogram {family}{dict(key)}: _count {count} != +Inf bucket {values[-1]}"
+                    )
+            if key not in sums.get(family, {}):
+                errors.append(f"histogram {family}{dict(key)}: missing _sum")
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    sources = []
+    if argv:
+        for path in argv:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append((path, handle.read()))
+    else:
+        sources.append(("<stdin>", sys.stdin.read()))
+    status = 0
+    for label, text in sources:
+        errors = check_text(text)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{label}: {error}")
+        else:
+            samples = sum(
+                1
+                for line in text.splitlines()
+                if line.strip() and not line.startswith("#")
+            )
+            print(f"{label}: OK ({samples} samples)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

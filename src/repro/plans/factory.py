@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro import flags, kernel
 from repro.catalog.cardinality import CardinalityEstimator
+from repro.obs import trace as obs_trace
 from repro.costs.model import MultiObjectiveCostModel
 from repro.plans.arena import PlanArena
 from repro.plans.operators import JoinOperator, OperatorRegistry, ScanOperator
@@ -242,6 +243,24 @@ class PlanFactory:
         """
         if not triples:
             return []
+        with obs_trace.span(
+            "factory.cost_block",
+            block_size=len(triples),
+            backend=kernel.backend_name(),
+            block_costing=flags.enabled("block_costing"),
+        ):
+            return self._combine_block_traced(
+                left_tables, right_tables, triples, operators, arena
+            )
+
+    def _combine_block_traced(
+        self,
+        left_tables: FrozenSet[str],
+        right_tables: FrozenSet[str],
+        triples: Sequence[Tuple[int, int, int]],
+        operators: Sequence[JoinOperator],
+        arena: Optional[PlanArena] = None,
+    ) -> List[int]:
         target = self.arena if arena is None else arena
         overlap = left_tables & right_tables
         if overlap:

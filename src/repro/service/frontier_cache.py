@@ -51,6 +51,8 @@ from repro.api.schema import (
 )
 from repro.api.session import PlannerSession
 from repro.bench.cache import JsonStore, config_fingerprint, content_digest
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.service.protocol import CACHE_HIT, CACHE_MISS, CACHE_WARM
 from repro.workloads.spec import canonical_spec_id
 
@@ -274,6 +276,7 @@ class FrontierCache:
         self,
         max_bytes: int = 64 << 20,
         persist_dir: Optional[Path] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -282,11 +285,61 @@ class FrontierCache:
         self._bytes = 0
         self._lock = threading.Lock()
         self._disk = JsonStore(persist_dir) if persist_dir is not None else None
-        self.hits = 0
-        self.warm_starts = 0
-        self.misses = 0
-        self.stores = 0
-        self.evictions = 0
+        # Instruments (the registry is the source of truth; ``hits`` /
+        # ``warm_starts`` / ... remain as read-only compatibility properties).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lookups = self.metrics.counter(
+            "repro_cache_lookups_total",
+            "Frontier-cache lookup decisions, by result",
+            labelnames=("result",),
+        )
+        self._stores_counter = self.metrics.counter(
+            "repro_cache_stores_total", "Finished traces recorded into the cache"
+        )
+        self._evictions_counter = self.metrics.counter(
+            "repro_cache_evictions_total", "Entries evicted by the byte budget"
+        )
+        entries_gauge = self.metrics.gauge(
+            "repro_cache_entries", "Resident frontier-cache entries"
+        )
+        entries_gauge.set_function(lambda: len(self._entries))
+        bytes_gauge = self.metrics.gauge(
+            "repro_cache_bytes_in_use", "Charged bytes across both cache tiers"
+        )
+        bytes_gauge.set_function(lambda: self._bytes)
+        live_gauge = self.metrics.gauge(
+            "repro_cache_live_sessions", "Parked warm-startable sessions"
+        )
+        live_gauge.set_function(self._count_live_sessions)
+
+    def _count_live_sessions(self) -> int:
+        with self._lock:
+            return sum(
+                1 for entry in self._entries.values() if entry.session is not None
+            )
+
+    # ------------------------------------------------------------------
+    # Legacy gauge surface (read-only views over the registry instruments)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self._lookups.value(result=CACHE_HIT))
+
+    @property
+    def warm_starts(self) -> int:
+        return int(self._lookups.value(result=CACHE_WARM))
+
+    @property
+    def misses(self) -> int:
+        return int(self._lookups.value(result=CACHE_MISS))
+
+    @property
+    def stores(self) -> int:
+        return int(self._stores_counter.value())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions_counter.value())
 
     # ------------------------------------------------------------------
     @property
@@ -359,15 +412,20 @@ class FrontierCache:
         warm decision *pops* the parked session — the caller owns it and is
         expected to re-record the extended trace when the resumed run ends.
         """
+        with obs_trace.span("cache.lookup", key=key) as lookup_span:
+            decision = self._match_locked(key, budget)
+            lookup_span.set(status=decision.status)
+            self._lookups.inc(result=decision.status)
+            return decision
+
+    def _match_locked(self, key: str, budget: Budget) -> Decision:
         with self._lock:
             entry = self._lookup_locked(key)
             if entry is None:
-                self.misses += 1
                 return Decision(status=CACHE_MISS)
             stop = serial_stop(entry.alphas, entry.refines, entry.levels, budget)
             if stop is not None:
                 stop_index, finish_reason = stop
-                self.hits += 1
                 return Decision(
                     status=CACHE_HIT,
                     entry=entry,
@@ -381,9 +439,7 @@ class FrontierCache:
                 # live tier's arena charge is released with the popped session.
                 self._bytes -= entry.arena_bytes
                 entry.arena_bytes = 0
-                self.warm_starts += 1
                 return Decision(status=CACHE_WARM, entry=entry, session=session)
-            self.misses += 1
             return Decision(status=CACHE_MISS)
 
     def _lookup_locked(self, key: str) -> Optional[CacheEntry]:
@@ -486,7 +542,7 @@ class FrontierCache:
                 session=session,
             )
             self._insert_locked(entry, payload_size=payload_size)
-            self.stores += 1
+            self._stores_counter.inc()
             if self._disk is not None:
                 persist_entry = entry
             resident = self._entries.get(key)
@@ -536,7 +592,7 @@ class FrontierCache:
         _release_parked(entry.session)
         entry.session = None
         if count_eviction:
-            self.evictions += 1
+            self._evictions_counter.inc()
 
     def pop_session(self, key: str) -> Optional[PlannerSession]:
         """Detach and return the parked session for ``key`` (``None`` if none).

@@ -50,6 +50,8 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.api.request import OptimizeRequest
 from repro.api.session import PlannerSession
 from repro.core.control import ChangeBounds, UserAction
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.service.protocol import (
     CACHE_MISS,
     JOB_CANCELLED,
@@ -109,6 +111,10 @@ class Job:
         #: boundary by the executing worker (never written into the session
         #: from another thread — the worker owns the session during a slice).
         self.pending_action: Optional[UserAction] = None
+        #: Trace context of the submitting request (``{"trace_id","span_id"}``),
+        #: re-activated around every timeslice so invocation spans parent to
+        #: the submit span even across the shard pipe.
+        self.trace_context: Optional[dict] = None
         self.error: Optional[str] = None
         self.result_payload: Optional[dict] = None
         #: ``frontier_update`` payloads in stream order (replayed + computed).
@@ -178,6 +184,7 @@ class Scheduler:
         clock: Callable[[], float] = time.monotonic,
         on_finish: Optional[Callable[[Job], None]] = None,
         on_release: Optional[Callable[[Job], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if policy not in POLICIES:
             raise ValueError(
@@ -205,13 +212,38 @@ class Scheduler:
         self._seq = itertools.count()
         self._threads: List[threading.Thread] = []
         self._closed = False
-        # Gauges
-        self.submitted = 0
-        self.invocations_run = 0
-        self.finished = 0
-        self.failed = 0
-        self.cancelled = 0
-        self.max_live_seen = 0
+        # Instruments (the registry is the single source of truth; the
+        # legacy ``submitted``/``invocations_run``/... ints live on as
+        # read-only properties below).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._submitted = self.metrics.counter(
+            "repro_scheduler_submitted_total", "Jobs accepted by the scheduler"
+        )
+        self._invocations = self.metrics.counter(
+            "repro_scheduler_invocations_total",
+            "Optimizer invocation timeslices executed",
+        )
+        self._jobs_done = self.metrics.counter(
+            "repro_scheduler_jobs_total",
+            "Jobs reaching a terminal state, by outcome",
+            labelnames=("outcome",),
+        )
+        self._live_gauge = self.metrics.gauge(
+            "repro_scheduler_live_sessions", "Sessions holding live optimizer state"
+        )
+        self._live_gauge.set_function(lambda: len(self._live))
+        self._queued_gauge = self.metrics.gauge(
+            "repro_scheduler_queued", "Jobs waiting in the admission backlog"
+        )
+        self._queued_gauge.set_function(lambda: len(self._backlog))
+        self._max_live_gauge = self.metrics.gauge(
+            "repro_scheduler_max_live_seen",
+            "High-water mark of concurrently live sessions",
+        )
+        self._invocation_seconds = self.metrics.histogram(
+            "repro_invocation_seconds",
+            "Duration of one optimizer invocation timeslice",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -290,7 +322,7 @@ class Scheduler:
             self._backlog.append(job)
             # Highest priority first; FIFO within one priority level.
             self._backlog.sort(key=lambda j: (-j.priority, j.submit_seq))
-            self.submitted += 1
+            self._submitted.inc()
             self._admit_locked()
             self.condition.notify_all()
             return job
@@ -383,7 +415,11 @@ class Scheduler:
                 self._release(job)
                 return
             session = job.session
-            update = session.advance()
+            with obs_trace.activate_context(job.trace_context):
+                with obs_trace.span(
+                    "scheduler.timeslice", ticket=job.ticket, policy=self.policy
+                ):
+                    update = session.advance()
             with self.condition:
                 action, job.pending_action = job.pending_action, None
             session.apply(action)
@@ -396,8 +432,9 @@ class Scheduler:
                 if finished
                 else JOB_CANCELLED if job.cancel_requested else None
             )
+            self._invocations.inc()
+            self._invocation_seconds.observe(update.invocation.duration_seconds)
             with self.condition:
-                self.invocations_run += 1
                 job.record_update(payload, update.invocation.alpha, plans_total)
                 if terminal_state is None:
                     # Not terminal: release the slice so the next pick can
@@ -440,7 +477,7 @@ class Scheduler:
             job.started_at = self.clock()
             self._live[job.ticket] = job
             self._rotation.append(job.ticket)
-            self.max_live_seen = max(self.max_live_seen, len(self._live))
+            self._max_live_gauge.set(max(self.max_live_seen, len(self._live)))
 
     def _finalize_locked(self, job: Job, state: str) -> None:
         if job.terminal:
@@ -454,11 +491,11 @@ class Scheduler:
         job.state = state
         job.finished_at = self.clock()
         if state == JOB_FINISHED:
-            self.finished += 1
+            self._jobs_done.inc(outcome="finished")
         elif state == JOB_FAILED:
-            self.failed += 1
+            self._jobs_done.inc(outcome="failed")
         elif state == JOB_CANCELLED:
-            self.cancelled += 1
+            self._jobs_done.inc(outcome="cancelled")
         if job.result_payload is None and job.session is not None:
             # Cancelled/failed mid-run: report what the session has so far
             # (finish_reason stays "in_progress" unless the session ended).
@@ -549,7 +586,34 @@ class Scheduler:
     def reset_max_live_seen(self) -> None:
         """Restart the concurrency high-water mark (per-phase measurements)."""
         with self.condition:
-            self.max_live_seen = len(self._live)
+            self._max_live_gauge.set(len(self._live))
+
+    # ------------------------------------------------------------------
+    # Legacy gauge surface (read-only views over the registry instruments)
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value())
+
+    @property
+    def invocations_run(self) -> int:
+        return int(self._invocations.value())
+
+    @property
+    def finished(self) -> int:
+        return int(self._jobs_done.value(outcome="finished"))
+
+    @property
+    def failed(self) -> int:
+        return int(self._jobs_done.value(outcome="failed"))
+
+    @property
+    def cancelled(self) -> int:
+        return int(self._jobs_done.value(outcome="cancelled"))
+
+    @property
+    def max_live_seen(self) -> int:
+        return int(self._max_live_gauge.value())
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

@@ -18,6 +18,10 @@ nothing else.  Routes (all under ``/v1``):
                                        body: ``change_bounds`` / ``select``)
 ``POST /v1/jobs/<ticket>/cancel``      cancel
 ``GET  /v1/stats``                     ``service_stats`` gauges
+``GET  /metrics``                      Prometheus text exposition (v0.0.4) of
+                                       the service's metrics registry; behind
+                                       a worker pool, shard families carry a
+                                       ``shard`` label
 ``GET  /v1/planners``                  registered planner names → summaries
 ``GET  /v1/healthz``                   liveness (``service_health``): 200 when
                                        every worker is alive, 503 with the
@@ -104,6 +108,12 @@ class _Handler(BaseHTTPRequestHandler):
         if path == f"{API_PREFIX}/stats":
             self._send_json(200, self.service.stats())
             return
+        if path == "/metrics":
+            # The conventional scrape path lives outside the /v1 prefix —
+            # Prometheus defaults to it and the exposition format carries
+            # its own versioning.
+            self._send_text(200, self.service.render_metrics())
+            return
         if path == f"{API_PREFIX}/planners":
             self._send_json(200, self.service.registry.describe())
             return
@@ -165,6 +175,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -35,6 +35,8 @@ from repro.api.registry import PlannerRegistry, planner_registry
 from repro.api.request import OptimizeRequest, resolve_request
 from repro.api.schema import OptimizationResult
 from repro.core.control import UserAction
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, render_snapshot
 from repro.service.frontier_cache import (
     FrontierCache,
     request_fingerprint,
@@ -106,11 +108,16 @@ class PlanningService:
     ):
         if max_retained_jobs < 1:
             raise ValueError("max_retained_jobs must be at least 1")
+        #: One registry per service: scheduler and (owned) cache instruments
+        #: register here, and ``render_metrics`` serves it as ``/metrics``.
+        self.metrics = MetricsRegistry()
         self._owns_cache = cache is None or cache is True
         if cache is False:
             self._cache: Optional[FrontierCache] = None
         elif self._owns_cache:
-            self._cache = FrontierCache(max_bytes=cache_bytes, persist_dir=cache_dir)
+            self._cache = FrontierCache(
+                max_bytes=cache_bytes, persist_dir=cache_dir, metrics=self.metrics
+            )
         else:
             self._cache = cache
         self._registry = registry if registry is not None else planner_registry()
@@ -122,6 +129,12 @@ class PlanningService:
             clock=clock,
             on_finish=self._on_job_finish,
             on_release=self._reclaim_job_arena,
+            metrics=self.metrics,
+        )
+        self._submits_total = self.metrics.counter(
+            "repro_service_submits_total",
+            "Requests accepted by the service, by cache decision",
+            labelnames=("cache_status",),
         )
         self._clock = clock
         self._jobs: Dict[str, Job] = {}
@@ -218,6 +231,24 @@ class PlanningService:
         Raises ``ValueError``/``KeyError`` for malformed requests and
         :class:`AdmissionError` when the backlog is full.
         """
+        with obs_trace.span(
+            "service.submit",
+            workload=request.workload,
+            algorithm=request.algorithm,
+        ) as submit_span:
+            ticket = self._submit_traced(
+                request, priority, deadline_seconds, use_cache
+            )
+            submit_span.set(ticket=ticket)
+            return ticket
+
+    def _submit_traced(
+        self,
+        request: OptimizeRequest,
+        priority: int,
+        deadline_seconds: Optional[float],
+        use_cache: bool,
+    ) -> str:
         if self._closed:
             raise ServiceError("planning service is closed")
         if self._draining:
@@ -248,6 +279,10 @@ class PlanningService:
         )
         job.cache_status = cache_status
         job.cache_key = key
+        # Timeslices run on scheduler workers: carry the submit span's
+        # context onto the job so invocation spans parent to it.
+        job.trace_context = obs_trace.current_context()
+        self._submits_total.inc(cache_status=cache_status)
 
         if decision is not None and decision.status == CACHE_HIT:
             self._finish_replay(job, decision)
@@ -379,6 +414,22 @@ class PlanningService:
         """Scheduler and cache gauges as a ``service_stats`` payload."""
         cache_stats = self._cache.stats() if self._cache is not None else {}
         return stats_payload(self._scheduler.stats(), cache_stats)
+
+    def metrics_snapshot(self) -> dict:
+        """Every instrument family of this service (pipe/JSON-safe).
+
+        Includes an externally supplied cache's registry: its families
+        (``repro_cache_*``) are disjoint from the service's own, so the
+        union is well-formed.
+        """
+        families = list(self.metrics.snapshot()["families"])
+        if self._cache is not None and self._cache.metrics is not self.metrics:
+            families.extend(self._cache.metrics.snapshot()["families"])
+        return {"families": families}
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition backing ``/metrics``."""
+        return render_snapshot(self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # Manual-mode stepping (workers=0)

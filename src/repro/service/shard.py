@@ -53,6 +53,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Set, Union
 from repro.api.registry import PlannerRegistry, planner_registry
 from repro.api.request import OptimizeRequest, resolve_request
 from repro.api.schema import OptimizationResult, SchemaError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry, render_snapshots
 from repro.plans.arena import ARENA_MODES, set_arena_mode
 from repro.service.frontier_cache import request_fingerprint
 from repro.service.protocol import (
@@ -71,6 +73,14 @@ from repro.service.service import (
     ServiceError,
     UnknownTicketError,
 )
+
+#: The pool clock.  Heartbeat ages, drain windows and wait deadlines are
+#: measured on the monotonic clock — a wall-clock step (NTP, suspend/resume)
+#: must never flag a healthy shard as stale or cut a drain window short.
+#: Module attribute so the fake-clock regression tests can monkeypatch it
+#: (the same treatment ``repro.api.session._now`` gives Budget deadlines);
+#: always called through the module global, never bound at construction.
+_now = time.monotonic
 
 #: Seconds between shard heartbeats.
 HEARTBEAT_INTERVAL = 0.25
@@ -136,7 +146,7 @@ def shard_main(
                 op = message.get("op")
                 if op == "shutdown":
                     draining = True
-                    drain_deadline = time.monotonic() + float(
+                    drain_deadline = _now() + float(
                         message.get("drain_seconds") or 0.0
                     )
                     # Stop admitting; in-flight jobs keep their timeslices.
@@ -145,15 +155,23 @@ def shard_main(
                     _handle_request(conn, service, local, message)
             served = service.step_once()
             _push_progress(conn, service, local, sent, done)
-            now = time.monotonic()
+            now = _now()
             if now - last_beat >= heartbeat_interval:
                 last_beat = now
+                # The heartbeat doubles as the observability uplink: finished
+                # spans ride it to the parent (CLOCK_MONOTONIC is shared
+                # across processes on Linux, so child timestamps land on the
+                # parent's timeline), and the shard's metrics snapshot lets
+                # the parent render /metrics with per-shard labels even when
+                # a shard later wedges.
                 conn.send(
                     {
                         "op": "heartbeat",
                         "shard_id": shard_id,
                         "pid": os.getpid(),
                         "stats": service.stats(),
+                        "metrics": service.metrics_snapshot(),
+                        "spans": obs_trace.drain(),
                     }
                 )
             if draining and (served is None or now >= drain_deadline):
@@ -168,48 +186,37 @@ def shard_main(
         except Exception:  # noqa: BLE001 - last-gasp cleanup
             pass
         try:
-            conn.send({"op": "bye", "shard_id": shard_id})
+            # Final span drain rides the farewell so a drained shard leaves
+            # no orphan spans behind (satellite: trace completeness after
+            # SIGTERM-style shutdown).
+            conn.send(
+                {
+                    "op": "bye",
+                    "shard_id": shard_id,
+                    "spans": obs_trace.drain(),
+                    "metrics": service.metrics_snapshot(),
+                }
+            )
             conn.close()
         except (OSError, BrokenPipeError, ValueError):
             pass
 
 
 def _handle_request(conn, service: PlanningService, local: Dict[str, str], message: Mapping) -> None:
-    """Serve one correlated request; errors travel back as tagged replies."""
+    """Serve one correlated request; errors travel back as tagged replies.
+
+    When the message carries a ``trace_context`` (the parent's span ids),
+    that context is re-activated around the dispatch so every span the shard
+    records — the ``rpc.recv`` envelope here and the admission/timeslice
+    spans it encloses — parents under the submitting process's trace, and one
+    request yields one coherent cross-process trace.
+    """
     op = message.get("op")
     req_id = message.get("req_id")
     try:
-        if op == "submit":
-            request = OptimizeRequest.from_dict(message["request"])
-            ticket = message["ticket"]
-            local[ticket] = service.submit(
-                request,
-                priority=message.get("priority", 0),
-                deadline_seconds=message.get("deadline_seconds"),
-                use_cache=message.get("use_cache", True),
-            )
-            job = service.job(local[ticket])
-            reply = {
-                "accepted": {
-                    "cache_status": job.cache_status,
-                    "state": job.state,
-                    "replayed": job.replayed,
-                }
-            }
-        elif op == "steer":
-            status = service.steer(local[message["ticket"]], dict(message["payload"]))
-            reply = {"status": status}
-        elif op == "cancel":
-            status = service.cancel(local[message["ticket"]])
-            reply = {"status": status}
-        elif op == "stats":
-            reply = {"stats": service.stats()}
-        elif op == "export_session":
-            reply = _export_session(service, message["key"])
-        elif op == "import_session":
-            reply = _import_session(service, message["key"], message["blob"])
-        else:
-            reply = {"error": f"unknown op {op!r}", "error_kind": "bad_request"}
+        with obs_trace.activate_context(message.get("trace_context")):
+            with obs_trace.span("rpc.recv", op=str(op), pid=os.getpid()):
+                reply = _serve_request(service, local, message, op)
     except AdmissionError as exc:
         reply = {"error": str(exc), "error_kind": "admission"}
     except (SchemaError, ValueError, KeyError) as exc:
@@ -222,6 +229,48 @@ def _handle_request(conn, service: PlanningService, local: Dict[str, str], messa
     except Exception as exc:  # noqa: BLE001 - IPC boundary
         reply = {"error": f"{type(exc).__name__}: {exc}", "error_kind": "internal"}
     conn.send({"op": "reply", "req_id": req_id, **reply})
+
+
+def _serve_request(
+    service: PlanningService, local: Dict[str, str], message: Mapping, op
+) -> dict:
+    """Dispatch one shard op and build its reply payload."""
+    if op == "submit":
+        request = OptimizeRequest.from_dict(message["request"])
+        ticket = message["ticket"]
+        local[ticket] = service.submit(
+            request,
+            priority=message.get("priority", 0),
+            deadline_seconds=message.get("deadline_seconds"),
+            use_cache=message.get("use_cache", True),
+        )
+        job = service.job(local[ticket])
+        # The shard-local Job carries the parent's trace context so the
+        # scheduler re-activates it around every later timeslice of this
+        # session — the timeslices run long after this RPC returns.
+        job.trace_context = obs_trace.current_context()
+        return {
+            "accepted": {
+                "cache_status": job.cache_status,
+                "state": job.state,
+                "replayed": job.replayed,
+            }
+        }
+    if op == "steer":
+        status = service.steer(local[message["ticket"]], dict(message["payload"]))
+        return {"status": status}
+    if op == "cancel":
+        status = service.cancel(local[message["ticket"]])
+        return {"status": status}
+    if op == "stats":
+        return {"stats": service.stats()}
+    if op == "metrics":
+        return {"metrics": service.metrics_snapshot(), "spans": obs_trace.drain()}
+    if op == "export_session":
+        return _export_session(service, message["key"])
+    if op == "import_session":
+        return _import_session(service, message["key"], message["blob"])
+    return {"error": f"unknown op {op!r}", "error_kind": "bad_request"}
 
 
 def _export_session(service: PlanningService, key: str) -> dict:
@@ -318,12 +367,15 @@ class ShardHandle:
         self.send_lock = threading.Lock()
         self.alive = True
         self.shutdown_sent = False
-        self.last_heartbeat = time.monotonic()
+        self.last_heartbeat = _now()
         self.stats: dict = {}
+        #: Last metrics snapshot the shard shipped (heartbeat or RPC) — the
+        #: /metrics fallback for a shard that stops answering.
+        self.metrics: dict = {}
         self.reader: Optional[threading.Thread] = None
 
     def heartbeat_age(self) -> float:
-        return time.monotonic() - self.last_heartbeat
+        return _now() - self.last_heartbeat
 
     def backlog(self) -> int:
         scheduler = self.stats.get("scheduler", {})
@@ -400,6 +452,28 @@ class WorkerPoolService:
         self._key_shard: Dict[str, str] = {}
         self.migrations = 0
         self.migrated_inline_bytes = 0
+        #: The pool's own registry (front-process instruments); shard
+        #: registries are merged in at render time with a ``shard`` label.
+        self.metrics = MetricsRegistry()
+        self._pool_submits = self.metrics.counter(
+            "repro_pool_submits_total",
+            "Submits routed through the worker pool front process.",
+        )
+        self.metrics.gauge(
+            "repro_pool_workers", "Live worker shard processes."
+        ).set_function(
+            lambda: sum(
+                1 for h in list(self._handles.values()) if h.alive
+            )
+        )
+        self.metrics.gauge(
+            "repro_pool_migrations",
+            "Parked sessions migrated between shards after ring changes.",
+        ).set_function(lambda: self.migrations)
+        self.metrics.gauge(
+            "repro_pool_migrated_inline_bytes",
+            "Bytes serialized inline over the pipe by session migrations.",
+        ).set_function(lambda: self.migrated_inline_bytes)
         self._max_retained_jobs = max_retained_jobs
         self._clock = time.monotonic
         self._closed = False
@@ -580,8 +654,11 @@ class WorkerPoolService:
     def _dispatch(self, handle: ShardHandle, message: Mapping) -> None:
         op = message.get("op")
         if op == "heartbeat":
-            handle.last_heartbeat = time.monotonic()
+            handle.last_heartbeat = _now()
             handle.stats = dict(message.get("stats") or {})
+            if message.get("metrics"):
+                handle.metrics = dict(message["metrics"])
+            obs_trace.ingest(message.get("spans") or ())
             return
         if op == "reply":
             with self.condition:
@@ -614,7 +691,15 @@ class WorkerPoolService:
                     job.finished_at = self._clock()
                 self.condition.notify_all()
             return
-        # "bye" and anything unknown need no action.
+        if op == "bye":
+            # A draining shard's farewell carries its final span drain and
+            # metrics snapshot; ingest them so the trace has no orphans and
+            # the last /metrics render still covers the departed shard.
+            if message.get("metrics"):
+                handle.metrics = dict(message["metrics"])
+            obs_trace.ingest(message.get("spans") or ())
+            return
+        # Anything unknown needs no action.
 
     def _on_shard_exit(self, handle: ShardHandle) -> None:
         expected = handle.shutdown_sent
@@ -645,6 +730,12 @@ class WorkerPoolService:
     # Correlated request/reply over the pipe
     # ------------------------------------------------------------------
     def _rpc(self, handle: ShardHandle, message: dict, timeout: float = 60.0) -> dict:
+        with obs_trace.span(
+            "rpc.send", op=str(message.get("op")), shard=handle.shard_id
+        ):
+            return self._rpc_traced(handle, message, timeout)
+
+    def _rpc_traced(self, handle: ShardHandle, message: dict, timeout: float) -> dict:
         req_id = next(self._req_ids)
         with self.condition:
             self._replies[req_id] = None
@@ -697,7 +788,32 @@ class WorkerPoolService:
         deadline_seconds: Optional[float] = None,
         use_cache: bool = True,
     ) -> str:
-        """Route by request fingerprint, admit on the owning shard."""
+        """Route by request fingerprint, admit on the owning shard.
+
+        The ``pool.submit`` span is the cross-process trace root: its
+        context travels inside the submit RPC, the shard re-activates it
+        around admission and every later timeslice, and the shard's spans
+        ride heartbeats back into this process's ring — one submit, one
+        trace, parent and worker pids on one monotonic timeline.
+        """
+        with obs_trace.span(
+            "pool.submit",
+            workload=request.workload,
+            algorithm=request.algorithm,
+        ) as pool_span:
+            ticket = self._submit_traced(
+                request, priority, deadline_seconds, use_cache
+            )
+            pool_span.set(ticket=ticket)
+            return ticket
+
+    def _submit_traced(
+        self,
+        request: OptimizeRequest,
+        priority: int,
+        deadline_seconds: Optional[float],
+        use_cache: bool,
+    ) -> str:
         if self._closed:
             raise ServiceError("worker pool is closed")
         if self._draining:
@@ -745,6 +861,7 @@ class WorkerPoolService:
                     "priority": priority,
                     "deadline_seconds": deadline_seconds,
                     "use_cache": use_cache,
+                    "trace_context": obs_trace.current_context(),
                 },
             )
             self._raise_reply_error(reply)
@@ -767,6 +884,7 @@ class WorkerPoolService:
                 # never mark the job finished before its result is here.
                 job.state = accepted["state"]
             self.condition.notify_all()
+        self._pool_submits.inc()
         return ticket
 
     def migrate_session(
@@ -1003,6 +1121,34 @@ class WorkerPoolService:
             cache["migrations"] = self.migrations
             cache["migrated_inline_bytes"] = self.migrated_inline_bytes
         return stats_payload(scheduler, cache, shards=shards)
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition aggregating every shard's registry.
+
+        Live shards are asked for a fresh snapshot over the pipe (the reply
+        also piggybacks their latest span drain); dead or slow shards
+        contribute the snapshot from their last heartbeat, so a scrape never
+        blocks on — or omits — a wedged worker.  Shard families render with a
+        ``shard="shard-N"`` label; the pool's own instruments render bare.
+        """
+        labelled = []
+        with self.condition:
+            handles = list(self._handles.values())
+        for handle in handles:
+            snapshot = handle.metrics
+            if handle.alive:
+                try:
+                    reply = self._rpc(handle, {"op": "metrics"}, timeout=5.0)
+                    if reply.get("metrics"):
+                        snapshot = dict(reply["metrics"])
+                        handle.metrics = snapshot
+                    obs_trace.ingest(reply.get("spans") or ())
+                except (ServiceError, TimeoutError):
+                    snapshot = handle.metrics
+            if snapshot:
+                labelled.append(({"shard": handle.shard_id}, snapshot))
+        labelled.append(({}, self.metrics.snapshot()))
+        return render_snapshots(labelled)
 
     def health(self) -> dict:
         """Per-worker liveness; ``status != "ok"`` once any shard is dead."""

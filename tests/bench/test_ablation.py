@@ -54,6 +54,7 @@ class TestFeatureRegistry:
             "scheduler_policy",
             "shm_arena",
             "sql_frontend",
+            "tracing",
         }
 
     def test_duplicate_registration_raises(self):
@@ -93,8 +94,10 @@ class TestFeatureRegistry:
 # ----------------------------------------------------------------------
 class TestFlags:
     def test_defaults_are_all_on(self):
+        # ``tracing`` is the one opt-in flag: instrumentation must cost
+        # nothing unless explicitly requested.
         for name in flags.known_flags():
-            assert flags.enabled(name)
+            assert flags.enabled(name) == (name != "tracing")
 
     def test_overrides_restore_on_exit_even_on_error(self):
         with pytest.raises(RuntimeError):

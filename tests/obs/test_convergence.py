@@ -1,0 +1,90 @@
+"""Unit tests for convergence telemetry over FrontierUpdate streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import OptimizeRequest, open_session
+from repro.obs.convergence import (
+    render_series_table,
+    series_from_updates,
+    summarize_series,
+)
+
+
+def _mapping_update(index, alpha, elapsed, frontier=5):
+    return {
+        "invocation": {
+            "index": index,
+            "resolution": index - 1,
+            "alpha": alpha,
+            "frontier_size": frontier,
+            "duration_seconds": 0.01,
+        },
+        "elapsed_seconds": elapsed,
+    }
+
+
+class TestSeries:
+    def test_points_from_mapping_payloads(self):
+        updates = [
+            _mapping_update(1, 2.0, 0.1),
+            _mapping_update(2, 1.4, 0.2),
+            _mapping_update(3, 1.1, 0.3),
+        ]
+        series = series_from_updates(updates)
+        assert [p["invocation"] for p in series] == [1, 2, 3]
+        assert [p["alpha"] for p in series] == [2.0, 1.4, 1.1]
+
+    def test_points_from_live_updates(self):
+        session = open_session(
+            OptimizeRequest(
+                workload="gen:chain:3:0", algorithm="iama", levels=3, scale="tiny"
+            )
+        )
+        updates = list(session.updates())
+        series = series_from_updates(updates)
+        assert len(series) == len(updates)
+        assert series[0]["invocation"] == 1
+        assert all(p["frontier_size"] > 0 for p in series)
+
+
+class TestSummary:
+    def test_monotone_series(self):
+        series = series_from_updates(
+            [_mapping_update(1, 2.0, 0.1), _mapping_update(2, 1.2, 0.2)]
+        )
+        summary = summarize_series(series)
+        assert summary["alpha_monotone"]
+        assert summary["alpha_first"] == 2.0
+        assert summary["alpha_last"] == 1.2
+        assert summary["seconds_to_alpha_1_5"] == 0.2
+        assert summary["invocations"] == 2
+
+    def test_non_monotone_series_is_flagged(self):
+        series = series_from_updates(
+            [_mapping_update(1, 1.2, 0.1), _mapping_update(2, 1.6, 0.2)]
+        )
+        assert not summarize_series(series)["alpha_monotone"]
+
+    def test_threshold_never_reached(self):
+        series = series_from_updates([_mapping_update(1, 3.0, 0.1)])
+        assert summarize_series(series)["seconds_to_alpha_1_5"] is None
+
+    def test_empty_series(self):
+        summary = summarize_series([])
+        assert summary["invocations"] == 0
+        assert summary["alpha_first"] is None
+        assert summary["alpha_monotone"]
+
+
+class TestRendering:
+    def test_table_has_one_line_per_point_plus_header(self):
+        series = series_from_updates(
+            [_mapping_update(1, 2.0, 0.1), _mapping_update(2, 1.2, 0.2)]
+        )
+        table = render_series_table(series, title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 2 + len(series)
+        assert "alpha" in lines[1]

@@ -1,0 +1,154 @@
+"""Unit tests for the metrics registry and Prometheus text renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+    render_snapshots,
+)
+from repro.obs.promcheck import check_text
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negative(self, registry):
+        counter = registry.counter("repro_test_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_counter_tracks_series_independently(self, registry):
+        counter = registry.counter(
+            "repro_jobs_total", "jobs", labelnames=("outcome",)
+        )
+        counter.inc(outcome="finished")
+        counter.inc(outcome="finished")
+        counter.inc(outcome="failed")
+        assert counter.value(outcome="finished") == 2
+        assert counter.value(outcome="failed") == 1
+        assert counter.value(outcome="cancelled") == 0
+
+    def test_undeclared_label_is_rejected(self, registry):
+        counter = registry.counter("repro_x_total", "x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            counter.inc(b="nope")
+
+    def test_gauge_set_inc_dec_and_callback(self, registry):
+        gauge = registry.gauge("repro_live", "live things")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3
+        backing = [1, 2, 3]
+        pulled = registry.gauge("repro_backing", "pulled")
+        pulled.set_function(lambda: len(backing))
+        assert pulled.value() == 3
+        backing.append(4)
+        assert pulled.value() == 4
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        histogram = registry.histogram(
+            "repro_lat_seconds", "latency", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        (sample,) = histogram.samples()
+        assert sample["bucket_counts"] == [1, 3, 4]  # le=.1,1,10
+        assert sample["count"] == 5  # doubles as the +Inf bucket
+        assert sample["sum"] == pytest.approx(56.05)
+
+    def test_histogram_requires_increasing_bounds(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("repro_bad", "x", buckets=(1.0, 1.0))
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        first = registry.counter("repro_same_total", "x")
+        second = registry.counter("repro_same_total", "x")
+        assert first is second
+        with pytest.raises(ValueError):
+            registry.gauge("repro_same_total", "x")  # kind conflict
+
+
+class TestRendering:
+    def test_render_is_promcheck_clean(self, registry):
+        registry.counter("repro_a_total", "a counter").inc()
+        registry.gauge("repro_b", "a gauge").set(2)
+        registry.histogram("repro_c_seconds", "a histogram").observe(0.2)
+        text = registry.render()
+        assert check_text(text) == []
+        assert "# TYPE repro_a_total counter" in text
+        assert "# TYPE repro_c_seconds histogram" in text
+        assert 'repro_c_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_c_seconds_count 1" in text
+
+    def test_special_float_values_render(self, registry):
+        gauge = registry.gauge("repro_weird", "weird values")
+        gauge.set(math.inf)
+        assert "repro_weird +Inf" in registry.render()
+        gauge.set(-math.inf)
+        assert "repro_weird -Inf" in registry.render()
+        gauge.set(math.nan)
+        assert "repro_weird NaN" in registry.render()
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter(
+            "repro_esc_total", "escapes", labelnames=("path",)
+        )
+        counter.inc(path='a"b\\c\nd')
+        text = registry.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert check_text(text) == []
+
+    def test_extra_labels_apply_to_every_sample(self, registry):
+        registry.counter("repro_lbl_total", "x").inc()
+        text = render_snapshot(registry.snapshot(), {"shard": "shard-0"})
+        assert 'repro_lbl_total{shard="shard-0"} 1' in text
+        assert check_text(text) == []
+
+
+class TestSnapshotMerge:
+    def test_render_snapshots_merges_families_under_one_header(self):
+        shard0, shard1 = MetricsRegistry(), MetricsRegistry()
+        shard0.counter("repro_m_total", "m").inc()
+        shard1.counter("repro_m_total", "m").inc(2)
+        text = render_snapshots(
+            [
+                ({"shard": "shard-0"}, shard0.snapshot()),
+                ({"shard": "shard-1"}, shard1.snapshot()),
+            ]
+        )
+        assert text.count("# TYPE repro_m_total counter") == 1
+        assert 'repro_m_total{shard="shard-0"} 1' in text
+        assert 'repro_m_total{shard="shard-1"} 2' in text
+        assert check_text(text) == []
+
+    def test_conflicting_kinds_raise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_k_total", "k")
+        b.gauge("repro_k_total", "k")
+        with pytest.raises(ValueError):
+            render_snapshots(
+                [({"shard": "0"}, a.snapshot()), ({"shard": "1"}, b.snapshot())]
+            )
+
+    def test_snapshot_is_plain_data(self, registry):
+        registry.histogram("repro_h_seconds", "h").observe(1.0)
+        snapshot = registry.snapshot()
+        import json
+
+        json.dumps(snapshot)  # must be JSON/pickle-safe for the pipe
+        assert snapshot["families"][0]["kind"] == "histogram"

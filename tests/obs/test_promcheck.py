@@ -1,0 +1,99 @@
+"""Unit tests for the in-repo Prometheus exposition grammar checker."""
+
+from __future__ import annotations
+
+from repro.obs.promcheck import check_text
+
+VALID = """\
+# HELP repro_a_total A counter.
+# TYPE repro_a_total counter
+repro_a_total 3
+# HELP repro_b A gauge.
+# TYPE repro_b gauge
+repro_b{shard="shard-0"} 1.5
+repro_b{shard="shard-1"} +Inf
+# HELP repro_c_seconds A histogram.
+# TYPE repro_c_seconds histogram
+repro_c_seconds_bucket{le="0.1"} 1
+repro_c_seconds_bucket{le="1"} 3
+repro_c_seconds_bucket{le="+Inf"} 4
+repro_c_seconds_sum 2.25
+repro_c_seconds_count 4
+"""
+
+
+def test_valid_exposition_has_no_violations():
+    assert check_text(VALID) == []
+
+
+def test_missing_trailing_newline():
+    assert any("newline" in v for v in check_text("repro_x 1"))
+
+
+def test_bad_metric_name():
+    violations = check_text("9bad_name 1\n")
+    assert violations
+
+
+def test_bad_value():
+    violations = check_text("repro_x notanumber\n")
+    assert any("value" in v for v in violations)
+
+
+def test_duplicate_series_detected():
+    text = 'repro_x{a="1"} 1\nrepro_x{a="1"} 2\n'
+    assert any("duplicate" in v.lower() for v in check_text(text))
+
+
+def test_duplicate_type_header_detected():
+    text = (
+        "# TYPE repro_x counter\nrepro_x 1\n"
+        "# TYPE repro_x counter\nrepro_x 2\n"
+    )
+    assert check_text(text)
+
+
+def test_samples_after_family_closed():
+    text = (
+        "# TYPE repro_x counter\nrepro_x_total 1\n"
+        "# TYPE repro_y gauge\nrepro_y 1\n"
+        "repro_x_total 2\n"
+    )
+    assert check_text(text)
+
+
+def test_histogram_missing_inf_bucket():
+    text = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1"} 1\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 1\n"
+    )
+    assert any("+Inf" in v for v in check_text(text))
+
+
+def test_histogram_noncumulative_buckets():
+    text = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1"} 5\n'
+        'repro_h_bucket{le="2"} 3\n'
+        'repro_h_bucket{le="+Inf"} 5\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    assert any("cumulative" in v.lower() for v in check_text(text))
+
+
+def test_histogram_inf_must_equal_count():
+    text = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="+Inf"} 4\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    assert check_text(text)
+
+
+def test_unescaped_label_quote_is_flagged():
+    text = 'repro_x{a="un"escaped"} 1\n'
+    assert check_text(text)
